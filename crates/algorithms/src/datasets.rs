@@ -1,0 +1,200 @@
+//! Deterministic synthetic datasets.
+//!
+//! The paper evaluates on corpora we cannot ship: Twitter firehose
+//! samples, the ClueWeb09 web graph, a 128 GB text corpus. These
+//! generators produce inputs with the same *shape* — uniform random
+//! graphs (the paper's WCC inputs are explicitly random graphs),
+//! power-law "follower" graphs, Zipf-distributed word streams, and tweet
+//! streams with hashtags and mentions — at laptop scale, seeded for
+//! reproducibility.
+
+use naiad_wire::{Wire, WireError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed edge list over `nodes` vertices with `edges` uniformly
+/// random edges (the WCC input of §5.3/§5.4).
+pub fn random_graph(nodes: u64, edges: usize, seed: u64) -> Vec<(u64, u64)> {
+    assert!(nodes > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..edges)
+        .map(|_| (rng.gen_range(0..nodes), rng.gen_range(0..nodes)))
+        .collect()
+}
+
+/// A power-law graph approximating a social "follower" network (§6.1):
+/// target in-degrees follow a Zipf-like distribution via preferential
+/// attachment over a shuffled node order.
+pub fn powerlaw_graph(nodes: u64, edges: usize, seed: u64) -> Vec<(u64, u64)> {
+    assert!(nodes > 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(edges);
+    // Preferential attachment on destinations: a new edge points at the
+    // destination of an earlier edge with high probability, so in-degrees
+    // develop the celebrity-skewed tail of a follower graph.
+    for i in 0..edges {
+        let src = rng.gen_range(0..nodes);
+        let dst = if i > 0 && rng.gen_bool(0.75) {
+            out[rng.gen_range(0..i)].1
+        } else {
+            rng.gen_range(0..nodes)
+        };
+        if src != dst {
+            out.push((src, dst));
+        } else {
+            out.push((src, (dst + 1) % nodes));
+        }
+    }
+    out
+}
+
+/// A stream of words with Zipf-like frequencies over a vocabulary of
+/// `vocabulary` words (the WordCount corpus of §5.4).
+pub fn zipf_words(count: usize, vocabulary: u64, seed: u64) -> Vec<String> {
+    assert!(vocabulary > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // Inverse-CDF sampling of an approximate Zipf(1) distribution.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let rank = ((vocabulary as f64).powf(u) - 1.0) as u64;
+            format!("w{rank}")
+        })
+        .collect()
+}
+
+/// A synthetic tweet: author, hashtags used, users mentioned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tweet {
+    /// Author id.
+    pub user: u64,
+    /// Hashtag ids (small Zipf-distributed topic space).
+    pub hashtags: Vec<u64>,
+    /// Mentioned user ids.
+    pub mentions: Vec<u64>,
+}
+
+impl Wire for Tweet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.user.encode(buf);
+        self.hashtags.encode(buf);
+        self.mentions.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Tweet {
+            user: u64::decode(input)?,
+            hashtags: Vec::<u64>::decode(input)?,
+            mentions: Vec::<u64>::decode(input)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.user.encoded_len() + self.hashtags.encoded_len() + self.mentions.encoded_len()
+    }
+}
+
+/// A deterministic tweet stream over `users` users and `topics` hashtags
+/// (the §6.3/§6.4 input).
+pub fn tweet_stream(count: usize, users: u64, topics: u64, seed: u64) -> Vec<Tweet> {
+    assert!(users > 1 && topics > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let user = rng.gen_range(0..users);
+            let n_tags = rng.gen_range(0..=2);
+            let hashtags = (0..n_tags)
+                .map(|_| {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    ((topics as f64).powf(u) - 1.0) as u64
+                })
+                .collect();
+            let n_mentions = rng.gen_range(0..=2);
+            let mentions = (0..n_mentions)
+                .map(|_| {
+                    let mut m = rng.gen_range(0..users);
+                    if m == user {
+                        m = (m + 1) % users;
+                    }
+                    m
+                })
+                .collect();
+            Tweet {
+                user,
+                hashtags,
+                mentions,
+            }
+        })
+        .collect()
+}
+
+/// Labelled examples for logistic regression: `dims`-dimensional points
+/// whose labels follow a fixed random hyperplane plus noise (the §6.2
+/// input).
+pub fn logreg_data(count: usize, dims: usize, seed: u64) -> Vec<(Vec<f64>, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let truth: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    (0..count)
+        .map(|_| {
+            let x: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let dot: f64 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
+            let label = if dot + rng.gen_range(-0.1..0.1) > 0.0 {
+                1.0
+            } else {
+                0.0
+            };
+            (x, label)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_graph(100, 50, 7), random_graph(100, 50, 7));
+        assert_eq!(powerlaw_graph(100, 50, 7), powerlaw_graph(100, 50, 7));
+        assert_eq!(zipf_words(50, 100, 7), zipf_words(50, 100, 7));
+        assert_eq!(tweet_stream(20, 50, 10, 7), tweet_stream(20, 50, 10, 7));
+    }
+
+    #[test]
+    fn graphs_respect_bounds() {
+        for (a, b) in random_graph(10, 100, 1) {
+            assert!(a < 10 && b < 10);
+        }
+        for (a, b) in powerlaw_graph(10, 100, 1) {
+            assert!(a < 10 && b < 10);
+            assert_ne!(a, b, "no self loops in the follower graph");
+        }
+    }
+
+    #[test]
+    fn powerlaw_is_skewed() {
+        let edges = powerlaw_graph(1000, 20_000, 3);
+        let mut indeg = std::collections::HashMap::new();
+        for (_, b) in &edges {
+            *indeg.entry(b).or_insert(0u64) += 1;
+        }
+        let max = indeg.values().max().copied().unwrap_or(0);
+        let mean = 20_000.0 / 1000.0;
+        assert!(
+            max as f64 > 5.0 * mean,
+            "expected a heavy tail: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let words = zipf_words(10_000, 1000, 5);
+        let head = words.iter().filter(|w| *w == "w0").count();
+        assert!(head > 10_000 / 1000, "w0 should be far above uniform");
+    }
+
+    #[test]
+    fn logreg_labels_are_binary() {
+        for (_, y) in logreg_data(100, 5, 2) {
+            assert!(y == 0.0 || y == 1.0);
+        }
+    }
+}

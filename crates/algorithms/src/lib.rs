@@ -1,0 +1,25 @@
+//! The paper's workloads (§5–§6), implemented on the Naiad operator
+//! library and the low-level vertex API:
+//!
+//! * [`datasets`] — deterministic synthetic generators standing in for the
+//!   proprietary corpora (Twitter streams, ClueWeb09) the paper uses,
+//! * [`wordcount`] — the embarrassingly parallel MapReduce of §5.4,
+//! * [`wcc`] — asynchronous weakly connected components (§5.3, §5.4,
+//!   Table 1), incremental across epochs (§6.4),
+//! * [`pagerank`] — the three PageRank variants of §6.1 (vertex-
+//!   partitioned, edge-partitioned, Pregel),
+//! * [`asp`] — approximate shortest paths from sampled sources (Table 1),
+//! * [`scc`] — strongly connected components with nested loops (Table 1),
+//! * [`kexposure`] — the Kineograph comparison workload (§6.3),
+//! * [`logreg`] — logistic regression with the data-parallel AllReduce
+//!   (§6.2).
+
+pub mod asp;
+pub mod datasets;
+pub mod kexposure;
+pub mod logreg;
+pub mod pagerank;
+pub mod scc;
+pub mod triangles;
+pub mod wcc;
+pub mod wordcount;

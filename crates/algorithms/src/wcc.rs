@@ -1,0 +1,292 @@
+//! Weakly connected components (§5.3, §5.4, Table 1, §6.4).
+//!
+//! An *asynchronous* min-label propagation in the Bloom style §4.2
+//! describes: the loop vertex never requests a blocking notification, so
+//! iterations run without coordination and the loop drains as soon as no
+//! label improves — exactly the sparse, latency-bound tail the paper uses
+//! WCC to stress.
+//!
+//! The vertex state persists across epochs, and labels only ever decrease
+//! under edge additions, so feeding more edges in later epochs yields
+//! *incremental* connected components: each epoch's output is exactly the
+//! set of label changes it causes (§6.4's streaming analysis). To keep
+//! per-epoch outputs consistent, state is *versioned*: adjacency entries
+//! remember the epoch that introduced them, and each node keeps a small
+//! staircase of `(epoch, label)` versions, so an epoch's propagation never
+//! observes a later epoch's edges — the multi-version discipline the
+//! paper's incremental library [McSherry et al., CIDR 2013] formalizes.
+
+use std::collections::HashMap;
+
+use naiad::dataflow::{InputPort, Notify, OutputPort};
+use naiad::runtime::Pact;
+use naiad::{Stream, Timestamp};
+use naiad_operators::hash_of;
+use naiad_operators::prelude::*;
+
+/// A node's label history: `(epoch, label)` with strictly increasing
+/// epochs and strictly decreasing labels.
+#[derive(Debug, Default, Clone)]
+struct Versions(Vec<(u64, u64)>);
+
+impl Versions {
+    /// The label as of `epoch` (`None` if the node is unknown then).
+    fn at(&self, epoch: u64) -> Option<u64> {
+        self.0
+            .iter()
+            .take_while(|(e, _)| *e <= epoch)
+            .map(|(_, l)| *l)
+            .last()
+    }
+
+    /// Records `label` at `epoch` if it improves that epoch's value.
+    /// Returns whether anything changed.
+    fn improve(&mut self, epoch: u64, label: u64) -> bool {
+        if self.at(epoch).is_some_and(|cur| cur <= label) {
+            return false;
+        }
+        // Drop superseded later-or-equal versions, then insert in order.
+        self.0.retain(|(e, l)| *e < epoch || *l < label);
+        let pos = self.0.partition_point(|(e, _)| *e < epoch);
+        self.0.insert(pos, (epoch, label));
+        true
+    }
+}
+
+/// Connected components by asynchronous min-label propagation.
+///
+/// `edges` are undirected (symmetrized internally). Returns the label
+/// *improvements* `(node, label)` of each epoch; a node's component is the
+/// last label it was assigned in any epoch so far. For a single-epoch
+/// input, reduce per node with `min` to obtain the component map.
+pub fn connected_components(edges: &Stream<(u64, u64)>) -> Stream<(u64, u64)> {
+    let mut scope = edges.scope();
+    // Symmetrize: deliver each edge to both endpoints' owners.
+    let sym = edges.flat_map(|(a, b)| vec![(a, b), (b, a)]);
+
+    let lc = scope.loop_context(edges.context());
+    let entered = lc.enter(&sym);
+    let (handle, cycle) = lc.feedback::<(u64, u64)>(None);
+
+    let improvements: Stream<(u64, u64)> = entered.binary(
+        &cycle,
+        Pact::exchange(|(a, _): &(u64, u64)| hash_of(a)),
+        Pact::exchange(|(n, _): &(u64, u64)| hash_of(n)),
+        "MinLabelPropagate",
+        |_info| {
+            // Adjacency entries remember the epoch that introduced them.
+            let mut adjacency: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+            let mut labels: HashMap<u64, Versions> = HashMap::new();
+            move |edges: &mut InputPort<(u64, u64)>,
+                  msgs: &mut InputPort<(u64, u64)>,
+                  output: &mut OutputPort<(u64, u64)>| {
+                edges.for_each(|time, data| {
+                    let mut session = output.session(time);
+                    for (a, b) in data {
+                        adjacency.entry(a).or_default().push((b, time.epoch));
+                        let versions = labels.entry(a).or_default();
+                        versions.improve(time.epoch, a);
+                        let la = versions.at(time.epoch).expect("just seeded");
+                        // Offer `a`'s label *as of this epoch* to the new
+                        // neighbour; its owner keeps the minimum.
+                        session.give((b, la));
+                        // Report `a` itself so singletons get labels.
+                        session.give((a, la));
+                    }
+                });
+                msgs.for_each(|time, data| {
+                    for (n, candidate) in data {
+                        let versions = labels.entry(n).or_default();
+                        if versions.improve(time.epoch, candidate) {
+                            for &(neighbour, edge_epoch) in adjacency.get(&n).into_iter().flatten()
+                            {
+                                if edge_epoch <= time.epoch {
+                                    // Propagate within this epoch's loop.
+                                    output.session(time).give((neighbour, candidate));
+                                } else {
+                                    // The edge belongs to a later epoch:
+                                    // re-offer the improvement there, at
+                                    // that epoch's first iteration.
+                                    let later = Timestamp::with_counters(edge_epoch, &[0]);
+                                    output.session(later).give((neighbour, candidate));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        },
+    );
+
+    handle.connect(&improvements);
+    // Outside the loop: collapse each epoch's offer churn to the minimal
+    // candidate per node, then emit only labels that improve on earlier
+    // epochs — clean per-epoch deltas for incremental consumers (§6.4).
+    // Epochs are processed in notification order, which the frontier
+    // guarantees is epoch order, so the cross-epoch filter is sound.
+    let per_epoch = lc
+        .leave(&improvements)
+        .reduce(|| u64::MAX, |_n, acc, l| *acc = (*acc).min(l));
+    per_epoch.unary_notify(
+        Pact::exchange(|(n, _): &(u64, u64)| hash_of(n)),
+        "ImprovementFilter",
+        |_info| {
+            let pending: std::rc::Rc<std::cell::RefCell<HashMap<u64, HashMap<u64, u64>>>> =
+                std::rc::Rc::new(std::cell::RefCell::new(HashMap::new()));
+            let recv_pending = pending.clone();
+            let mut best: HashMap<u64, u64> = HashMap::new();
+            (
+                move |input: &mut InputPort<(u64, u64)>,
+                      _output: &mut OutputPort<(u64, u64)>,
+                      notify: &Notify| {
+                    let mut pending = recv_pending.borrow_mut();
+                    input.for_each(|time, data| {
+                        let epoch = pending.entry(time.epoch).or_insert_with(|| {
+                            notify.notify_at(time);
+                            HashMap::new()
+                        });
+                        for (n, label) in data {
+                            let e = epoch.entry(n).or_insert(label);
+                            *e = (*e).min(label);
+                        }
+                    });
+                },
+                move |time: Timestamp, output: &mut OutputPort<(u64, u64)>, _notify: &Notify| {
+                    if let Some(epoch) = pending.borrow_mut().remove(&time.epoch) {
+                        let mut session = output.session(time);
+                        for (n, label) in epoch {
+                            match best.get_mut(&n) {
+                                None => {
+                                    best.insert(n, label);
+                                    session.give((n, label));
+                                }
+                                Some(b) if label < *b => {
+                                    *b = label;
+                                    session.give((n, label));
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                },
+            )
+        },
+    )
+}
+
+/// Runs [`connected_components`] to completion on a static edge list and
+/// returns the full component map — a harness used by tests, benchmarks,
+/// and Table 1.
+pub fn wcc_once(config: naiad::Config, edges: Vec<(u64, u64)>) -> HashMap<u64, u64> {
+    let edges = std::sync::Arc::new(edges);
+    let results = naiad::execute(config, move |worker| {
+        let (mut input, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            (input, connected_components(&stream).capture())
+        });
+        let peers = worker.peers();
+        let index = worker.index();
+        for (i, e) in edges.iter().enumerate() {
+            if i % peers == index {
+                input.send(*e);
+            }
+        }
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+    let mut map = HashMap::new();
+    for (_, data) in results.into_iter().flatten() {
+        for (n, l) in data {
+            let e = map.entry(n).or_insert(l);
+            *e = (*e).min(l);
+        }
+    }
+    map
+}
+
+/// Reference sequential union-find, for validation.
+pub fn wcc_reference(edges: &[(u64, u64)]) -> HashMap<u64, u64> {
+    let mut parent: HashMap<u64, u64> = HashMap::new();
+    fn find(parent: &mut HashMap<u64, u64>, x: u64) -> u64 {
+        let p = *parent.entry(x).or_insert(x);
+        if p == x {
+            x
+        } else {
+            let root = find(parent, p);
+            parent.insert(x, root);
+            root
+        }
+    }
+    for &(a, b) in edges {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent.insert(ra.max(rb), ra.min(rb));
+        }
+    }
+    let keys: Vec<u64> = parent.keys().copied().collect();
+    keys.into_iter()
+        .map(|k| {
+            let root = find(&mut parent, k);
+            (k, root)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::random_graph;
+    use naiad::Config;
+
+    #[test]
+    fn matches_union_find_on_random_graphs() {
+        for (workers, seed) in [(1, 1), (2, 2), (3, 3)] {
+            let edges = random_graph(200, 300, seed);
+            let ours = wcc_once(Config::single_process(workers), edges.clone());
+            let reference = wcc_reference(&edges);
+            assert_eq!(ours, reference, "workers={workers} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn multi_process_agrees() {
+        let edges = random_graph(100, 150, 9);
+        let ours = wcc_once(Config::processes_and_workers(2, 2), edges.clone());
+        assert_eq!(ours, wcc_reference(&edges));
+    }
+
+    #[test]
+    fn incremental_epochs_report_only_changes() {
+        let results = naiad::execute(Config::single_process(1), |worker| {
+            let (mut input, captured) = worker.dataflow(|scope| {
+                let (input, stream) = scope.new_input::<(u64, u64)>();
+                (input, connected_components(&stream).capture())
+            });
+            // Epoch 0: 1–2 and 3–4 as separate components.
+            input.send_batch([(1, 2), (3, 4)]);
+            input.advance_to(1);
+            // Epoch 1: bridge them; only 3 and 4 change label.
+            input.send((2, 3));
+            input.close();
+            worker.step_until_done();
+            let result = captured.borrow().clone();
+            result
+        })
+        .unwrap();
+        let mut by_epoch: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+        for (e, data) in results.into_iter().flatten() {
+            by_epoch.entry(e).or_default().extend(data);
+        }
+        let mut e0 = by_epoch.remove(&0).unwrap();
+        e0.sort();
+        assert_eq!(e0, vec![(1, 1), (2, 1), (3, 3), (4, 3)]);
+        let mut e1 = by_epoch.remove(&1).unwrap();
+        e1.sort();
+        // The bridge relabels 3 and 4 to component 1; 1 and 2 are silent.
+        assert_eq!(e1, vec![(3, 1), (4, 1)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Reimplementations of the systems the paper compares against (§6).
+//!
+//! These are not shims: each captures the *mechanism* that determines the
+//! comparator's cost profile, so Table 1 and Figures 7a/7b reproduce the
+//! right shapes.
+//!
+//! * [`batch`] — per-iteration state movement engines: a DryadLINQ-like
+//!   batch processor that serializes all state between iterations, a
+//!   PDW-like relational engine that re-sorts and re-joins tables every
+//!   iteration, and an SHS-like store paying a per-access API cost.
+//! * [`gas`] — a PowerGraph-like in-memory gather-apply-scatter engine.
+//! * [`tree`] — the Vowpal-Wabbit-style tree/butterfly AllReduce, built
+//!   *on Naiad streams* like the paper's comparison implementation.
+//! * [`snapshot`] — a Kineograph-like ingest/snapshot/compute engine.
+
+pub mod batch;
+pub mod gas;
+pub mod snapshot;
+pub mod tree;

@@ -1,0 +1,127 @@
+//! Figure 6b: global barrier latency distribution vs cluster size.
+//!
+//! Part 1 measures the real runtime: a cyclic dataflow whose single stage
+//! exchanges no data and simply requests a completeness notification per
+//! iteration — the paper's coordination microbenchmark — across in-process
+//! worker counts. Part 2 reproduces the paper's median/quartile/95th
+//! curves for 1–64 computers on the simulated cluster, where
+//! micro-stragglers dominate the tail.
+
+use naiad::dataflow::{InputPort, Notify, OutputPort};
+use naiad::runtime::Pact;
+use naiad::{execute, Config, Timestamp};
+use naiad_bench::{header, percentile, scaled};
+use naiad_clustersim::barrier_distribution;
+use naiad_clustersim::ClusterSpec;
+
+/// Runs `iters` notification-only loop iterations; returns per-iteration
+/// latencies in seconds observed at worker 0.
+fn measured_barrier(workers: usize, iters: u64) -> Vec<f64> {
+    let results = execute(Config::single_process(workers), move |worker| {
+        let (mut input, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let mut scope2 = stream.scope();
+            let lc = scope2.loop_context(naiad::graph::ContextId::ROOT);
+            let entered = lc.enter(&stream);
+            let (handle, cycle) = lc.feedback::<u64>(Some(iters));
+            let timings = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let sink = timings.clone();
+            let stepped = entered.binary_notify(
+                &cycle,
+                Pact::Pipeline,
+                Pact::Pipeline,
+                "Barrier",
+                move |info| {
+                    let me = info.worker_index;
+                    let mut last = std::time::Instant::now();
+                    (
+                        move |seed: &mut InputPort<u64>,
+                              loopback: &mut InputPort<u64>,
+                              _out: &mut OutputPort<u64>,
+                              notify: &Notify| {
+                            seed.for_each(|time, _| notify.notify_at(time));
+                            loopback.for_each(|time, _| notify.notify_at(time));
+                        },
+                        move |time: Timestamp, out: &mut OutputPort<u64>, _notify: &Notify| {
+                            if me == 0 {
+                                let now = std::time::Instant::now();
+                                sink.borrow_mut().push((now - last).as_secs_f64());
+                                last = now;
+                            }
+                            // One token circulates: each notification is one
+                            // fully-coordinated iteration.
+                            out.session(time).give(0);
+                        },
+                    )
+                },
+            );
+            handle.connect(&stepped);
+            let _ = lc.leave(&stepped);
+            (input, timings)
+        });
+        if worker.index() == 0 {
+            input.send(0);
+        }
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+    let mut out = results.into_iter().flatten().collect::<Vec<f64>>();
+    // Drop the first (startup) sample.
+    if !out.is_empty() {
+        out.remove(0);
+    }
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+fn main() {
+    header(
+        "Figure 6b",
+        "global barrier latency (median/quartiles/95th)",
+    );
+
+    println!("\n-- measured on the real runtime (single machine, N workers) --");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} (microseconds)",
+        "workers", "p25", "median", "p75", "p95"
+    );
+    let iters = scaled(2_000) as u64;
+    for workers in [1, 2, 4] {
+        let lat = measured_barrier(workers, iters);
+        if lat.is_empty() {
+            continue;
+        }
+        println!(
+            "{workers:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            percentile(&lat, 25.0) * 1e6,
+            percentile(&lat, 50.0) * 1e6,
+            percentile(&lat, 75.0) * 1e6,
+            percentile(&lat, 95.0) * 1e6,
+        );
+    }
+
+    println!("\n-- simulated paper cluster (8 workers/computer) --");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} (microseconds)",
+        "computers", "p25", "median", "p75", "p95"
+    );
+    for computers in [1, 2, 4, 8, 16, 32, 64] {
+        let spec = ClusterSpec::paper_cluster(computers);
+        let lat = barrier_distribution(&spec, 20_000, 6 + computers as u64);
+        println!(
+            "{computers:>10} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            percentile(&lat, 25.0) * 1e6,
+            percentile(&lat, 50.0) * 1e6,
+            percentile(&lat, 75.0) * 1e6,
+            percentile(&lat, 95.0) * 1e6,
+        );
+    }
+    println!(
+        "\nShape check: sub-millisecond medians growing slowly with scale\n\
+         (the paper reports 753 µs at 64 computers) while the 95th percentile\n\
+         blows up with micro-stragglers (§3.5, §5.2)."
+    );
+}

@@ -1,0 +1,112 @@
+//! Figure 7b: logistic regression speedup — Naiad's data-parallel
+//! AllReduce vs the VW-style tree, measured for real and projected to the
+//! paper's cluster.
+
+use naiad::{execute, Config};
+use naiad_algorithms::datasets::logreg_data;
+use naiad_algorithms::logreg::{gradient, train};
+use naiad_baselines::tree::tree_all_reduce_sum;
+use naiad_bench::{header, scaled, timed};
+use naiad_clustersim::{allreduce_iteration_time, AllReduceKind, ClusterSpec};
+use naiad_operators::prelude::*;
+use std::sync::Arc;
+
+/// One training iteration with the butterfly/tree AllReduce instead of
+/// the data-parallel one.
+fn train_tree(config: Config, data: Vec<(Vec<f64>, f64)>, dims: usize, iters: u64) -> f64 {
+    let data = Arc::new(data);
+    timed(move || {
+        execute(config, move |worker| {
+            let shard: Vec<(Vec<f64>, f64)> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % worker.peers() == worker.index())
+                .map(|(_, d)| d.clone())
+                .collect();
+            let sums = std::rc::Rc::new(std::cell::RefCell::new(Vec::<Vec<f64>>::new()));
+            let sink = sums.clone();
+            let (mut input, probe) = worker.dataflow(|scope| {
+                let (input, grads) = scope.new_input::<Vec<f64>>();
+                let reduced = tree_all_reduce_sum(&grads);
+                reduced.subscribe(move |_e, mut v| {
+                    if let Some(x) = v.pop() {
+                        sink.borrow_mut().push(x);
+                    }
+                });
+                let probe = grads.probe();
+                (input, probe)
+            });
+            let mut weights = vec![0.0; dims];
+            for epoch in 0..iters {
+                input.send(gradient(&shard, &weights));
+                input.advance_to(epoch + 1);
+                worker.step_while(|| !probe.done_through(epoch));
+                while sums.borrow().len() <= epoch as usize {
+                    worker.step();
+                }
+                let grad = sums.borrow()[epoch as usize].clone();
+                for (w, g) in weights.iter_mut().zip(&grad) {
+                    *w -= 0.5 * g / 1000.0;
+                }
+            }
+            input.close();
+            worker.step_until_done();
+        })
+        .unwrap();
+    })
+    .1
+}
+
+fn main() {
+    header(
+        "Figure 7b",
+        "logistic regression: data-parallel vs tree AllReduce",
+    );
+    let records = scaled(5_000);
+    let dims = scaled(200);
+    let iters = 5u64;
+    let data = logreg_data(records, dims, 31);
+    println!("data: {records} records x {dims} dims (paper: 312M records, 268 MB vector)\n");
+
+    println!("-- measured (4 workers, {iters} iterations) --");
+    let (_, t_dp) = timed(|| train(Config::single_process(4), data.clone(), dims, iters, 0.5));
+    let t_tree = train_tree(Config::single_process(4), data, dims, iters);
+    println!("data-parallel AllReduce: {t_dp:.3} s   tree AllReduce: {t_tree:.3} s");
+
+    println!("\n-- simulated paper cluster: speedup vs one computer --");
+    println!("{:>10} {:>14} {:>14}", "computers", "Naiad", "VW (tree)");
+    let vector = 268.0e6;
+    let single_compute = 120.0; // seconds of local training on one machine
+    let t1 = allreduce_iteration_time(
+        &ClusterSpec::paper_cluster(1),
+        AllReduceKind::DataParallel,
+        vector,
+        single_compute,
+        8,
+    );
+    for computers in [2, 4, 8, 16, 32, 48, 64] {
+        let compute = single_compute / computers as f64;
+        let dp = allreduce_iteration_time(
+            &ClusterSpec::paper_cluster(computers),
+            AllReduceKind::DataParallel,
+            vector,
+            compute,
+            8,
+        );
+        let tree = allreduce_iteration_time(
+            &ClusterSpec::paper_cluster(computers),
+            AllReduceKind::Tree {
+                processes_per_computer: 3,
+            },
+            vector,
+            compute,
+            8,
+        );
+        println!("{computers:>10} {:>13.1}x {:>13.1}x", t1 / dp, t1 / tree);
+    }
+    println!(
+        "\nShape check: both curves flatten once the constant-time reduce\n\
+         phases dominate (the paper stops scaling past 32), with the\n\
+         data-parallel AllReduce asymptotically ~35% ahead of the tree."
+    );
+}

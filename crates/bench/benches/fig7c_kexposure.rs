@@ -1,0 +1,126 @@
+//! Figure 7c: k-exposure streaming with three fault-tolerance policies —
+//! response-time distribution and throughput, measured on the real
+//! runtime.
+//!
+//! Policies per the paper (§6.3): no fault tolerance; full checkpoints
+//! every 100 epochs; continual logging of every input batch. Checkpoints
+//! snapshot the accumulated graph/events state; logging persists each
+//! epoch's tweets before they enter the dataflow.
+
+use naiad::runtime::durability::{DurabilitySink, FileSink};
+use naiad::{execute, Config};
+use naiad_algorithms::datasets::{tweet_stream, Tweet};
+use naiad_algorithms::kexposure::k_exposure;
+use naiad_bench::{header, percentile, scaled};
+use naiad_operators::prelude::*;
+use naiad_wire::encode_to_vec;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Durability {
+    None,
+    Checkpoint(u64),
+    Logging,
+}
+
+fn run(
+    mode: Durability,
+    tweets: Arc<Vec<Tweet>>,
+    epochs: u64,
+    per_epoch: usize,
+) -> (Vec<f64>, f64) {
+    let results = execute(Config::single_process(2), move |worker| {
+        let (mut input, probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<Tweet>();
+            (input, k_exposure(&stream).probe())
+        });
+        let mut sink = FileSink::temp("kexposure");
+        // The checkpoint state mirrors what a stateful vertex would write:
+        // the accumulated edges and events (full checkpoint, §3.4).
+        let mut ckpt_edges: Vec<(u64, u64)> = Vec::new();
+        let mut ckpt_events: Vec<(u64, u64)> = Vec::new();
+        let mut latencies = Vec::new();
+        let start_all = Instant::now();
+        for epoch in 0..epochs {
+            let start = Instant::now();
+            let lo = (epoch as usize * per_epoch).min(tweets.len());
+            let hi = ((epoch as usize + 1) * per_epoch).min(tweets.len());
+            let batch = &tweets[lo..hi];
+            if mode == Durability::Logging {
+                // Continual logging: persist the batch before ingesting.
+                let bytes = encode_to_vec(&batch.to_vec());
+                sink.persist(&bytes);
+            }
+            for (i, t) in batch.iter().enumerate() {
+                if i % worker.peers() == worker.index() {
+                    input.send(t.clone());
+                }
+                for &m in &t.mentions {
+                    ckpt_edges.push((t.user, m));
+                }
+                for &h in &t.hashtags {
+                    ckpt_events.push((t.user, h));
+                }
+            }
+            input.advance_to(epoch + 1);
+            worker.step_while(|| !probe.done_through(epoch));
+            if let Durability::Checkpoint(every) = mode {
+                if (epoch + 1) % every == 0 {
+                    let bytes = encode_to_vec(&(ckpt_edges.clone(), ckpt_events.clone()));
+                    sink.persist(&bytes);
+                }
+            }
+            if worker.index() == 0 {
+                latencies.push(start.elapsed().as_secs_f64());
+            }
+        }
+        input.close();
+        worker.step_until_done();
+        (latencies, start_all.elapsed().as_secs_f64())
+    })
+    .unwrap();
+    let total = results.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    let mut lat: Vec<f64> = results.into_iter().flat_map(|(l, _)| l).collect();
+    lat.sort_by(f64::total_cmp);
+    (lat, total)
+}
+
+fn main() {
+    header(
+        "Figure 7c",
+        "k-exposure: response times and throughput under fault-tolerance policies",
+    );
+    let per_epoch = scaled(200);
+    let epochs = scaled(150) as u64;
+    let tweets = Arc::new(tweet_stream(per_epoch * epochs as usize, 5_000, 200, 13));
+    println!(
+        "stream: {} tweets, {per_epoch}/epoch, {epochs} epochs (paper: 1,000/epoch/machine on 32 machines)\n",
+        tweets.len()
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12} {:>14}",
+        "policy", "median ms", "p95 ms", "p99 ms", "max ms", "tweets/s"
+    );
+    for (name, mode) in [
+        ("none", Durability::None),
+        ("checkpoint each 100", Durability::Checkpoint(100)),
+        ("continual logging", Durability::Logging),
+    ] {
+        let (lat, total) = run(mode, tweets.clone(), epochs, per_epoch);
+        let throughput = tweets.len() as f64 / total;
+        println!(
+            "{name:<22} {:>10.1} {:>10.1} {:>10.1} {:>12.1} {:>14.0}",
+            percentile(&lat, 50.0) * 1e3,
+            percentile(&lat, 95.0) * 1e3,
+            percentile(&lat, 99.0) * 1e3,
+            lat.last().copied().unwrap_or(0.0) * 1e3,
+            throughput
+        );
+    }
+    println!(
+        "\nShape check (paper: 482,988 / 322,439 / 273,741 t/s; medians\n\
+         40/40/85 ms): logging taxes every epoch; checkpoints cost nothing\n\
+         except periodic tail spikes; 'none' is fastest."
+    );
+}

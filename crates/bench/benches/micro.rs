@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the coordination machinery the paper's
+//! §2.3/§3.3 performance claims rest on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use naiad::graph::{ContextId, GraphBuilder, StageKind};
+use naiad::progress::{Accumulator, Pointstamp, PointstampTable};
+use naiad::{Antichain, Timestamp};
+use naiad_wire::{decode_from_slice, encode_to_vec};
+use std::sync::Arc;
+
+fn loop_graph() -> Arc<naiad::graph::LogicalGraph> {
+    let mut g = GraphBuilder::new();
+    let input = g.add_stage("in", StageKind::Input, ContextId::ROOT, 0, 1);
+    let ctx = g.add_context(ContextId::ROOT);
+    let ingress = g.add_ingress("I", ctx);
+    let feedback = g.add_feedback("F", ctx);
+    let body = g.add_stage("body", StageKind::Regular, ctx, 2, 1);
+    let egress = g.add_egress("E", ctx);
+    let out = g.add_stage("out", StageKind::Regular, ContextId::ROOT, 1, 0);
+    g.connect(input, 0, ingress, 0);
+    g.connect(ingress, 0, body, 0);
+    g.connect(feedback, 0, body, 1);
+    g.connect(body, 0, feedback, 0);
+    g.connect(body, 0, egress, 0);
+    g.connect(egress, 0, out, 0);
+    Arc::new(g.build().unwrap())
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let graph = loop_graph();
+    c.bench_function("tracker_update_cycle", |b| {
+        let mut table = PointstampTable::initialized(graph.clone(), 4);
+        let body = naiad::graph::StageId(3);
+        b.iter(|| {
+            for i in 0..16u64 {
+                let p = Pointstamp::at_vertex(Timestamp::with_counters(0, &[i]), body);
+                table.update(p, 1);
+                table.update(p, -1);
+            }
+        });
+    });
+    c.bench_function("summary_matrix_compute", |b| {
+        b.iter(|| {
+            let _ = loop_graph();
+        });
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let graph = loop_graph();
+    c.bench_function("accumulator_covered_churn", |b| {
+        let mut acc = Accumulator::new(graph.clone(), 4);
+        let body = naiad::graph::StageId(3);
+        b.iter(|| {
+            let p = Pointstamp::at_vertex(Timestamp::with_counters(0, &[1]), body);
+            let flushed = acc.deposit([(p, 1), (p, -1)]);
+            assert!(flushed.is_none());
+        });
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let records: Vec<(u64, String)> = (0..1024).map(|i| (i, format!("record-{i}"))).collect();
+    c.bench_function("wire_encode_1k_records", |b| {
+        b.iter(|| encode_to_vec(&records));
+    });
+    let bytes = encode_to_vec(&records);
+    c.bench_function("wire_decode_1k_records", |b| {
+        b.iter(|| decode_from_slice::<Vec<(u64, String)>>(&bytes).unwrap());
+    });
+}
+
+fn bench_antichain(c: &mut Criterion) {
+    c.bench_function("antichain_insert_timestamps", |b| {
+        b.iter(|| {
+            let mut a = Antichain::new();
+            for e in (0..64u64).rev() {
+                a.insert(Timestamp::new(e));
+            }
+            assert_eq!(a.len(), 1);
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tracker, bench_protocol, bench_wire, bench_antichain
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared helpers for the figure and table harnesses.
+//!
+//! Every paper figure/table has a bench target (`cargo bench -p
+//! naiad-bench --bench figXX_…`) printing rows in the paper's shape; see
+//! EXPERIMENTS.md for the recorded paper-vs-measured comparison. The
+//! harnesses honour `NAIAD_BENCH_SCALE` (a positive float, default 1.0)
+//! to grow or shrink workload sizes.
+
+use std::time::Instant;
+
+/// The workload scale factor from `NAIAD_BENCH_SCALE`.
+pub fn scale() -> f64 {
+    std::env::var("NAIAD_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scales an integer workload parameter.
+pub fn scaled(base: usize) -> usize {
+    ((base as f64) * scale()).round().max(1.0) as usize
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Percentile of a sorted slice (p in [0, 100]).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Prints a figure header in a consistent style.
+pub fn header(figure: &str, caption: &str) {
+    println!();
+    println!("=== {figure} — {caption} ===");
+}

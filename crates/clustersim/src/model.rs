@@ -1,0 +1,327 @@
+//! The cluster model: hardware spec, phase timing, stragglers.
+
+use crate::rng::Xorshift;
+
+/// Hardware description, defaulted to the paper's evaluation cluster
+/// (§5): two racks of 32 computers, two quad-core 2.1 GHz Opterons and a
+/// Gigabit NIC each, 40 Gbps uplinks.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of computers.
+    pub computers: usize,
+    /// Worker threads per computer (the paper uses 8).
+    pub workers_per_computer: usize,
+    /// Computers per rack (32 in the paper).
+    pub rack_size: usize,
+    /// NIC bandwidth, bits per second, full duplex.
+    pub nic_bps: f64,
+    /// Fraction of nominal NIC bandwidth achievable by the socket stack
+    /// (TCP/IP and API overheads; the paper's ".NET socket" line sits
+    /// around 85% of line rate).
+    pub socket_efficiency: f64,
+    /// Rack-to-core uplink bandwidth, bits per second.
+    pub uplink_bps: f64,
+    /// One-way small-message latency between two computers, seconds.
+    pub hop_latency: f64,
+    /// Fixed per-phase scheduling overhead per computer, seconds (thread
+    /// wakeups; §3.3's eventcount optimization keeps this small).
+    pub wakeup_overhead: f64,
+    /// Per-packet handling cost at an endpoint, seconds: the central
+    /// accumulator receives one packet per process and broadcasts one
+    /// back, which is what makes barrier latency grow with cluster size.
+    pub packet_overhead: f64,
+    /// Micro-straggler behaviour (§3.5).
+    pub straggler: StragglerModel,
+}
+
+/// The micro-straggler model of §3.5: per participant and phase, a small
+/// probability of a packet-loss retransmit timeout, and a smaller one of
+/// a longer (GC-like) pause.
+#[derive(Debug, Clone)]
+pub struct StragglerModel {
+    /// Probability a participant's phase suffers a retransmit timeout.
+    pub loss_probability: f64,
+    /// The retransmit timeout (the paper tunes Windows down to 20 ms).
+    pub retransmit_timeout: f64,
+    /// Probability of a long pause (GC, timer coarseness).
+    pub pause_probability: f64,
+    /// Mean long-pause duration (exponentially distributed).
+    pub mean_pause: f64,
+}
+
+impl StragglerModel {
+    /// No stragglers: the idealized network.
+    pub fn none() -> Self {
+        StragglerModel {
+            loss_probability: 0.0,
+            retransmit_timeout: 0.0,
+            pause_probability: 0.0,
+            mean_pause: 0.0,
+        }
+    }
+
+    /// The paper-like default: rare losses with a 20 ms timeout, rarer
+    /// multi-millisecond pauses.
+    pub fn paper_default() -> Self {
+        StragglerModel {
+            loss_probability: 0.0015,
+            retransmit_timeout: 0.020,
+            pause_probability: 0.0004,
+            mean_pause: 0.030,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation cluster with `computers` machines.
+    pub fn paper_cluster(computers: usize) -> Self {
+        ClusterSpec {
+            computers,
+            workers_per_computer: 8,
+            rack_size: 32,
+            nic_bps: 1.0e9,
+            socket_efficiency: 0.85,
+            uplink_bps: 40.0e9,
+            hop_latency: 45.0e-6,
+            wakeup_overhead: 25.0e-6,
+            packet_overhead: 4.0e-6,
+            straggler: StragglerModel::paper_default(),
+        }
+    }
+
+    /// Total workers across the cluster.
+    pub fn total_workers(&self) -> usize {
+        self.computers * self.workers_per_computer
+    }
+
+    /// Number of racks in use.
+    pub fn racks(&self) -> usize {
+        self.computers.div_ceil(self.rack_size)
+    }
+}
+
+/// Timing of one simulated phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Wall-clock duration of the phase, seconds.
+    pub duration: f64,
+    /// Straggler delay included in `duration`, seconds.
+    pub straggler_delay: f64,
+}
+
+/// A simulated cluster advancing through synchronized phases.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    spec: ClusterSpec,
+    rng: Xorshift,
+    clock: f64,
+}
+
+impl ClusterSim {
+    /// A simulator over `spec`, seeded for reproducibility.
+    pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        ClusterSim {
+            spec,
+            rng: Xorshift::new(seed),
+            clock: 0.0,
+        }
+    }
+
+    /// The hardware spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Samples the total straggler delay striking a phase with
+    /// `participants` independently exposed participants. Phases gate on
+    /// their slowest member, so one struck participant delays everyone;
+    /// we take the worst single delay.
+    fn sample_stragglers(&mut self, participants: usize) -> f64 {
+        let s = self.spec.straggler.clone();
+        let mut worst: f64 = 0.0;
+        // Sampling per participant is exact but slow for huge clusters;
+        // the per-phase hit counts are tiny, so sample hit *counts* from
+        // the binomial's expectation instead of looping when large.
+        if participants <= 4096 {
+            for _ in 0..participants {
+                if s.loss_probability > 0.0 && self.rng.unit() < s.loss_probability {
+                    worst = worst.max(s.retransmit_timeout);
+                }
+                if s.pause_probability > 0.0 && self.rng.unit() < s.pause_probability {
+                    worst = worst.max(self.rng.exponential(s.mean_pause));
+                }
+            }
+        } else {
+            let loss_hits = (participants as f64 * s.loss_probability).round() as usize;
+            if loss_hits > 0 {
+                worst = worst.max(s.retransmit_timeout);
+            }
+            let pause_hits = (participants as f64 * s.pause_probability).round() as usize;
+            for _ in 0..pause_hits {
+                worst = worst.max(self.rng.exponential(s.mean_pause));
+            }
+        }
+        worst
+    }
+
+    /// A computation phase: every worker grinds through `cpu_seconds` of
+    /// work (already divided per worker by the caller).
+    pub fn compute_phase(&mut self, cpu_seconds_per_worker: f64) -> PhaseStats {
+        let straggler = self.sample_stragglers(self.spec.computers);
+        let duration = cpu_seconds_per_worker + self.spec.wakeup_overhead + straggler;
+        self.clock += duration;
+        PhaseStats {
+            duration,
+            straggler_delay: straggler,
+        }
+    }
+
+    /// A communication phase: every computer sends `egress_bytes` spread
+    /// over the others (all-to-all unless `cross_fraction` lowers the
+    /// share leaving the machine). Returns the gating transfer time.
+    pub fn exchange_phase(&mut self, egress_bytes_per_computer: f64) -> PhaseStats {
+        let n = self.spec.computers as f64;
+        // Bytes that actually cross the network per computer.
+        let network_bytes = if self.spec.computers > 1 {
+            egress_bytes_per_computer * (n - 1.0) / n
+        } else {
+            0.0
+        };
+        let nic_rate = self.spec.nic_bps * self.spec.socket_efficiency / 8.0;
+        let nic_time = network_bytes / nic_rate;
+
+        // Cross-rack share rides the uplink, shared by the whole rack.
+        let racks = self.spec.racks() as f64;
+        let uplink_time = if racks > 1.0 {
+            let cross_fraction = (racks - 1.0) / racks;
+            let per_rack_bytes = network_bytes
+                * cross_fraction
+                * self.spec.rack_size.min(self.spec.computers) as f64;
+            per_rack_bytes / (self.spec.uplink_bps / 8.0)
+        } else {
+            0.0
+        };
+
+        let straggler = self.sample_stragglers(self.spec.computers);
+        let duration = nic_time.max(uplink_time) + self.spec.hop_latency + straggler;
+        self.clock += duration;
+        PhaseStats {
+            duration,
+            straggler_delay: straggler,
+        }
+    }
+
+    /// A progress-coordination round (§3.3): workers' updates accumulate
+    /// per process, flow to the central accumulator, and the net effect is
+    /// broadcast back — two hops each way plus per-computer wakeups.
+    pub fn coordination_round(&mut self) -> PhaseStats {
+        let hops = 4.0; // worker → acc → central → acc → worker
+        let wakeups =
+            self.spec.wakeup_overhead * (self.spec.workers_per_computer as f64).log2().max(1.0);
+        // The central accumulator serially absorbs one packet per process
+        // and emits one per process (the incast the paper tunes TCP for).
+        let fanout = 2.0 * self.spec.computers as f64 * self.spec.packet_overhead;
+        // Scheduling jitter grows mildly with the number of participants.
+        let jitter = self.rng.exponential(
+            self.spec.hop_latency * 0.3 * (self.spec.computers as f64).log2().max(1.0),
+        );
+        let straggler = self.sample_stragglers(self.spec.computers);
+        let duration = hops * self.spec.hop_latency + wakeups + fanout + jitter + straggler;
+        self.clock += duration;
+        PhaseStats {
+            duration,
+            straggler_delay: straggler,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(computers: usize) -> ClusterSim {
+        let mut spec = ClusterSpec::paper_cluster(computers);
+        spec.straggler = StragglerModel::none();
+        ClusterSim::new(spec, 1)
+    }
+
+    #[test]
+    fn compute_phase_is_work_plus_overhead() {
+        let mut sim = quiet(4);
+        let stats = sim.compute_phase(0.5);
+        assert!((stats.duration - 0.500025).abs() < 1e-9);
+        assert_eq!(stats.straggler_delay, 0.0);
+        assert!(sim.now() > 0.5);
+    }
+
+    #[test]
+    fn exchange_is_nic_bound_for_small_clusters() {
+        let mut sim = quiet(2);
+        // 100 MB egress, half stays local... with 2 computers, 1/2 leaves.
+        let stats = sim.exchange_phase(100.0e6);
+        let expected = 50.0e6 / (1.0e9 * 0.85 / 8.0);
+        assert!(
+            (stats.duration - expected - sim.spec().hop_latency).abs() < 1e-6,
+            "duration {}",
+            stats.duration
+        );
+    }
+
+    #[test]
+    fn single_computer_exchanges_for_free() {
+        let mut sim = quiet(1);
+        let stats = sim.exchange_phase(1.0e9);
+        assert!(stats.duration < 1e-3, "loopback only: {}", stats.duration);
+    }
+
+    #[test]
+    fn coordination_is_sub_millisecond_without_stragglers() {
+        let mut sim = quiet(64);
+        let stats = sim.coordination_round();
+        assert!(stats.duration < 1e-3, "barrier {}", stats.duration);
+        assert!(
+            stats.duration > 1e-4,
+            "barrier too cheap {}",
+            stats.duration
+        );
+    }
+
+    #[test]
+    fn stragglers_fatten_the_tail_with_scale() {
+        let spec = ClusterSpec::paper_cluster(64);
+        let mut sim = ClusterSim::new(spec, 7);
+        let mut delays = Vec::new();
+        for _ in 0..2000 {
+            delays.push(sim.coordination_round().duration);
+        }
+        delays.sort_by(f64::total_cmp);
+        let median = delays[delays.len() / 2];
+        let p95 = delays[delays.len() * 95 / 100];
+        assert!(p95 > 4.0 * median, "median {median}, p95 {p95}");
+
+        // A small cluster is struck far less often.
+        let mut small = ClusterSim::new(ClusterSpec::paper_cluster(2), 7);
+        let struck = (0..2000)
+            .filter(|_| small.coordination_round().straggler_delay > 0.0)
+            .count();
+        let struck_big = delays.iter().filter(|d| **d > 0.005).count();
+        assert!(struck * 4 < struck_big, "small {struck}, big {struck_big}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = |seed| {
+            let mut sim = ClusterSim::new(ClusterSpec::paper_cluster(16), seed);
+            (0..100)
+                .map(|_| sim.exchange_phase(1e6).duration)
+                .sum::<f64>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

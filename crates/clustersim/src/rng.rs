@@ -1,0 +1,68 @@
+//! Seeded xorshift64* generator: deterministic, dependency-light, and
+//! adequate for straggler injection.
+
+#[derive(Debug, Clone)]
+pub(crate) struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    pub(crate) fn new(seed: u64) -> Self {
+        Xorshift {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponentially distributed with the given mean.
+    pub(crate) fn exponential(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.unit()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xorshift::new(7);
+        let mut b = Xorshift::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_is_in_range_and_varied() {
+        let mut rng = Xorshift::new(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_has_requested_mean() {
+        let mut rng = Xorshift::new(5);
+        let mean = (0..20_000).map(|_| rng.exponential(2.0)).sum::<f64>() / 20_000.0;
+        assert!((1.9..2.1).contains(&mean), "mean {mean}");
+    }
+}

@@ -1,0 +1,250 @@
+//! The general vertex builder (§4.3): stages with any number of typed
+//! inputs and outputs.
+//!
+//! [`Stream::unary`](super::Stream::unary) and friends cover the common
+//! shapes; this builder covers the rest — e.g. the paper's Figure 4
+//! vertex (one input, *two* outputs) or its Pregel port ("a custom vertex
+//! with several strongly typed inputs and outputs"). Ports are created
+//! one at a time, each typed independently; the vertex logic is a pair of
+//! closures over the captured ports, exactly like the fixed-shape
+//! builders.
+//!
+//! # Examples
+//!
+//! A one-input, two-output splitter:
+//!
+//! ```
+//! use naiad::dataflow::builder::OperatorBuilder;
+//! use naiad::dataflow::{InputPort, OutputPort};
+//! use naiad::runtime::Pact;
+//! use naiad::{execute, Config};
+//!
+//! let results = execute(Config::single_process(1), |worker| {
+//!     let (mut input, evens_out, odds_out) = worker.dataflow(|scope| {
+//!         let (input, numbers) = scope.new_input::<u64>();
+//!         let mut builder = OperatorBuilder::new(scope, "SplitParity", numbers.context());
+//!         let mut port = builder.add_input(&numbers, Pact::Pipeline);
+//!         let (evens_port, evens) = builder.add_output::<u64>();
+//!         let (odds_port, odds) = builder.add_output::<u64>();
+//!         builder.build(
+//!             move || {
+//!                 let mut worked = false;
+//!                 port.for_each(|time, data| {
+//!                     worked = true;
+//!                     for x in data {
+//!                         if x % 2 == 0 {
+//!                             evens_port.borrow_mut().give(time, x);
+//!                         } else {
+//!                             odds_port.borrow_mut().give(time, x);
+//!                         }
+//!                     }
+//!                 });
+//!                 port.settle_now();
+//!                 worked
+//!             },
+//!             |_time| {},
+//!         );
+//!         (input, evens.capture(), odds.capture())
+//!     });
+//!     input.send_batch([1, 2, 3, 4, 5]);
+//!     input.close();
+//!     worker.step_until_done();
+//!     let result = (evens_out.borrow().clone(), odds_out.borrow().clone());
+//!     result
+//! })
+//! .unwrap();
+//! let (evens, odds) = &results[0];
+//! assert_eq!(evens[0].1, vec![2, 4]);
+//! assert_eq!(odds[0].1, vec![1, 3, 5]);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use naiad_wire::ExchangeData;
+
+use crate::graph::{ContextId, StageId, StageKind};
+use crate::runtime::channels::{Pact, Puller};
+use crate::time::Timestamp;
+
+use super::ops::install;
+use super::ports::{new_tee, OutputPort};
+use super::{Notify, OperatorInfo, Scope, Stream};
+
+/// A vertex under construction with arbitrarily many typed ports.
+pub struct OperatorBuilder {
+    scope: Scope,
+    stage: StageId,
+    context: ContextId,
+    name: String,
+    notify: Notify,
+    info: Option<OperatorInfo>,
+    /// Flush hooks for every output, run after each pump/notify call.
+    flushes: Vec<Box<dyn FnMut()>>,
+}
+
+/// A typed input created by [`OperatorBuilder::add_input`]: like
+/// [`InputPort`](super::InputPort) but owning its settle discipline, since
+/// the generic builder cannot see inside the user's closures.
+pub struct BuilderInput<D> {
+    puller: Puller<D>,
+}
+
+impl<D: ExchangeData> BuilderInput<D> {
+    /// The next queued batch, if any. The previous batch is retired on
+    /// each call (its processing is over once the logic asks for more).
+    ///
+    /// Deliberately named like `Iterator::next`; see
+    /// [`InputPort::next`](super::InputPort::next).
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Timestamp, Vec<D>)> {
+        let message = self.puller.pull()?;
+        Some((message.time, message.data))
+    }
+
+    /// Applies `logic` to every queued batch.
+    pub fn for_each(&mut self, mut logic: impl FnMut(Timestamp, Vec<D>)) {
+        while let Some((time, data)) = self.next() {
+            logic(time, data);
+        }
+    }
+
+    /// Retires the final delivered batch; call when the pump logic is
+    /// done with this input for the current invocation.
+    pub fn settle_now(&mut self) {
+        self.puller.settle();
+    }
+}
+
+impl OperatorBuilder {
+    /// Starts building a vertex in `context`.
+    pub fn new(scope: &mut Scope, name: &str, context: ContextId) -> Self {
+        let (stage, notify, info) = {
+            let mut inner = scope.inner.borrow_mut();
+            let stage = inner
+                .builder
+                .add_stage(name, StageKind::Regular, context, 0, 0);
+            let notify = Notify::new(stage, inner.journal.clone());
+            let info = OperatorInfo::new(
+                stage,
+                notify.clone(),
+                inner.routing.my_index,
+                inner.routing.peers,
+                inner.states.clone(),
+            );
+            (stage, notify, info)
+        };
+        OperatorBuilder {
+            scope: scope.clone_ref(),
+            stage,
+            context,
+            name: name.to_string(),
+            notify,
+            info: Some(info),
+            flushes: Vec::new(),
+        }
+    }
+
+    /// Construction-time facts (stage id, notification handle, worker
+    /// index, state registration). May be taken once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn info(&mut self) -> OperatorInfo {
+        self.info.take().expect("OperatorBuilder::info taken twice")
+    }
+
+    /// The notification handle for this vertex.
+    pub fn notify_handle(&self) -> Notify {
+        self.notify.clone()
+    }
+
+    /// Attaches `stream` as the next input, under `pact`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream belongs to a different loop context.
+    pub fn add_input<D: ExchangeData>(
+        &mut self,
+        stream: &Stream<D>,
+        pact: Pact<D>,
+    ) -> BuilderInput<D> {
+        assert_eq!(
+            stream.context(),
+            self.context,
+            "operator inputs must share the operator's loop context"
+        );
+        let port = self
+            .scope
+            .inner
+            .borrow_mut()
+            .builder
+            .add_input_port(self.stage);
+        let input = stream.connect_to(self.stage, port, pact);
+        BuilderInput {
+            puller: input.into_puller(),
+        }
+    }
+
+    /// Adds the next output, returning the shared port (for the vertex
+    /// logic) and its stream (for downstream consumers).
+    pub fn add_output<D: ExchangeData>(&mut self) -> (Rc<RefCell<OutputPort<D>>>, Stream<D>) {
+        let port = self
+            .scope
+            .inner
+            .borrow_mut()
+            .builder
+            .add_output_port(self.stage);
+        let tee = new_tee::<D>();
+        let stream = Stream::from_parts(self.stage, port, self.context, tee.clone(), &self.scope);
+        let output = Rc::new(RefCell::new(OutputPort::new(tee)));
+        let flushing = output.clone();
+        self.flushes
+            .push(Box::new(move || flushing.borrow_mut().flush()));
+        (output, stream)
+    }
+
+    /// Finalizes the vertex: `pump` is the `OnRecv` driver (drain the
+    /// captured inputs, write the captured outputs, report whether any
+    /// work happened); `deliver` is the `OnNotify` logic. Output buffers
+    /// flush automatically after each invocation.
+    ///
+    /// **Contract:** `pump` must call [`BuilderInput::settle_now`] on each
+    /// input it drained before returning. An unsettled final batch keeps
+    /// its occurrence count alive, so notifications for its time — and
+    /// eventually the whole dataflow — would never complete.
+    pub fn build(
+        mut self,
+        mut pump: impl FnMut() -> bool + 'static,
+        mut deliver: impl FnMut(Timestamp) + 'static,
+    ) {
+        // Both closures must flush every output; share the hooks.
+        type Flushes = Rc<RefCell<Vec<Box<dyn FnMut()>>>>;
+        let mut pump_flushes = std::mem::take(&mut self.flushes);
+        let shared: Flushes = Rc::new(RefCell::new(Vec::new()));
+        shared.borrow_mut().append(&mut pump_flushes);
+        let pump_shared = shared.clone();
+        let pump_fn = Box::new(move || {
+            let worked = pump();
+            for f in pump_shared.borrow_mut().iter_mut() {
+                f();
+            }
+            worked
+        });
+        let deliver_fn = Box::new(move |time: Timestamp| {
+            deliver(time);
+            for f in shared.borrow_mut().iter_mut() {
+                f();
+            }
+        });
+        install(
+            &self.scope,
+            self.stage,
+            &self.name,
+            self.notify,
+            pump_fn,
+            deliver_fn,
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Input stages and their external-producer handles (§2.1, §4.1).
+//!
+//! Each worker hosts one vertex of every input stage; the worker's driver
+//! code feeds it through an [`InputHandle`] following the push-based model
+//! of §4.1: `send` supplies records for the current epoch, `advance_to`
+//! marks the epoch complete and opens a later one, and `close` marks the
+//! input finished. The §2.3 initialization — an active pointstamp at the
+//! input vertex for the first epoch — happens when the stage is created.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use naiad_wire::ExchangeData;
+
+use crate::graph::{ContextId, StageId, StageKind};
+use crate::progress::Pointstamp;
+use crate::runtime::channels::{journal_update, Journal};
+use crate::time::Timestamp;
+
+use super::ports::Tee;
+use super::{Scope, Stream};
+
+impl Scope {
+    /// Adds an input stage, returning the producer handle and the stream
+    /// of its records.
+    ///
+    /// Records sent before the dataflow closure returns are accepted but
+    /// reach only consumers already attached; send after
+    /// [`Worker::dataflow`](crate::runtime::Worker::dataflow) returns.
+    pub fn new_input<D: ExchangeData>(&mut self) -> (InputHandle<D>, Stream<D>) {
+        // §2.3's initialization (an active pointstamp at the input vertex
+        // for the first epoch) is derived from the graph by every
+        // participant's tracker and accumulator rather than journaled here;
+        // this handle only journals epoch transitions and closure.
+        let stage = self.inner.borrow_mut().builder.add_stage(
+            "Input",
+            StageKind::Input,
+            ContextId::ROOT,
+            0,
+            1,
+        );
+        let stream: Stream<D> = Stream::new(stage, 0, ContextId::ROOT, self.clone_ref());
+        let journal = self.inner.borrow().journal.clone();
+        let handle = InputHandle {
+            shared: Rc::new(RefCell::new(InputShared {
+                stage,
+                epoch: 0,
+                closed: false,
+                tee: stream.tee.clone(),
+                journal,
+            })),
+        };
+        (handle, stream)
+    }
+}
+
+struct InputShared<D> {
+    stage: StageId,
+    epoch: u64,
+    closed: bool,
+    tee: Tee<D>,
+    journal: Journal,
+}
+
+impl<D: ExchangeData> InputShared<D> {
+    fn flush(&mut self) {
+        for pusher in self.tee.borrow_mut().iter_mut() {
+            pusher.flush();
+        }
+    }
+}
+
+/// The external producer's handle to an input stage (§4.1's `OnNext` /
+/// `OnCompleted` pattern).
+///
+/// Dropping the handle closes the input if `close` was not called, so a
+/// dataflow can always drain and shut down cleanly.
+pub struct InputHandle<D: ExchangeData> {
+    shared: Rc<RefCell<InputShared<D>>>,
+}
+
+impl<D: ExchangeData> InputHandle<D> {
+    /// Supplies one record for the current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is closed.
+    pub fn send(&mut self, record: D) {
+        let shared = self.shared.borrow_mut();
+        assert!(!shared.closed, "send on a closed input");
+        let time = Timestamp::new(shared.epoch);
+        for pusher in shared.tee.borrow_mut().iter_mut() {
+            pusher.give(time, record.clone());
+        }
+    }
+
+    /// Supplies a batch of records for the current epoch.
+    pub fn send_batch(&mut self, records: impl IntoIterator<Item = D>) {
+        for r in records {
+            self.send(r);
+        }
+    }
+
+    /// Marks every epoch before `epoch` complete (§2.1: the producer
+    /// notifies the input vertex that an epoch is finished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is not beyond the current epoch, or the input is
+    /// closed.
+    pub fn advance_to(&mut self, epoch: u64) {
+        let mut shared = self.shared.borrow_mut();
+        assert!(!shared.closed, "advance_to on a closed input");
+        assert!(
+            epoch > shared.epoch,
+            "advance_to({epoch}) does not advance past epoch {}",
+            shared.epoch
+        );
+        shared.flush();
+        // §2.3: add the new epoch's pointstamp, then retire the old one,
+        // permitting downstream notifications for the completed epoch.
+        let stage = shared.stage;
+        let old = shared.epoch;
+        journal_update(
+            &shared.journal,
+            Pointstamp::at_vertex(Timestamp::new(epoch), stage),
+            1,
+        );
+        journal_update(
+            &shared.journal,
+            Pointstamp::at_vertex(Timestamp::new(old), stage),
+            -1,
+        );
+        shared.epoch = epoch;
+    }
+
+    /// Closes the input: no more records from any epoch (§2.1).
+    ///
+    /// Idempotent.
+    pub fn close(&mut self) {
+        let mut shared = self.shared.borrow_mut();
+        if shared.closed {
+            return;
+        }
+        shared.flush();
+        let stage = shared.stage;
+        let epoch = shared.epoch;
+        journal_update(
+            &shared.journal,
+            Pointstamp::at_vertex(Timestamp::new(epoch), stage),
+            -1,
+        );
+        shared.closed = true;
+    }
+
+    /// The current (incomplete) epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.borrow().epoch
+    }
+
+    /// Whether the input has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.shared.borrow().closed
+    }
+
+    /// The input's stage id.
+    pub fn stage(&self) -> StageId {
+        self.shared.borrow().stage
+    }
+}
+
+impl<D: ExchangeData> Drop for InputHandle<D> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

@@ -1,0 +1,201 @@
+//! Loop contexts: ingress, egress, and feedback stages (§2.1, §4.3).
+//!
+//! A [`LoopContext`] scopes a cyclic sub-graph. Streams *enter* it
+//! (gaining a loop counter fixed at 0), circulate through *feedback*
+//! (which increments the counter), and *leave* (dropping the counter).
+//! Only the feedback stage may have its output connected before its input,
+//! which is what makes every cycle well-formed (§4.3).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use naiad_wire::ExchangeData;
+
+use crate::graph::{ContextId, StageId};
+use crate::runtime::channels::Pact;
+
+use super::ops::{install, new_output_stream};
+use super::ports::InputPort;
+use super::{Notify, Scope, Stream};
+
+/// A loop context under construction.
+pub struct LoopContext {
+    scope: Scope,
+    context: ContextId,
+}
+
+impl Scope {
+    /// Opens a loop context nested in `parent` (use
+    /// [`ContextId::ROOT`] for a top-level loop, or an inner stream's
+    /// [`Stream::context`](super::Stream::context) when nesting).
+    pub fn loop_context(&mut self, parent: ContextId) -> LoopContext {
+        let context = self.inner.borrow_mut().builder.add_context(parent);
+        LoopContext {
+            scope: self.clone_ref(),
+            context,
+        }
+    }
+}
+
+impl LoopContext {
+    /// The context id, used to nest further loops.
+    pub fn context(&self) -> ContextId {
+        self.context
+    }
+
+    /// Brings a stream from the parent context into the loop through an
+    /// ingress stage: `(e, ⟨c…⟩) → (e, ⟨c…, 0⟩)`.
+    pub fn enter<D: ExchangeData>(&self, stream: &Stream<D>) -> Stream<D> {
+        let stage = {
+            let mut inner = self.scope.inner.borrow_mut();
+            inner.builder.add_ingress("Ingress", self.context)
+        };
+        let mut input = stream.connect_to(stage, 0, Pact::Pipeline);
+        let (out_stream, output) = new_output_stream::<D>(&self.scope, stage, self.context);
+        let notify = self.system_notify(stage);
+        let pump = Box::new(move || {
+            let mut out = output.borrow_mut();
+            input.for_each(|time, data| {
+                out.session(time.entered()).give_vec(data);
+            });
+            input.settle();
+            out.flush();
+            input.take_worked()
+        });
+        install(
+            &self.scope,
+            stage,
+            "Ingress",
+            notify,
+            pump,
+            Box::new(|_| {}),
+        );
+        out_stream
+    }
+
+    /// Returns a stream to the parent context through an egress stage:
+    /// `(e, ⟨c…, cₖ⟩) → (e, ⟨c…⟩)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is not in this context.
+    pub fn leave<D: ExchangeData>(&self, stream: &Stream<D>) -> Stream<D> {
+        assert_eq!(
+            stream.context, self.context,
+            "leave requires an inner stream"
+        );
+        let (stage, parent) = {
+            let mut inner = self.scope.inner.borrow_mut();
+            let stage = inner.builder.add_egress("Egress", self.context);
+            let parent = inner
+                .builder
+                .context_parent(self.context)
+                .expect("loop contexts always have a parent");
+            (stage, parent)
+        };
+        let mut input = stream.connect_to(stage, 0, Pact::Pipeline);
+        let (out_stream, output) = new_output_stream::<D>(&self.scope, stage, parent);
+        let notify = self.system_notify(stage);
+        let pump = Box::new(move || {
+            let mut out = output.borrow_mut();
+            input.for_each(|time, data| {
+                let left = time.left().expect("egress input carries a loop counter");
+                out.session(left).give_vec(data);
+            });
+            input.settle();
+            out.flush();
+            input.take_worked()
+        });
+        install(&self.scope, stage, "Egress", notify, pump, Box::new(|_| {}));
+        out_stream
+    }
+
+    /// Creates the loop's feedback stage: `(e, ⟨c…, cₖ⟩) → (e, ⟨c…, cₖ+1⟩)`.
+    ///
+    /// Returns the handle used to connect the loop body's result back into
+    /// the cycle, and the stream of fed-back records. Records whose
+    /// incremented counter reaches `max_iterations` are dropped, bounding
+    /// the loop.
+    pub fn feedback<D: ExchangeData>(
+        &self,
+        max_iterations: Option<u64>,
+    ) -> (FeedbackHandle<D>, Stream<D>) {
+        let stage = {
+            let mut inner = self.scope.inner.borrow_mut();
+            inner.builder.add_feedback("Feedback", self.context)
+        };
+        let (out_stream, output) = new_output_stream::<D>(&self.scope, stage, self.context);
+        let notify = self.system_notify(stage);
+        let slot: Rc<RefCell<Option<InputPort<D>>>> = Rc::new(RefCell::new(None));
+        let pump_slot = slot.clone();
+        let pump = Box::new(move || {
+            let mut slot = pump_slot.borrow_mut();
+            let Some(input) = slot.as_mut() else {
+                return false;
+            };
+            let mut out = output.borrow_mut();
+            input.for_each(|time, data| {
+                let next = time
+                    .incremented()
+                    .expect("feedback input carries a loop counter");
+                let iteration = *next.counters.as_slice().last().expect("loop counter");
+                if max_iterations.is_none_or(|max| iteration < max) {
+                    out.session(next).give_vec(data);
+                }
+            });
+            input.settle();
+            out.flush();
+            input.take_worked()
+        });
+        install(
+            &self.scope,
+            stage,
+            "Feedback",
+            notify,
+            pump,
+            Box::new(|_| {}),
+        );
+        (
+            FeedbackHandle {
+                stage,
+                context: self.context,
+                slot,
+            },
+            out_stream,
+        )
+    }
+
+    fn system_notify(&self, stage: StageId) -> Notify {
+        let inner = self.scope.inner.borrow();
+        Notify::new(stage, inner.journal.clone())
+    }
+}
+
+/// The dangling input of a feedback stage.
+///
+/// Dropping the handle without calling [`FeedbackHandle::connect`] leaves
+/// the feedback input unconnected, which
+/// [`Worker::dataflow`](crate::runtime::Worker::dataflow) rejects when it
+/// validates the graph.
+pub struct FeedbackHandle<D: ExchangeData> {
+    stage: StageId,
+    context: ContextId,
+    slot: Rc<RefCell<Option<InputPort<D>>>>,
+}
+
+impl<D: ExchangeData> FeedbackHandle<D> {
+    /// Closes the cycle: records of `stream` re-enter the loop with their
+    /// counter incremented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` is outside this loop context.
+    pub fn connect(self, stream: &Stream<D>) {
+        assert_eq!(
+            stream.context, self.context,
+            "feedback must be fed from inside its loop context"
+        );
+        let input = stream.connect_to(self.stage, 0, Pact::Pipeline);
+        *self.slot.borrow_mut() = Some(input);
+    }
+}

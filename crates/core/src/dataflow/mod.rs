@@ -1,0 +1,408 @@
+//! The typed graph-assembly interface (§4.3).
+//!
+//! A dataflow is built inside [`Worker::dataflow`](crate::runtime::Worker::dataflow):
+//! the closure receives a [`Scope`], creates input stages, derives
+//! [`Stream`]s through operators, and wires loops through
+//! [`LoopContext`]s. Each worker runs the same
+//! construction code, producing its own vertex per stage — the physical
+//! expansion of §3.1.
+//!
+//! Operators are built from closures over typed ports:
+//!
+//! * `OnRecv` logic drains an [`InputPort`] and writes an [`OutputPort`];
+//! * `OnNotify` logic runs when the system guarantees no further messages
+//!   at or before the requested time (§2.2), requested through [`Notify`].
+
+pub mod builder;
+pub mod input;
+pub mod loops;
+pub mod ops;
+pub mod output;
+mod ports;
+
+pub use input::InputHandle;
+pub use loops::LoopContext;
+pub use output::ProbeHandle;
+pub use ports::{InputPort, OutputPort, Session};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use naiad_wire::ExchangeData;
+
+use crate::graph::{ContextId, GraphBuilder, StageId};
+use crate::progress::{Pointstamp, PointstampTable};
+use crate::runtime::channels::{journal_update, Journal, Pact, Puller, Pusher, RoutingContext};
+use crate::runtime::durability::Checkpoint;
+use crate::time::Timestamp;
+
+use ports::{new_tee, Tee};
+
+/// The worker's view of a dataflow's progress state, filled in when the
+/// graph is finalized. Probes and notificators hold clones.
+pub(crate) type TrackerCell = Rc<RefCell<Option<PointstampTable>>>;
+
+/// A handle for requesting notifications at a stage (§2.2's `NotifyAt`).
+///
+/// Cloneable; `OnRecv` logic typically captures one to request future
+/// notifications.
+#[derive(Clone)]
+pub struct Notify {
+    inner: Rc<RefCell<NotifyState>>,
+}
+
+struct NotifyState {
+    stage: StageId,
+    journal: Journal,
+    /// Requested blocking notifications, deduplicated by time.
+    pending: Vec<Timestamp>,
+    /// Requested purge notifications (§2.4: capability time ⊤): delivered
+    /// once the frontier passes, but never counted as occurrences, so they
+    /// introduce no coordination.
+    purge: Vec<Timestamp>,
+}
+
+impl Notify {
+    pub(crate) fn new(stage: StageId, journal: Journal) -> Self {
+        Notify {
+            inner: Rc::new(RefCell::new(NotifyState {
+                stage,
+                journal,
+                pending: Vec::new(),
+                purge: Vec::new(),
+            })),
+        }
+    }
+
+    /// Requests that `OnNotify` run once no more messages at or before
+    /// `time` can arrive. Duplicate requests for the same time coalesce.
+    pub fn notify_at(&self, time: Timestamp) {
+        let mut state = self.inner.borrow_mut();
+        if !state.pending.contains(&time) {
+            state.pending.push(time);
+            let p = Pointstamp::at_vertex(time, state.stage);
+            journal_update(&state.journal, p, 1);
+        }
+    }
+
+    /// Requests a *purge* notification (§2.4): guaranteed not to run
+    /// before `time`, but carrying no capability to send — so it does not
+    /// hold back the frontier. Use it to free state for completed times.
+    pub fn notify_at_purge(&self, time: Timestamp) {
+        let mut state = self.inner.borrow_mut();
+        if !state.purge.contains(&time) {
+            state.purge.push(time);
+        }
+    }
+
+    /// Removes and returns notifications that are now deliverable:
+    /// `(time, blocking)` pairs, blocking ones first.
+    pub(crate) fn take_ready(&self, tracker: &PointstampTable) -> Vec<(Timestamp, bool)> {
+        let mut state = self.inner.borrow_mut();
+        let stage = state.stage;
+        let mut ready = Vec::new();
+        state.pending.retain(|&t| {
+            if tracker.notification_ready(&Pointstamp::at_vertex(t, stage)) {
+                ready.push((t, true));
+                false
+            } else {
+                true
+            }
+        });
+        state.purge.retain(|&t| {
+            if tracker.done_through(&t, crate::graph::Location::Vertex(stage)) {
+                ready.push((t, false));
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+
+    /// Journals the retirement of a delivered blocking notification; runs
+    /// after the `OnNotify` logic completes (§2.3).
+    pub(crate) fn retire(&self, time: Timestamp) {
+        let state = self.inner.borrow();
+        let p = Pointstamp::at_vertex(time, state.stage);
+        journal_update(&state.journal, p, -1);
+    }
+}
+
+/// Registered checkpointable states, in registration order (identical
+/// across workers by the SPMD contract, so blobs line up on restore).
+pub(crate) type StateRegistry = Rc<RefCell<Vec<(StageId, Rc<RefCell<dyn Checkpoint>>)>>>;
+
+/// Construction-time facts handed to operator constructors.
+pub struct OperatorInfo {
+    /// The stage the operator instantiates.
+    pub stage: StageId,
+    /// Notification handle for this vertex.
+    pub notify: Notify,
+    /// This worker's global index.
+    pub worker_index: usize,
+    /// Total workers cooperating on the dataflow.
+    pub peers: usize,
+    states: StateRegistry,
+}
+
+impl OperatorInfo {
+    pub(crate) fn new(
+        stage: StageId,
+        notify: Notify,
+        worker_index: usize,
+        peers: usize,
+        states: StateRegistry,
+    ) -> Self {
+        OperatorInfo {
+            stage,
+            notify,
+            worker_index,
+            peers,
+            states,
+        }
+    }
+
+    /// Registers vertex state for checkpointing (§3.4): the state is
+    /// serialized by [`Worker::checkpoint`](crate::runtime::Worker::checkpoint)
+    /// and reloaded by [`Worker::restore`](crate::runtime::Worker::restore).
+    ///
+    /// Registration order must match across workers and runs — it does
+    /// automatically when every worker runs the same construction code.
+    pub fn register_state(&self, state: Rc<RefCell<dyn Checkpoint>>) {
+        self.states.borrow_mut().push((self.stage, state));
+    }
+}
+
+/// The type-erased vertex harness a worker schedules.
+pub(crate) trait OpCore {
+    /// The stage this vertex belongs to (diagnostic surface).
+    #[allow(dead_code)]
+    fn stage(&self) -> StageId;
+    /// Debug name (diagnostic surface).
+    #[allow(dead_code)]
+    fn name(&self) -> &str;
+    /// Drains queued input, runs `OnRecv` logic, flushes outputs.
+    /// Returns whether any batch was processed.
+    fn pump(&mut self) -> bool;
+    /// The notification state.
+    fn notify_handle(&self) -> &Notify;
+    /// Runs `OnNotify` logic for a deliverable time.
+    fn deliver(&mut self, time: Timestamp);
+}
+
+/// A generic vertex harness built from two closures.
+pub(crate) struct CoreImpl {
+    stage: StageId,
+    name: String,
+    pump_fn: Box<dyn FnMut() -> bool>,
+    deliver_fn: Box<dyn FnMut(Timestamp)>,
+    notify: Notify,
+}
+
+impl CoreImpl {
+    pub(crate) fn new(
+        stage: StageId,
+        name: String,
+        notify: Notify,
+        pump_fn: Box<dyn FnMut() -> bool>,
+        deliver_fn: Box<dyn FnMut(Timestamp)>,
+    ) -> Self {
+        CoreImpl {
+            stage,
+            name,
+            pump_fn,
+            deliver_fn,
+            notify,
+        }
+    }
+}
+
+impl OpCore for CoreImpl {
+    fn stage(&self) -> StageId {
+        self.stage
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn pump(&mut self) -> bool {
+        (self.pump_fn)()
+    }
+    fn notify_handle(&self) -> &Notify {
+        &self.notify
+    }
+    fn deliver(&mut self, time: Timestamp) {
+        (self.deliver_fn)(time);
+    }
+}
+
+/// The dataflow under construction.
+///
+/// Created by [`Worker::dataflow`](crate::runtime::Worker::dataflow);
+/// cloned freely into [`Stream`]s.
+pub struct Scope {
+    pub(crate) inner: Rc<RefCell<ScopeInner>>,
+}
+
+pub(crate) struct ScopeInner {
+    pub(crate) builder: GraphBuilder,
+    pub(crate) routing: RoutingContext,
+    pub(crate) journal: Journal,
+    pub(crate) tracker: TrackerCell,
+    pub(crate) ops: Vec<Rc<RefCell<dyn OpCore>>>,
+    pub(crate) states: StateRegistry,
+    next_channel: usize,
+}
+
+impl Scope {
+    pub(crate) fn new(routing: RoutingContext, journal: Journal, tracker: TrackerCell) -> Self {
+        Scope {
+            inner: Rc::new(RefCell::new(ScopeInner {
+                builder: GraphBuilder::new(),
+                routing,
+                journal,
+                tracker,
+                ops: Vec::new(),
+                states: Rc::new(RefCell::new(Vec::new())),
+                next_channel: 0,
+            })),
+        }
+    }
+
+    /// This worker's global index.
+    pub fn worker_index(&self) -> usize {
+        self.inner.borrow().routing.my_index
+    }
+
+    /// Total number of workers cooperating on this dataflow.
+    pub fn peers(&self) -> usize {
+        self.inner.borrow().routing.peers
+    }
+
+    pub(crate) fn clone_ref(&self) -> Scope {
+        Scope {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Validates the constructed graph and takes ownership of the vertex
+    /// harnesses; called by the worker when the construction closure
+    /// returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph fails structural validation.
+    pub(crate) fn finalize(
+        &self,
+    ) -> (
+        crate::graph::LogicalGraph,
+        Vec<Rc<RefCell<dyn OpCore>>>,
+        StateRegistry,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let builder = std::mem::replace(&mut inner.builder, GraphBuilder::new());
+        let ops = std::mem::take(&mut inner.ops);
+        let states = inner.states.clone();
+        drop(inner);
+        let graph = builder
+            .build()
+            .unwrap_or_else(|e| panic!("invalid dataflow graph: {e}"));
+        (graph, ops, states)
+    }
+}
+
+impl ScopeInner {
+    pub(crate) fn alloc_channel(&mut self) -> usize {
+        let c = self.next_channel;
+        self.next_channel += 1;
+        c
+    }
+}
+
+/// A typed stream of records produced by one stage output.
+///
+/// Streams are cheap handles: cloning shares the underlying output.
+pub struct Stream<D> {
+    pub(crate) stage: StageId,
+    pub(crate) port: usize,
+    pub(crate) context: ContextId,
+    pub(crate) tee: Tee<D>,
+    pub(crate) scope: Scope,
+}
+
+impl<D> Clone for Stream<D> {
+    fn clone(&self) -> Self {
+        Stream {
+            stage: self.stage,
+            port: self.port,
+            context: self.context,
+            tee: self.tee.clone(),
+            scope: self.scope.clone_ref(),
+        }
+    }
+}
+
+impl<D: ExchangeData> Stream<D> {
+    /// Creates a stream for a freshly added stage output.
+    pub(crate) fn new(stage: StageId, port: usize, context: ContextId, scope: Scope) -> Self {
+        Stream {
+            stage,
+            port,
+            context,
+            tee: new_tee(),
+            scope,
+        }
+    }
+
+    /// Creates a stream over an existing tee (used by the generic
+    /// builder, whose output ports and streams share one fan-out point).
+    pub(crate) fn from_parts(
+        stage: StageId,
+        port: usize,
+        context: ContextId,
+        tee: ports::Tee<D>,
+        scope: &Scope,
+    ) -> Self {
+        Stream {
+            stage,
+            port,
+            context,
+            tee,
+            scope: scope.clone_ref(),
+        }
+    }
+
+    /// The stage producing this stream.
+    pub fn stage(&self) -> StageId {
+        self.stage
+    }
+
+    /// The loop context the stream lives in.
+    pub fn context(&self) -> ContextId {
+        self.context
+    }
+
+    /// The scope this stream belongs to.
+    pub fn scope(&self) -> Scope {
+        self.scope.clone_ref()
+    }
+
+    /// Wires this stream into `dst`'s input `port` under `pact`,
+    /// returning the receiving port for the consuming vertex.
+    pub(crate) fn connect_to(&self, dst: StageId, port: usize, pact: Pact<D>) -> InputPort<D> {
+        let mut inner = self.scope.inner.borrow_mut();
+        let connector = inner.builder.connect(self.stage, self.port, dst, port);
+        let channel = inner.alloc_channel();
+        let pusher = Pusher::new(
+            &inner.routing,
+            channel,
+            connector,
+            pact,
+            inner.journal.clone(),
+        );
+        let puller = Puller::new(&inner.routing, channel, connector, inner.journal.clone());
+        drop(inner);
+        self.tee.borrow_mut().push(pusher);
+        InputPort::new(puller)
+    }
+}

@@ -1,0 +1,149 @@
+//! Typed operator ports.
+//!
+//! User vertex logic sees its connectors through an [`InputPort`] (queued
+//! `OnRecv` batches) and an [`OutputPort`] (the `SendBy` side, fanning out
+//! to every downstream connector attached to the stage output).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use naiad_wire::ExchangeData;
+
+use crate::runtime::channels::{Puller, Pusher};
+use crate::time::Timestamp;
+
+/// The shared fan-out point of a stage output: one pusher per downstream
+/// connector, attached as consumers are built.
+pub(crate) type Tee<D> = Rc<RefCell<Vec<Pusher<D>>>>;
+
+/// Creates an empty tee.
+pub(crate) fn new_tee<D>() -> Tee<D> {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// The receiving side of a connector, handed to vertex logic.
+///
+/// Each call to [`InputPort::next`] delivers one timestamped batch; the
+/// previous batch's retirement is journaled at that point (its `OnRecv`
+/// completed). The harness settles the final batch after the logic
+/// returns.
+pub struct InputPort<D> {
+    puller: Puller<D>,
+    worked: bool,
+}
+
+impl<D: ExchangeData> InputPort<D> {
+    pub(crate) fn new(puller: Puller<D>) -> Self {
+        InputPort {
+            puller,
+            worked: false,
+        }
+    }
+
+    /// The next queued batch, if any.
+    ///
+    /// Deliberately named like `Iterator::next` — vertex logic reads as a
+    /// queue drain — but an `Iterator` impl would hide the settle
+    /// discipline, so the port is not one.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Timestamp, Vec<D>)> {
+        let message = self.puller.pull()?;
+        self.worked = true;
+        Some((message.time, message.data))
+    }
+
+    /// Applies `logic` to every queued batch.
+    pub fn for_each(&mut self, mut logic: impl FnMut(Timestamp, Vec<D>)) {
+        while let Some((time, data)) = self.next() {
+            logic(time, data);
+        }
+    }
+
+    /// Journals the retirement of the last delivered batch.
+    pub(crate) fn settle(&mut self) {
+        self.puller.settle();
+    }
+
+    /// Unwraps the underlying puller (used by the generic builder).
+    pub(crate) fn into_puller(self) -> Puller<D> {
+        self.puller
+    }
+
+    /// Whether any batch was delivered since the last reset.
+    pub(crate) fn take_worked(&mut self) -> bool {
+        std::mem::take(&mut self.worked)
+    }
+}
+
+/// The sending side of a stage output, handed to vertex logic.
+pub struct OutputPort<D> {
+    tee: Tee<D>,
+}
+
+impl<D: ExchangeData> OutputPort<D> {
+    pub(crate) fn new(tee: Tee<D>) -> Self {
+        OutputPort { tee }
+    }
+
+    /// Opens a session sending records at `time`.
+    ///
+    /// Vertex logic must only use times greater than or equal to the time
+    /// of the event being processed (§2.2); the progress tracker's
+    /// correctness depends on it.
+    pub fn session(&mut self, time: Timestamp) -> Session<'_, D> {
+        Session {
+            tee: &self.tee,
+            time,
+        }
+    }
+
+    /// Sends one record at `time`.
+    pub fn give(&mut self, time: Timestamp, record: D) {
+        self.session(time).give(record);
+    }
+
+    /// Flushes every attached pusher's buffers.
+    pub(crate) fn flush(&mut self) {
+        for pusher in self.tee.borrow_mut().iter_mut() {
+            pusher.flush();
+        }
+    }
+}
+
+/// A borrowed sending session at a fixed timestamp.
+pub struct Session<'a, D> {
+    tee: &'a Tee<D>,
+    time: Timestamp,
+}
+
+impl<D: ExchangeData> Session<'_, D> {
+    /// Sends one record.
+    pub fn give(&mut self, record: D) {
+        let mut pushers = self.tee.borrow_mut();
+        let n = pushers.len();
+        if n == 0 {
+            return; // No consumers: records are dropped, like Naiad.
+        }
+        for pusher in pushers.iter_mut().take(n - 1) {
+            pusher.give(self.time, record.clone());
+        }
+        pushers[n - 1].give(self.time, record);
+    }
+
+    /// Sends every record from an iterator.
+    pub fn give_iterator(&mut self, records: impl IntoIterator<Item = D>) {
+        for r in records {
+            self.give(r);
+        }
+    }
+
+    /// Sends a vector of records.
+    pub fn give_vec(&mut self, records: Vec<D>) {
+        self.give_iterator(records);
+    }
+
+    /// The session's timestamp.
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+}

@@ -1,0 +1,79 @@
+//! Naiad: a timely dataflow system, reproduced in Rust.
+//!
+//! This crate implements the computational model and distributed runtime of
+//! *Naiad: A Timely Dataflow System* (Murray et al., SOSP 2013):
+//!
+//! * [`time`] — logical timestamps `(epoch, ⟨loop counters⟩)` (§2.1),
+//! * [`order`] — partial orders, antichains, frontiers,
+//! * [`summary`] — canonical path summaries (§2.3),
+//! * [`graph`] — logical graphs, loop contexts, structural validation, and
+//!   the could-result-in relation (§2.1, §2.3),
+//! * [`progress`] — the pointstamp tracker (occurrence and precursor
+//!   counts, §2.3) and the distributed progress protocol with update
+//!   accumulation (§3.3),
+//! * [`runtime`] — workers, exchange channels, fault tolerance (§3),
+//! * [`dataflow`] — the typed graph-assembly interface (§4.3).
+//!
+//! # Examples
+//!
+//! A two-worker computation that routes records by parity and reports
+//! each epoch's records as the epoch completes:
+//!
+//! ```
+//! use naiad::dataflow::{InputPort, OutputPort};
+//! use naiad::runtime::Pact;
+//! use naiad::{execute, Config};
+//!
+//! let results = execute(Config::single_process(2), |worker| {
+//!     let (mut input, captured) = worker.dataflow(|scope| {
+//!         let (input, stream) = scope.new_input::<u64>();
+//!         let doubled = stream.unary(
+//!             Pact::exchange(|x: &u64| *x),
+//!             "Double",
+//!             |_info| {
+//!                 |input: &mut InputPort<u64>, output: &mut OutputPort<u64>| {
+//!                     input.for_each(|time, data| {
+//!                         output
+//!                             .session(time)
+//!                             .give_iterator(data.into_iter().map(|x| x * 2));
+//!                     });
+//!                 }
+//!             },
+//!         );
+//!         (input, doubled.capture())
+//!     });
+//!     if worker.index() == 0 {
+//!         input.send_batch([1, 2, 3]);
+//!     }
+//!     input.close();
+//!     worker.step_until_done();
+//!     let result = captured.borrow().clone();
+//!     result
+//! })
+//! .unwrap();
+//! let mut all: Vec<u64> = results
+//!     .into_iter()
+//!     .flatten()
+//!     .flat_map(|(_, data)| data)
+//!     .collect();
+//! all.sort_unstable();
+//! assert_eq!(all, vec![2, 4, 6]);
+//! ```
+
+pub mod dataflow;
+pub mod graph;
+pub mod order;
+pub mod progress;
+pub mod runtime;
+pub mod summary;
+pub mod time;
+
+pub use dataflow::{InputHandle, ProbeHandle, Scope, Stream};
+pub use order::{Antichain, MutableAntichain, PartialOrder};
+pub use runtime::execute::{execute, execute_with_metrics};
+pub use runtime::{Config, Pact, Worker};
+pub use time::Timestamp;
+
+/// Re-export of the wire codec used for exchanged records.
+pub use naiad_wire as wire;
+pub use naiad_wire::ExchangeData;

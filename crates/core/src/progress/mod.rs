@@ -1,0 +1,126 @@
+//! Progress tracking (§2.3) and the distributed progress protocol (§3.3).
+//!
+//! Every unprocessed event — a message on a connector or a requested
+//! notification at a stage — carries a [`Pointstamp`]. The
+//! [`tracker::PointstampTable`] maintains occurrence and precursor counts
+//! over active pointstamps and exposes the *frontier*: pointstamps no other
+//! active pointstamp could-result-in, whose notifications are safe to
+//! deliver.
+//!
+//! In the distributed runtime each worker holds a local table fed
+//! exclusively by broadcast [`ProgressUpdate`]s (§3.3); the
+//! [`protocol`] module implements the update encoding and the buffering
+//! accumulators whose traffic Figure 6c measures.
+
+pub mod protocol;
+pub mod tracker;
+
+pub use protocol::{Accumulator, ProgressBatch, ProgressMode};
+pub use tracker::PointstampTable;
+
+use naiad_wire::{Wire, WireError};
+
+use crate::graph::{ConnectorId, Location, StageId};
+use crate::time::Timestamp;
+
+/// A timestamp at a location: the coordinate of an unprocessed event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Pointstamp {
+    /// The event's logical timestamp.
+    pub time: Timestamp,
+    /// The (projected) location: a stage for notifications, a connector
+    /// for messages.
+    pub location: Location,
+}
+
+impl Pointstamp {
+    /// A message pointstamp on a connector.
+    pub fn on_edge(time: Timestamp, connector: ConnectorId) -> Self {
+        Pointstamp {
+            time,
+            location: Location::Edge(connector),
+        }
+    }
+
+    /// A notification pointstamp at a stage.
+    pub fn at_vertex(time: Timestamp, stage: StageId) -> Self {
+        Pointstamp {
+            time,
+            location: Location::Vertex(stage),
+        }
+    }
+}
+
+impl Wire for Pointstamp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self.location {
+            Location::Vertex(s) => {
+                buf.push(0);
+                s.0.encode(buf);
+            }
+            Location::Edge(c) => {
+                buf.push(1);
+                c.0.encode(buf);
+            }
+        }
+        self.time.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let (&tag, rest) = input.split_first().ok_or(WireError::UnexpectedEof)?;
+        *input = rest;
+        let location = match tag {
+            0 => Location::Vertex(StageId(usize::decode(input)?)),
+            1 => Location::Edge(ConnectorId(usize::decode(input)?)),
+            other => return Err(WireError::InvalidTag(other)),
+        };
+        Ok(Pointstamp {
+            time: Timestamp::decode(input)?,
+            location,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        let loc = match self.location {
+            Location::Vertex(s) => s.0.encoded_len(),
+            Location::Edge(c) => c.0.encoded_len(),
+        };
+        1 + loc + self.time.encoded_len()
+    }
+}
+
+/// A signed change to a pointstamp's occurrence count (§3.3).
+pub type ProgressUpdate = (Pointstamp, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointstamps_roundtrip() {
+        let ps = [
+            Pointstamp::at_vertex(Timestamp::new(3), StageId(7)),
+            Pointstamp::on_edge(Timestamp::with_counters(1, &[4, 2]), ConnectorId(0)),
+        ];
+        for p in ps {
+            let bytes = naiad_wire::encode_to_vec(&p);
+            assert_eq!(bytes.len(), p.encoded_len());
+            assert_eq!(
+                naiad_wire::decode_from_slice::<Pointstamp>(&bytes).unwrap(),
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn pointstamp_rejects_bad_location_tag() {
+        assert!(naiad_wire::decode_from_slice::<Pointstamp>(&[2, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn small_pointstamps_encode_compactly() {
+        // Stage 3, epoch 5, no counters: tag + stage + epoch + len = 4 bytes.
+        let p = Pointstamp::at_vertex(Timestamp::new(5), StageId(3));
+        assert_eq!(p.encoded_len(), 4);
+    }
+}

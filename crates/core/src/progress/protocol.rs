@@ -1,0 +1,492 @@
+//! The distributed progress-tracking protocol (§3.3).
+//!
+//! Workers never mutate their pointstamp tables directly: every occurrence
+//! change is broadcast as a `(Pointstamp, δ)` update, FIFO per sender, and
+//! applied on receipt — including by the sender itself. A naive
+//! implementation broadcasts every update; the paper's two optimizations
+//! are (1) projecting pointstamps to the logical graph, which this entire
+//! reproduction does throughout, and (2) *accumulating* updates in buffers
+//! before broadcasting.
+//!
+//! [`Accumulator`] implements the buffering rule: a buffered update at
+//! pointstamp `p` may be held as long as
+//!
+//! * some *other* pointstamp that is active in the accumulator's local
+//!   view (flushed or observed updates — §3.3's "local frontier", by
+//!   transitivity and minimality) could-result-in `p`, or
+//! * the update is positive and `p` itself is active in the view (§3.3's
+//!   strictly-positive net count: the creation cannot move any frontier).
+//!
+//! Covers are drawn from the *view* only, never from other buffered
+//! updates: a buffer must not justify itself, or the initial input
+//! pointstamps would never be broadcast and no notification could ever be
+//! delivered. Self-cover is restricted to positive deltas for the same
+//! reason — the retirement of a minimal active pointstamp must flush, or
+//! the global frontier would never advance.
+//!
+//! When a deposit or observation violates the rule the whole buffer
+//! flushes, positive deltas before negative ones. Flushing everything
+//! atomically preserves each sender's causal order (a message's
+//! consequences are deposited before its retirement), which is what makes
+//! any holding policy safe.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use naiad_wire::{Wire, WireError};
+
+use crate::graph::LogicalGraph;
+
+use super::{Pointstamp, ProgressUpdate};
+
+/// Which accumulation topology the runtime uses (Figure 6c's four lines).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProgressMode {
+    /// No accumulation: every worker broadcast goes to every worker
+    /// directly ("None" in Figure 6c).
+    Broadcast,
+    /// A per-process accumulator combines its workers' updates before
+    /// broadcasting ("LocalAcc"). The paper's default, together with
+    /// [`ProgressMode::LocalGlobal`].
+    #[default]
+    Local,
+    /// A cluster-level central accumulator combines all processes' updates
+    /// and broadcasts their net effect ("GlobalAcc").
+    Global,
+    /// Both levels: process accumulators feed the central accumulator
+    /// ("Local+GlobalAcc").
+    LocalGlobal,
+}
+
+impl ProgressMode {
+    /// Whether a per-process accumulator is interposed.
+    pub fn local(&self) -> bool {
+        matches!(self, ProgressMode::Local | ProgressMode::LocalGlobal)
+    }
+
+    /// Whether the cluster-level accumulator is interposed.
+    pub fn global(&self) -> bool {
+        matches!(self, ProgressMode::Global | ProgressMode::LocalGlobal)
+    }
+
+    /// The label Figure 6c uses for this mode.
+    pub fn figure_label(&self) -> &'static str {
+        match self {
+            ProgressMode::Broadcast => "None",
+            ProgressMode::Local => "LocalAcc",
+            ProgressMode::Global => "GlobalAcc",
+            ProgressMode::LocalGlobal => "Local+GlobalAcc",
+        }
+    }
+}
+
+/// A batch of progress updates from one sender.
+///
+/// The sequence number makes per-sender FIFO delivery checkable downstream
+/// (the fabric already guarantees it; the runtime asserts it in debug
+/// builds, mirroring Naiad's idempotent sequenced delivery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgressBatch {
+    /// Identifier of the sending worker or accumulator.
+    pub sender: u32,
+    /// Per-sender sequence number, starting at zero.
+    pub seq: u64,
+    /// The dataflow whose tracker these updates feed.
+    pub dataflow: u32,
+    /// The updates, applied atomically by receivers.
+    pub updates: Vec<ProgressUpdate>,
+}
+
+impl Wire for ProgressBatch {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.sender.encode(buf);
+        self.seq.encode(buf);
+        self.dataflow.encode(buf);
+        self.updates.len().encode(buf);
+        for (p, delta) in &self.updates {
+            p.encode(buf);
+            delta.encode(buf);
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let sender = u32::decode(input)?;
+        let seq = u64::decode(input)?;
+        let dataflow = u32::decode(input)?;
+        let len = usize::decode(input)?;
+        if len > input.len() {
+            return Err(WireError::LengthOverrun {
+                declared: len,
+                remaining: input.len(),
+            });
+        }
+        let mut updates = Vec::with_capacity(len);
+        for _ in 0..len {
+            let p = Pointstamp::decode(input)?;
+            let delta = i64::decode(input)?;
+            updates.push((p, delta));
+        }
+        Ok(ProgressBatch {
+            sender,
+            seq,
+            dataflow,
+            updates,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.sender.encoded_len()
+            + self.seq.encoded_len()
+            + self.dataflow.encoded_len()
+            + self.updates.len().encoded_len()
+            + self
+                .updates
+                .iter()
+                .map(|(p, d)| p.encoded_len() + d.encoded_len())
+                .sum::<usize>()
+    }
+}
+
+/// A buffering accumulator for progress updates (§3.3, optimization 2).
+///
+/// One instance serves a *group* of senders — a process's workers, or all
+/// processes at the cluster level. Deposits combine by pointstamp; the
+/// buffer drains when the safety condition in the module docs would be
+/// violated, or on an explicit [`Accumulator::flush`].
+#[derive(Debug)]
+pub struct Accumulator {
+    graph: Arc<LogicalGraph>,
+    /// The accumulator's view of global occurrence counts: everything it
+    /// has flushed (in flight or delivered) plus everything observed from
+    /// other groups.
+    view: HashMap<Pointstamp, i64>,
+    /// Combined, not-yet-forwarded updates.
+    buffer: HashMap<Pointstamp, i64>,
+    /// Whether flushed updates fold into the local view (true unless an
+    /// upstream accumulator echoes this group's own updates back, in which
+    /// case folding would double count — see the runtime's Local+Global
+    /// topology).
+    fold_on_flush: bool,
+}
+
+impl Accumulator {
+    /// An accumulator reasoning over `graph`, with its view initialized to
+    /// the a-priori state of §2.3: one active pointstamp per input vertex
+    /// instance at the first epoch. Initialization is *not* broadcast —
+    /// every participant derives it from the graph — which is what keeps
+    /// early views from being vacuously complete.
+    pub fn new(graph: Arc<LogicalGraph>, total_workers: usize) -> Self {
+        let mut view = HashMap::new();
+        for stage in graph.input_stages() {
+            view.insert(
+                Pointstamp::at_vertex(crate::time::Timestamp::new(0), stage),
+                total_workers as i64,
+            );
+        }
+        Accumulator {
+            graph,
+            view,
+            buffer: HashMap::new(),
+            fold_on_flush: true,
+        }
+    }
+
+    /// Configures whether flushes fold into the local view (see the field
+    /// documentation); defaults to `true`.
+    pub fn set_fold_on_flush(&mut self, fold: bool) {
+        self.fold_on_flush = fold;
+    }
+
+    fn bump(map: &mut HashMap<Pointstamp, i64>, p: Pointstamp, delta: i64) {
+        let e = map.entry(p).or_insert(0);
+        *e += delta;
+        if *e == 0 {
+            map.remove(&p);
+        }
+    }
+
+    /// Records updates that bypassed this accumulator (broadcasts from
+    /// other groups), refining the local view. Per §3.3, receiving new
+    /// updates re-tests the buffering condition; the drained buffer is
+    /// returned if it no longer holds.
+    pub fn observe<'a, I: IntoIterator<Item = &'a ProgressUpdate>>(
+        &mut self,
+        updates: I,
+    ) -> Option<Vec<ProgressUpdate>> {
+        for &(p, delta) in updates {
+            Self::bump(&mut self.view, p, delta);
+        }
+        if self.buffer.is_empty() || self.buffer_is_safe() {
+            None
+        } else {
+            Some(self.flush())
+        }
+    }
+
+    /// Deposits updates for forwarding. Returns the drained buffer if the
+    /// safety condition forces a broadcast, otherwise `None`.
+    pub fn deposit<I: IntoIterator<Item = ProgressUpdate>>(
+        &mut self,
+        updates: I,
+    ) -> Option<Vec<ProgressUpdate>> {
+        for (p, delta) in updates {
+            Self::bump(&mut self.buffer, p, delta);
+        }
+        if self.buffer_is_safe() {
+            None
+        } else {
+            Some(self.flush())
+        }
+    }
+
+    fn buffer_is_safe(&self) -> bool {
+        let summaries = self.graph.summaries();
+        self.buffer.iter().all(|(p, &delta)| {
+            // Self-cover: a creation at a pointstamp everyone already
+            // counts as active changes no frontier.
+            if delta > 0 && self.view.get(p).copied().unwrap_or(0) > 0 {
+                return true;
+            }
+            // Other-cover: a visible-active pointstamp precedes p, so no
+            // frontier can reach p until that cover retires — and its
+            // retirement will re-test this condition.
+            self.view.iter().any(|(q, &c)| {
+                c > 0
+                    && q != p
+                    && summaries.could_result_in(&q.time, q.location, &p.time, p.location)
+            })
+        })
+    }
+
+    /// Drains the buffer: positive deltas first, then negatives (§3.3),
+    /// and folds the drained updates into the local view (they are now in
+    /// flight).
+    pub fn flush(&mut self) -> Vec<ProgressUpdate> {
+        let mut updates: Vec<ProgressUpdate> = self.buffer.drain().collect();
+        updates.sort_by_key(|&(p, delta)| {
+            let mut counters = [0u64; crate::time::MAX_LOOP_DEPTH];
+            counters[..p.time.depth()].copy_from_slice(p.time.counters.as_slice());
+            (delta < 0, p.location, p.time.epoch, counters)
+        });
+        if self.fold_on_flush {
+            for &(p, delta) in &updates {
+                Self::bump(&mut self.view, p, delta);
+            }
+        }
+        updates
+    }
+
+    /// Whether any updates are buffered.
+    pub fn has_buffered(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Number of distinct buffered pointstamps.
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ContextId, GraphBuilder, StageId, StageKind};
+    use crate::time::Timestamp;
+
+    fn ts(epoch: u64) -> Timestamp {
+        Timestamp::new(epoch)
+    }
+
+    /// input(0) → a(1) → b(2), all in the root context.
+    fn chain_graph() -> Arc<LogicalGraph> {
+        let mut g = GraphBuilder::new();
+        let input = g.add_stage("in", StageKind::Input, ContextId::ROOT, 0, 1);
+        let a = g.add_stage("a", StageKind::Regular, ContextId::ROOT, 1, 1);
+        let b = g.add_stage("b", StageKind::Regular, ContextId::ROOT, 1, 0);
+        g.connect(input, 0, a, 0);
+        g.connect(a, 0, b, 0);
+        Arc::new(g.build().unwrap())
+    }
+
+    const INPUT: StageId = StageId(0);
+    const B: StageId = StageId(2);
+
+    #[test]
+    fn batches_roundtrip_on_the_wire() {
+        let batch = ProgressBatch {
+            sender: 3,
+            seq: 17,
+            dataflow: 1,
+            updates: vec![
+                (Pointstamp::at_vertex(ts(0), INPUT), 1),
+                (Pointstamp::at_vertex(ts(0), B), -2),
+            ],
+        };
+        let bytes = naiad_wire::encode_to_vec(&batch);
+        assert_eq!(bytes.len(), batch.encoded_len());
+        assert_eq!(
+            naiad_wire::decode_from_slice::<ProgressBatch>(&bytes).unwrap(),
+            batch
+        );
+    }
+
+    #[test]
+    fn covered_updates_are_held() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        // The view starts with the a-priori epoch-0 input pointstamp, so
+        // downstream activity at B, epoch 0, is covered: +1/−1 churn
+        // accumulates silently.
+        for _ in 0..100 {
+            assert!(acc
+                .deposit([
+                    (Pointstamp::at_vertex(ts(0), B), 1),
+                    (Pointstamp::at_vertex(ts(0), B), -1),
+                ])
+                .is_none());
+        }
+        assert_eq!(acc.buffered_len(), 0, "churn combined to nothing");
+        // Uncancelled covered activity is also held.
+        assert!(acc
+            .deposit([(Pointstamp::at_vertex(ts(0), B), 1)])
+            .is_none());
+        assert_eq!(acc.buffered_len(), 1);
+    }
+
+    #[test]
+    fn retiring_a_frontier_pointstamp_forces_a_flush() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        // Epoch 0 completes: the +1 at epoch 1 is covered by the a-priori
+        // epoch-0 input pointstamp, but the −1 at epoch 0 has only a
+        // self-cover, which negatives may not use — the whole buffer
+        // flushes, positives first.
+        let flushed = acc
+            .deposit([
+                (Pointstamp::at_vertex(ts(1), INPUT), 1),
+                (Pointstamp::at_vertex(ts(0), INPUT), -1),
+            ])
+            .expect("retirement must flush");
+        assert_eq!(
+            flushed,
+            vec![
+                (Pointstamp::at_vertex(ts(1), INPUT), 1),
+                (Pointstamp::at_vertex(ts(0), INPUT), -1),
+            ]
+        );
+        assert!(!acc.has_buffered());
+    }
+
+    #[test]
+    fn unbroadcast_churn_cancels_without_a_flush() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        // With an external cover in place, local churn cancels silently.
+        assert!(acc
+            .observe(&[(Pointstamp::at_vertex(ts(0), INPUT), 1)])
+            .is_none());
+        assert!(acc
+            .deposit([(Pointstamp::at_vertex(ts(0), B), 1)])
+            .is_none());
+        assert!(acc
+            .deposit([(Pointstamp::at_vertex(ts(0), B), -1)])
+            .is_none());
+        assert_eq!(acc.buffered_len(), 0, "churn cancelled in the buffer");
+    }
+
+    #[test]
+    fn positives_flush_before_negatives() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        assert!(acc
+            .observe(&[(Pointstamp::at_vertex(ts(0), INPUT), 1)])
+            .is_none());
+        // Deposit a covered mix, then flush explicitly.
+        assert!(acc
+            .deposit([
+                (Pointstamp::at_vertex(ts(1), INPUT), 1),
+                (Pointstamp::at_vertex(ts(0), B), 1),
+            ])
+            .is_none());
+        let maybe = acc.deposit([(Pointstamp::at_vertex(ts(0), B), -2)]);
+        let flushed = maybe.unwrap_or_else(|| acc.flush());
+        let first_negative = flushed
+            .iter()
+            .position(|&(_, d)| d < 0)
+            .unwrap_or(flushed.len());
+        assert!(
+            flushed[first_negative..].iter().all(|&(_, d)| d < 0),
+            "positives must precede negatives: {flushed:?}"
+        );
+    }
+
+    #[test]
+    fn observation_keeps_buffering_safe_across_groups() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        // Another process's broadcast holds epoch 0 open at the input.
+        assert!(acc
+            .observe(&[(Pointstamp::at_vertex(ts(0), INPUT), 1)])
+            .is_none());
+        // Local churn at B stays buffered because the *observed* pointstamp
+        // covers it.
+        assert!(acc
+            .deposit([(Pointstamp::at_vertex(ts(0), B), 1)])
+            .is_none());
+        assert!(acc
+            .deposit([(Pointstamp::at_vertex(ts(0), B), -1)])
+            .is_none());
+        assert_eq!(acc.buffered_len(), 0, "churn combined away");
+    }
+
+    #[test]
+    fn uncovered_negative_flushes_immediately() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        // Retire the a-priori input pointstamp (input closed at epoch 0).
+        let flushed = acc.deposit([(Pointstamp::at_vertex(ts(0), INPUT), -1)]);
+        assert_eq!(
+            flushed,
+            Some(vec![(Pointstamp::at_vertex(ts(0), INPUT), -1)])
+        );
+        // With the cover gone from the view, a bare retirement at B can no
+        // longer be held either.
+        let flushed = acc.deposit([(Pointstamp::at_vertex(ts(0), B), -1)]);
+        assert_eq!(flushed, Some(vec![(Pointstamp::at_vertex(ts(0), B), -1)]));
+    }
+
+    #[test]
+    fn in_flight_flushes_count_as_visible_covers() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        // Flushed updates fold into the view, so they cover later churn
+        // even before the broadcast lands anywhere.
+        let _ = acc.deposit([(Pointstamp::at_vertex(ts(0), INPUT), 1)]);
+        assert!(acc
+            .deposit([(Pointstamp::at_vertex(ts(0), B), 1)])
+            .is_none());
+        // A creation whose only justification is itself (in the buffer)
+        // does not count: it must flush.
+        assert!(
+            acc.deposit([(Pointstamp::at_vertex(ts(1), B), 1)])
+                .is_none(),
+            "covered by the epoch-0 input pointstamp"
+        );
+    }
+
+    #[test]
+    fn observing_a_retirement_flushes_dependent_buffered_updates() {
+        let mut acc = Accumulator::new(chain_graph(), 1);
+        // The a-priori input pointstamp covers our churn at B.
+        assert!(acc
+            .deposit([(Pointstamp::at_vertex(ts(0), B), -1)])
+            .is_none());
+        // The covering pointstamp retires via an external broadcast (the
+        // input's owner closed it): the held update must flush now (§3.3:
+        // re-test on receipt).
+        let flushed = acc.observe(&[(Pointstamp::at_vertex(ts(0), INPUT), -1)]);
+        assert_eq!(flushed, Some(vec![(Pointstamp::at_vertex(ts(0), B), -1)]));
+    }
+
+    #[test]
+    fn mode_flags_match_topologies() {
+        assert!(!ProgressMode::Broadcast.local() && !ProgressMode::Broadcast.global());
+        assert!(ProgressMode::Local.local() && !ProgressMode::Local.global());
+        assert!(!ProgressMode::Global.local() && ProgressMode::Global.global());
+        assert!(ProgressMode::LocalGlobal.local() && ProgressMode::LocalGlobal.global());
+        assert_eq!(ProgressMode::LocalGlobal.figure_label(), "Local+GlobalAcc");
+    }
+}

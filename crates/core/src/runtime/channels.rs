@@ -1,0 +1,588 @@
+//! Typed data channels between workers (§3.1, §3.2).
+//!
+//! A connector in the logical graph expands into one channel per
+//! destination worker. Senders route records by the connector's
+//! partitioning contract:
+//!
+//! * within a process, records travel as typed batches through
+//!   shared-memory queues;
+//! * across processes, batches are serialized with `naiad-wire` and travel
+//!   through the `naiad-netsim` fabric, metered as
+//!   [`TrafficClass::Data`](naiad_netsim::TrafficClass).
+//!
+//! Every emitted batch contributes `+1` to the occurrence count of its
+//! `(time, connector)` pointstamp, and every delivered batch `−1` *after*
+//! the receiving vertex finishes processing it — the §2.3 update rules, in
+//! the §3.3 broadcast order (consequences before retirements).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use naiad_netsim::{NetSender, TrafficClass};
+use naiad_wire::{encode_to_vec, ExchangeData, Wire, WireError};
+use parking_lot::Mutex;
+
+use crate::graph::{ConnectorId, LogicalGraph};
+use crate::progress::{Pointstamp, ProgressUpdate};
+use crate::time::Timestamp;
+
+/// Channel tag carrying progress broadcasts to a process (fanned out to
+/// all its workers by the router).
+pub(crate) const PROGRESS_TAG: u32 = 0xFFFF_FFFF;
+/// Channel tag carrying progress batches to the central accumulator.
+pub(crate) const CENTRAL_TAG: u32 = 0xFFFF_FFFE;
+
+const DATAFLOW_BITS: u32 = 10;
+const CHANNEL_BITS: u32 = 14;
+const WORKER_BITS: u32 = 7;
+
+/// Packs a data-channel address into a fabric tag.
+///
+/// # Panics
+///
+/// Panics if any component exceeds its field width.
+pub(crate) fn data_tag(dataflow: usize, channel: usize, dst_local: usize) -> u32 {
+    assert!(dataflow < (1 << DATAFLOW_BITS), "too many dataflows");
+    assert!(channel < (1 << CHANNEL_BITS), "too many channels");
+    assert!(
+        dst_local < (1 << WORKER_BITS),
+        "too many workers per process"
+    );
+    ((dataflow as u32) << (CHANNEL_BITS + WORKER_BITS))
+        | ((channel as u32) << WORKER_BITS)
+        | dst_local as u32
+}
+
+/// Inverse of [`data_tag`].
+pub(crate) fn parse_data_tag(tag: u32) -> (usize, usize, usize) {
+    let dataflow = (tag >> (CHANNEL_BITS + WORKER_BITS)) as usize;
+    let channel = ((tag >> WORKER_BITS) & ((1 << CHANNEL_BITS) - 1)) as usize;
+    let dst_local = (tag & ((1 << WORKER_BITS) - 1)) as usize;
+    (dataflow, channel, dst_local)
+}
+
+/// A batch of records bearing one timestamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message<D> {
+    /// The logical timestamp of every record in the batch.
+    pub time: Timestamp,
+    /// The records.
+    pub data: Vec<D>,
+}
+
+impl<D: Wire> Wire for Message<D> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.time.encode(buf);
+        self.data.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Message {
+            time: Timestamp::decode(input)?,
+            data: Vec::<D>::decode(input)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.time.encoded_len() + self.data.encoded_len()
+    }
+}
+
+/// Identifies a queue endpoint within a process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum ChannelKey {
+    /// Typed shared-memory queue: `(dataflow, channel, dst local worker)`.
+    Data(usize, usize, usize),
+    /// Serialized remote-arrival queue for the same address.
+    RemoteData(usize, usize, usize),
+    /// A worker's progress inbox.
+    Progress(usize),
+}
+
+struct Chan<T> {
+    tx: Sender<T>,
+    rx: Mutex<Option<Receiver<T>>>,
+}
+
+/// Lazily-created queues shared by a process's workers and its router.
+///
+/// Whichever side touches a key first creates the queue; the consuming side
+/// takes the receiver exactly once.
+#[derive(Default)]
+pub(crate) struct ProcessRegistry {
+    map: Mutex<HashMap<ChannelKey, Box<dyn Any + Send>>>,
+    dataflows: Mutex<HashMap<usize, Arc<LogicalGraph>>>,
+}
+
+impl ProcessRegistry {
+    fn with_chan<T: Send + 'static, R>(&self, key: ChannelKey, f: impl FnOnce(&Chan<T>) -> R) -> R {
+        let mut map = self.map.lock();
+        let entry = map.entry(key).or_insert_with(|| {
+            let (tx, rx) = unbounded::<T>();
+            Box::new(Chan {
+                tx,
+                rx: Mutex::new(Some(rx)),
+            })
+        });
+        let chan = entry
+            .downcast_ref::<Chan<T>>()
+            .expect("channel key reused at a different type");
+        f(chan)
+    }
+
+    /// A sender for the queue at `key`.
+    pub(crate) fn sender<T: Send + 'static>(&self, key: ChannelKey) -> Sender<T> {
+        self.with_chan(key, |c: &Chan<T>| c.tx.clone())
+    }
+
+    /// Takes the receiver for the queue at `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the receiver was already taken.
+    pub(crate) fn receiver<T: Send + 'static>(&self, key: ChannelKey) -> Receiver<T> {
+        self.with_chan(key, |c: &Chan<T>| {
+            c.rx.lock()
+                .take()
+                .expect("channel receiver taken more than once")
+        })
+    }
+
+    /// Publishes a dataflow's logical graph so the process router and
+    /// accumulator can reason about its pointstamps.
+    pub(crate) fn register_dataflow(&self, id: usize, graph: Arc<LogicalGraph>) {
+        self.dataflows.lock().entry(id).or_insert(graph);
+    }
+
+    /// The logical graph of a registered dataflow.
+    pub(crate) fn dataflow_graph(&self, id: usize) -> Option<Arc<LogicalGraph>> {
+        self.dataflows.lock().get(&id).cloned()
+    }
+}
+
+/// The worker-local journal of progress updates produced this step,
+/// broadcast (possibly via accumulators) when the step ends.
+pub(crate) type Journal = Rc<std::cell::RefCell<Vec<ProgressUpdate>>>;
+
+/// Appends an occurrence-count delta to the journal.
+pub(crate) fn journal_update(journal: &Journal, p: Pointstamp, delta: i64) {
+    journal.borrow_mut().push((p, delta));
+}
+
+/// The partitioning contract of a connector (§3.1).
+///
+/// Exchange and broadcast channels may cross processes, so their record
+/// type must be serializable; pipeline channels stay within the worker.
+pub enum Pact<D> {
+    /// Deliver to the local vertex (no partitioning function supplied).
+    Pipeline,
+    /// Route each record by a partitioning function: all records mapping
+    /// to the same integer reach the same downstream vertex.
+    Exchange(Rc<dyn Fn(&D) -> u64>),
+    /// Deliver a copy of every record to every vertex in the stage.
+    Broadcast,
+}
+
+impl<D> Pact<D> {
+    /// An exchange contract from a key-hash function.
+    pub fn exchange(f: impl Fn(&D) -> u64 + 'static) -> Self {
+        Pact::Exchange(Rc::new(f))
+    }
+}
+
+impl<D> Clone for Pact<D> {
+    fn clone(&self) -> Self {
+        match self {
+            Pact::Pipeline => Pact::Pipeline,
+            Pact::Exchange(f) => Pact::Exchange(f.clone()),
+            Pact::Broadcast => Pact::Broadcast,
+        }
+    }
+}
+
+/// Where a destination worker's queue lives.
+enum Route<D> {
+    Local(Sender<Message<D>>),
+    Remote { process: usize, tag: u32 },
+}
+
+/// The sending endpoint of one connector at one worker: buffers records
+/// per destination and emits timestamped batches.
+pub(crate) struct Pusher<D> {
+    connector: ConnectorId,
+    pact: Pact<D>,
+    my_index: usize,
+    batch_size: usize,
+    routes: Vec<Route<D>>,
+    buffers: Vec<Vec<D>>,
+    buffer_time: Option<Timestamp>,
+    net: Option<Arc<Mutex<NetSender>>>,
+    journal: Journal,
+    /// Batches emitted since creation (test and diagnostics surface).
+    #[cfg_attr(not(test), allow(dead_code))]
+    emitted: u64,
+}
+
+/// Everything a pusher needs to resolve worker routes.
+pub(crate) struct RoutingContext {
+    pub dataflow: usize,
+    pub my_index: usize,
+    pub peers: usize,
+    pub workers_per_process: usize,
+    pub process: usize,
+    pub batch_size: usize,
+    pub registry: Arc<ProcessRegistry>,
+    pub net: Option<Arc<Mutex<NetSender>>>,
+}
+
+impl RoutingContext {
+    fn route<D: ExchangeData>(&self, channel: usize, dst: usize) -> Route<D> {
+        let dst_process = dst / self.workers_per_process;
+        let dst_local = dst % self.workers_per_process;
+        if dst_process == self.process {
+            Route::Local(
+                self.registry
+                    .sender(ChannelKey::Data(self.dataflow, channel, dst_local)),
+            )
+        } else {
+            Route::Remote {
+                process: dst_process,
+                tag: data_tag(self.dataflow, channel, dst_local),
+            }
+        }
+    }
+}
+
+impl<D: ExchangeData> Pusher<D> {
+    /// Builds the pusher for `channel`/`connector` at the given worker.
+    pub(crate) fn new(
+        ctx: &RoutingContext,
+        channel: usize,
+        connector: ConnectorId,
+        pact: Pact<D>,
+        journal: Journal,
+    ) -> Self {
+        let routes = (0..ctx.peers).map(|dst| ctx.route(channel, dst)).collect();
+        Pusher {
+            connector,
+            pact,
+            my_index: ctx.my_index,
+            batch_size: ctx.batch_size,
+            routes,
+            buffers: (0..ctx.peers).map(|_| Vec::new()).collect(),
+            buffer_time: None,
+            net: ctx.net.clone(),
+            journal,
+            emitted: 0,
+        }
+    }
+
+    /// Queues `record` at `time`, flushing destination batches as they
+    /// fill. Batches never mix timestamps: a time change flushes first.
+    pub(crate) fn give(&mut self, time: Timestamp, record: D) {
+        if self.buffer_time != Some(time) {
+            self.flush();
+            self.buffer_time = Some(time);
+        }
+        match &self.pact {
+            Pact::Pipeline => {
+                let dst = self.my_index;
+                self.buffers[dst].push(record);
+                if self.buffers[dst].len() >= self.batch_size {
+                    self.emit(dst, time);
+                }
+            }
+            Pact::Exchange(f) => {
+                let dst = (f(&record) % self.routes.len() as u64) as usize;
+                self.buffers[dst].push(record);
+                if self.buffers[dst].len() >= self.batch_size {
+                    self.emit(dst, time);
+                }
+            }
+            Pact::Broadcast => {
+                for dst in 0..self.routes.len() {
+                    self.buffers[dst].push(record.clone());
+                    if self.buffers[dst].len() >= self.batch_size {
+                        self.emit(dst, time);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flushes all buffered batches.
+    pub(crate) fn flush(&mut self) {
+        if let Some(time) = self.buffer_time.take() {
+            for dst in 0..self.routes.len() {
+                if !self.buffers[dst].is_empty() {
+                    self.emit(dst, time);
+                }
+            }
+        }
+    }
+
+    fn emit(&mut self, dst: usize, time: Timestamp) {
+        let data = std::mem::take(&mut self.buffers[dst]);
+        debug_assert!(!data.is_empty());
+        // §2.3: the occurrence count increments at the start of SendBy.
+        journal_update(&self.journal, Pointstamp::on_edge(time, self.connector), 1);
+        self.emitted += 1;
+        match &self.routes[dst] {
+            Route::Local(tx) => {
+                let _ = tx.send(Message { time, data });
+            }
+            Route::Remote { process, tag } => {
+                let bytes: Bytes = encode_to_vec(&Message { time, data }).into();
+                self.net
+                    .as_ref()
+                    .expect("remote route requires a fabric")
+                    .lock()
+                    .send(*process, *tag, TrafficClass::Data, bytes);
+            }
+        }
+    }
+
+    /// Number of batches emitted so far (test and diagnostics surface).
+    #[cfg(test)]
+    pub(crate) fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// The receiving endpoint of one connector at one worker.
+///
+/// Retirements (`−1` updates) are journaled *after* the vertex finishes
+/// with a batch — see [`Puller::settle`] — so a worker's update stream
+/// always shows a message's consequences before its retirement.
+pub(crate) struct Puller<D> {
+    connector: ConnectorId,
+    local: Receiver<Message<D>>,
+    remote: Receiver<Bytes>,
+    journal: Journal,
+    unsettled: Option<Timestamp>,
+}
+
+impl<D: ExchangeData> Puller<D> {
+    pub(crate) fn new(
+        ctx: &RoutingContext,
+        channel: usize,
+        connector: ConnectorId,
+        journal: Journal,
+    ) -> Self {
+        let local_key = ChannelKey::Data(
+            ctx.dataflow,
+            channel,
+            ctx.my_index % ctx.workers_per_process,
+        );
+        let remote_key = ChannelKey::RemoteData(
+            ctx.dataflow,
+            channel,
+            ctx.my_index % ctx.workers_per_process,
+        );
+        Puller {
+            connector,
+            local: ctx.registry.receiver(local_key),
+            remote: ctx.registry.receiver(remote_key),
+            journal,
+            unsettled: None,
+        }
+    }
+
+    /// Retires the previously pulled batch, then pulls the next one.
+    pub(crate) fn pull(&mut self) -> Option<Message<D>> {
+        self.settle();
+        let message = if let Ok(m) = self.local.try_recv() {
+            Some(m)
+        } else if let Ok(bytes) = self.remote.try_recv() {
+            let m = naiad_wire::decode_from_slice::<Message<D>>(&bytes)
+                .expect("corrupt data batch on the wire");
+            Some(m)
+        } else {
+            None
+        };
+        if let Some(m) = &message {
+            self.unsettled = Some(m.time);
+        }
+        message
+    }
+
+    /// Journals the retirement of the last pulled batch, if any. Called
+    /// when the vertex finishes processing it (§2.3: the occurrence count
+    /// decrements as OnRecv completes).
+    pub(crate) fn settle(&mut self) {
+        if let Some(time) = self.unsettled.take() {
+            journal_update(&self.journal, Pointstamp::on_edge(time, self.connector), -1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn ctx(registry: Arc<ProcessRegistry>) -> RoutingContext {
+        RoutingContext {
+            dataflow: 0,
+            my_index: 0,
+            peers: 2,
+            workers_per_process: 2,
+            process: 0,
+            batch_size: 4,
+            registry,
+            net: None,
+        }
+    }
+
+    fn journal() -> Journal {
+        Rc::new(RefCell::new(Vec::new()))
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for (d, c, w) in [(0, 0, 0), (5, 1000, 3), (1023, 16383, 127)] {
+            assert_eq!(parse_data_tag(data_tag(d, c, w)), (d, c, w));
+        }
+        assert!(data_tag(1023, 16383, 127) < CENTRAL_TAG);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many dataflows")]
+    fn overwide_tag_component_panics() {
+        let _ = data_tag(1 << DATAFLOW_BITS, 0, 0);
+    }
+
+    #[test]
+    fn registry_creates_lazily_and_takes_once() {
+        let reg = ProcessRegistry::default();
+        let tx = reg.sender::<u32>(ChannelKey::Data(0, 1, 0));
+        tx.send(7).unwrap();
+        let rx = reg.receiver::<u32>(ChannelKey::Data(0, 1, 0));
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken more than once")]
+    fn registry_rejects_double_take() {
+        let reg = ProcessRegistry::default();
+        let _ = reg.receiver::<u32>(ChannelKey::Data(0, 0, 0));
+        let _ = reg.receiver::<u32>(ChannelKey::Data(0, 0, 0));
+    }
+
+    #[test]
+    fn exchange_routes_by_hash_and_batches() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let rc = ctx(reg.clone());
+        let mut pusher = Pusher::new(
+            &rc,
+            3,
+            ConnectorId(9),
+            Pact::exchange(|x: &u64| *x),
+            j.clone(),
+        );
+        let t = Timestamp::new(0);
+        for i in 0..8u64 {
+            pusher.give(t, i);
+        }
+        pusher.flush();
+        // Evens to worker 0, odds to worker 1; batch size 4 → one batch each.
+        let rx0 = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 3, 0));
+        let rx1 = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 3, 1));
+        assert_eq!(rx0.try_recv().unwrap().data, vec![0, 2, 4, 6]);
+        assert_eq!(rx1.try_recv().unwrap().data, vec![1, 3, 5, 7]);
+        // Two emitted batches → two +1 journal entries on connector 9.
+        let entries = j.borrow();
+        assert_eq!(entries.len(), 2);
+        assert!(entries
+            .iter()
+            .all(|(p, d)| *d == 1 && p.location == crate::graph::Location::Edge(ConnectorId(9))));
+    }
+
+    #[test]
+    fn time_changes_flush_buffers() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let rc = ctx(reg.clone());
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(0), Pact::Pipeline, journal());
+        pusher.give(Timestamp::new(0), 1u64);
+        pusher.give(Timestamp::new(1), 2u64);
+        pusher.flush();
+        let rx = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 0, 0));
+        let m1 = rx.try_recv().unwrap();
+        let m2 = rx.try_recv().unwrap();
+        assert_eq!((m1.time.epoch, &m1.data[..]), (0, &[1u64][..]));
+        assert_eq!((m2.time.epoch, &m2.data[..]), (1, &[2u64][..]));
+    }
+
+    #[test]
+    fn puller_journals_retirement_after_settle() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let rc = ctx(reg.clone());
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(4), Pact::Pipeline, j.clone());
+        let mut puller = Puller::<u64>::new(&rc, 0, ConnectorId(4), j.clone());
+        pusher.give(Timestamp::new(2), 42u64);
+        pusher.flush();
+        let m = puller.pull().unwrap();
+        assert_eq!(m.data, vec![42]);
+        // Only the +1 so far: retirement waits for settle.
+        assert_eq!(j.borrow().len(), 1);
+        puller.settle();
+        let entries = j.borrow();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].1, -1);
+        assert_eq!(entries[1].0.time, Timestamp::new(2));
+    }
+
+    #[test]
+    fn pull_settles_previous_batch() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let rc = ctx(reg.clone());
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(0), Pact::Pipeline, j.clone());
+        let mut puller = Puller::<u64>::new(&rc, 0, ConnectorId(0), j.clone());
+        pusher.give(Timestamp::new(0), 1u64);
+        pusher.flush();
+        pusher.give(Timestamp::new(1), 2u64);
+        pusher.flush();
+        assert!(puller.pull().is_some());
+        assert!(puller.pull().is_some(), "second pull settles the first");
+        assert_eq!(
+            j.borrow().iter().filter(|(_, d)| *d == -1).count(),
+            1,
+            "first batch retired by the second pull"
+        );
+        assert!(puller.pull().is_none());
+        assert_eq!(j.borrow().iter().filter(|(_, d)| *d == -1).count(), 2);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_local_workers() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let rc = ctx(reg.clone());
+        let mut pusher = Pusher::new(&rc, 1, ConnectorId(0), Pact::Broadcast, journal());
+        pusher.give(Timestamp::new(0), 5u64);
+        pusher.flush();
+        for w in 0..2 {
+            let rx = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 1, w));
+            assert_eq!(rx.try_recv().unwrap().data, vec![5]);
+        }
+        assert_eq!(pusher.emitted(), 2);
+    }
+
+    #[test]
+    fn message_wire_roundtrip() {
+        let m = Message {
+            time: Timestamp::with_counters(3, &[1]),
+            data: vec!["a".to_string(), "b".to_string()],
+        };
+        let bytes = encode_to_vec(&m);
+        assert_eq!(bytes.len(), m.encoded_len());
+        assert_eq!(
+            naiad_wire::decode_from_slice::<Message<String>>(&bytes).unwrap(),
+            m
+        );
+    }
+}

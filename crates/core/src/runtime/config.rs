@@ -1,0 +1,115 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+use naiad_netsim::LatencyModel;
+
+use crate::progress::ProgressMode;
+
+/// Configuration for [`execute`](crate::runtime::execute::execute).
+///
+/// A Naiad cluster is a set of *processes*, each hosting several *workers*
+/// (§3, Figure 5). This reproduction hosts all processes inside one OS
+/// process: workers in the same process exchange typed records through
+/// shared-memory queues; workers in different processes exchange serialized
+/// bytes through the `naiad-netsim` fabric, exactly as the paper's
+/// processes exchange bytes over TCP.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of simulated processes (network endpoints).
+    pub processes: usize,
+    /// Worker threads per process.
+    pub workers_per_process: usize,
+    /// Progress-protocol accumulation topology (§3.3, Figure 6c).
+    pub progress_mode: ProgressMode,
+    /// Records buffered per destination before an exchange channel emits a
+    /// batch (Naiad aggregates messages at the application level, §3.5).
+    pub batch_size: usize,
+    /// Optional delivery-latency injection on every fabric link (§3.5
+    /// micro-straggler emulation).
+    pub latency: Option<LatencyModel>,
+    /// How long an idle worker sleeps waiting for progress traffic before
+    /// rechecking its queues.
+    pub idle_wait: Duration,
+}
+
+impl Config {
+    /// A single-process configuration with `workers` worker threads.
+    pub fn single_process(workers: usize) -> Self {
+        Config::processes_and_workers(1, workers)
+    }
+
+    /// A multi-process configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn processes_and_workers(processes: usize, workers_per_process: usize) -> Self {
+        assert!(processes > 0, "at least one process");
+        assert!(workers_per_process > 0, "at least one worker per process");
+        Config {
+            processes,
+            workers_per_process,
+            progress_mode: ProgressMode::default(),
+            batch_size: 1024,
+            latency: None,
+            idle_wait: Duration::from_micros(200),
+        }
+    }
+
+    /// Sets the progress-protocol mode.
+    pub fn progress_mode(mut self, mode: ProgressMode) -> Self {
+        self.progress_mode = mode;
+        self
+    }
+
+    /// Sets the exchange batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero.
+    pub fn batch_size(mut self, records: usize) -> Self {
+        assert!(records > 0, "batch size must be positive");
+        self.batch_size = records;
+        self
+    }
+
+    /// Injects a latency model on every fabric link.
+    pub fn latency(mut self, model: LatencyModel) -> Self {
+        self.latency = Some(model);
+        self
+    }
+
+    /// Total number of workers across all processes.
+    pub fn total_workers(&self) -> usize {
+        self.processes * self.workers_per_process
+    }
+}
+
+impl Default for Config {
+    /// One process, one worker: the single-threaded scheduler of §2.3.
+    fn default() -> Self {
+        Config::single_process(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::processes_and_workers(4, 2)
+            .progress_mode(ProgressMode::LocalGlobal)
+            .batch_size(64);
+        assert_eq!(c.total_workers(), 8);
+        assert_eq!(c.progress_mode, ProgressMode::LocalGlobal);
+        assert_eq!(c.batch_size, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = Config::processes_and_workers(0, 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Cluster bring-up and tear-down.
+//!
+//! [`execute`] assembles the fabric, spawns one router thread per process
+//! and one worker thread per worker (plus the central accumulator when the
+//! progress mode uses one), runs the user's worker closure everywhere, and
+//! joins everything down cleanly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use naiad_netsim::{Fabric, FabricMetrics};
+use parking_lot::Mutex;
+
+use super::channels::ProcessRegistry;
+use super::config::Config;
+use super::progress_hub::{run_central_accumulator, run_router, ProcessAccumulator};
+use super::worker::Worker;
+
+/// Errors surfaced by [`execute`].
+#[derive(Debug)]
+pub enum ExecuteError {
+    /// A worker thread panicked; the payload is the worker index.
+    WorkerPanic(usize),
+}
+
+impl std::fmt::Display for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::WorkerPanic(w) => write!(f, "worker {w} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ExecuteError {}
+
+/// Runs `worker_fn` on every worker of a simulated Naiad cluster and
+/// returns the per-worker results in worker-index order.
+///
+/// The closure typically builds one or more dataflows, feeds inputs, and
+/// steps the worker to completion — see the crate-level example.
+///
+/// # Examples
+///
+/// ```
+/// use naiad::runtime::Config;
+///
+/// let sums = naiad::execute(Config::processes_and_workers(2, 2), |worker| {
+///     worker.index() as u64
+/// })
+/// .unwrap();
+/// assert_eq!(sums, vec![0, 1, 2, 3]);
+/// ```
+pub fn execute<F, T>(config: Config, worker_fn: F) -> Result<Vec<T>, ExecuteError>
+where
+    F: Fn(&mut Worker) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    execute_with_metrics(config, worker_fn).map(|(results, _)| results)
+}
+
+/// Like [`execute`], additionally returning the fabric's traffic meters so
+/// benchmarks can report exchanged data and progress bytes (Figures 6a,
+/// 6c).
+pub fn execute_with_metrics<F, T>(
+    config: Config,
+    worker_fn: F,
+) -> Result<(Vec<T>, Arc<FabricMetrics>), ExecuteError>
+where
+    F: Fn(&mut Worker) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let processes = config.processes;
+    let endpoints = processes + usize::from(config.progress_mode.global());
+    let mut builder = Fabric::builder(endpoints);
+    if let Some(latency) = &config.latency {
+        builder = builder.latency(latency.clone());
+    }
+    let mut fabric = builder.build();
+    let metrics = fabric[0].metrics().clone();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let worker_fn = Arc::new(worker_fn);
+
+    // The central accumulator (if any) owns the extra endpoint.
+    let central_handle = if config.progress_mode.global() {
+        let (tx, rx) = fabric.pop().expect("central endpoint allocated").split();
+        let net = Arc::new(Mutex::new(tx));
+        // The central accumulator resolves dataflow graphs through a
+        // registry shared with every process (see below); it is created
+        // after the registries, so stash the pieces here.
+        Some((rx, net))
+    } else {
+        None
+    };
+
+    // One registry shared by ALL processes: channel queues are keyed by
+    // process-local coordinates, so give each process its own registry but
+    // share the dataflow directory through the first registry... keep it
+    // simple and correct: one registry per process, plus one global
+    // directory embedded in each via `register_dataflow` idempotence.
+    let directory = Arc::new(ProcessRegistry::default());
+
+    let mut router_handles = Vec::new();
+    let mut worker_handles = Vec::new();
+
+    for (process, endpoint) in fabric.into_iter().enumerate() {
+        let (tx, rx) = endpoint.split();
+        let net = Arc::new(Mutex::new(tx));
+        let registry = if processes == 1 {
+            directory.clone()
+        } else {
+            Arc::new(ProcessRegistry::default())
+        };
+        // Dataflow graphs must be visible to the central accumulator, which
+        // reads through `directory`; workers register into both.
+        let accumulator = if config.progress_mode.local() {
+            Some(Arc::new(Mutex::new(ProcessAccumulator::new(
+                process,
+                processes,
+                config.progress_mode,
+                registry.clone(),
+                net.clone(),
+                config.total_workers(),
+            ))))
+        } else {
+            None
+        };
+
+        {
+            let registry = registry.clone();
+            let accumulator = accumulator.clone();
+            let shutdown = shutdown.clone();
+            let wpp = config.workers_per_process;
+            router_handles.push(
+                thread::Builder::new()
+                    .name(format!("naiad-router-{process}"))
+                    .spawn(move || run_router(rx, registry, wpp, accumulator, shutdown))
+                    .expect("spawn router thread"),
+            );
+        }
+
+        for local in 0..config.workers_per_process {
+            let index = process * config.workers_per_process + local;
+            let peers = config.total_workers();
+            let config = config.clone();
+            let registry = registry.clone();
+            let directory = directory.clone();
+            let net = net.clone();
+            let accumulator = accumulator.clone();
+            let worker_fn = worker_fn.clone();
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("naiad-worker-{index}"))
+                    .spawn(move || {
+                        let mut worker = Worker::new(
+                            index,
+                            peers,
+                            config,
+                            registry,
+                            net,
+                            accumulator,
+                            directory,
+                        );
+                        worker_fn(&mut worker)
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+    }
+
+    let central_thread = central_handle.map(|(rx, net)| {
+        let directory = directory.clone();
+        let shutdown = shutdown.clone();
+        let total_workers = config.total_workers();
+        thread::Builder::new()
+            .name("naiad-central-accumulator".to_string())
+            .spawn(move || {
+                run_central_accumulator(rx, net, directory, processes, total_workers, shutdown)
+            })
+            .expect("spawn central accumulator thread")
+    });
+
+    let mut results = Vec::with_capacity(worker_handles.len());
+    let mut panic = None;
+    for (index, handle) in worker_handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(result) => results.push(result),
+            Err(_) => {
+                panic.get_or_insert(index);
+            }
+        }
+    }
+    shutdown.store(true, Ordering::Release);
+    for handle in router_handles {
+        let _ = handle.join();
+    }
+    if let Some(handle) = central_thread {
+        let _ = handle.join();
+    }
+    match panic {
+        Some(index) => Err(ExecuteError::WorkerPanic(index)),
+        None => Ok((results, metrics)),
+    }
+}

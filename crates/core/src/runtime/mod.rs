@@ -1,0 +1,14 @@
+//! The distributed runtime (§3): processes, workers, channels, progress
+//! plumbing, and fault tolerance.
+
+pub mod channels;
+pub mod config;
+pub mod durability;
+pub mod execute;
+mod progress_hub;
+mod worker;
+
+pub use channels::{Message, Pact};
+pub use config::Config;
+pub use execute::{execute, ExecuteError};
+pub use worker::Worker;

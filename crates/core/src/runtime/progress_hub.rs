@@ -1,0 +1,272 @@
+//! Process-level and cluster-level progress accumulation (§3.3), and the
+//! per-process router thread that dispatches fabric traffic.
+//!
+//! By default Naiad accumulates updates at the process level and at the
+//! cluster level: each process sends accumulated updates to a central
+//! accumulator, which broadcasts their net effect to all workers. The
+//! [`ProcessAccumulator`] is shared by a process's workers (deposits) and
+//! its router (observations of external broadcasts); the
+//! [`CentralAccumulator`] runs on its own thread behind an extra fabric
+//! endpoint.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use naiad_netsim::{NetReceiver, NetSender, RecvError, TrafficClass};
+use naiad_wire::encode_to_vec;
+use parking_lot::Mutex;
+
+use crate::progress::{Accumulator, ProgressBatch, ProgressMode, ProgressUpdate};
+
+use super::channels::{parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, PROGRESS_TAG};
+
+/// Sender-id base for process accumulators (workers use their own index).
+pub(crate) const PROC_ACC_SENDER_BASE: u32 = 1 << 24;
+/// Sender id of the cluster-level accumulator.
+pub(crate) const CENTRAL_SENDER: u32 = 1 << 25;
+
+/// A per-dataflow set of accumulators serving one group of senders.
+struct AccumulatorSet {
+    accs: HashMap<usize, Accumulator>,
+    registry: Arc<ProcessRegistry>,
+    fold_on_flush: bool,
+    total_workers: usize,
+    /// Observations that arrived before this group registered the
+    /// dataflow's graph (a peer process can broadcast first); replayed in
+    /// arrival order once the graph is known.
+    stashed: HashMap<usize, Vec<ProgressUpdate>>,
+}
+
+impl AccumulatorSet {
+    fn new(registry: Arc<ProcessRegistry>, fold_on_flush: bool, total_workers: usize) -> Self {
+        AccumulatorSet {
+            accs: HashMap::new(),
+            registry,
+            fold_on_flush,
+            total_workers,
+            stashed: HashMap::new(),
+        }
+    }
+
+    /// The accumulator for `dataflow`, if its graph is known yet.
+    fn try_acc(&mut self, dataflow: usize) -> Option<&mut Accumulator> {
+        if !self.accs.contains_key(&dataflow) {
+            let graph = self.registry.dataflow_graph(dataflow)?;
+            let mut acc = Accumulator::new(graph, self.total_workers);
+            acc.set_fold_on_flush(self.fold_on_flush);
+            if let Some(stashed) = self.stashed.remove(&dataflow) {
+                // Pre-registration broadcasts refine the view only; the
+                // buffer is empty, so no flush can trigger.
+                let flushed = acc.observe(stashed.iter());
+                debug_assert!(flushed.is_none(), "empty buffer cannot flush");
+            }
+            self.accs.insert(dataflow, acc);
+        }
+        self.accs.get_mut(&dataflow)
+    }
+
+    /// The accumulator for `dataflow`; the caller guarantees registration
+    /// (local deposits always follow construction).
+    fn acc(&mut self, dataflow: usize) -> &mut Accumulator {
+        self.try_acc(dataflow)
+            .expect("local deposits follow dataflow registration")
+    }
+
+    fn stash(&mut self, dataflow: usize, updates: &[ProgressUpdate]) {
+        self.stashed
+            .entry(dataflow)
+            .or_default()
+            .extend_from_slice(updates);
+    }
+}
+
+/// The process-level accumulator (§3.3): workers deposit their journals;
+/// the router reports external broadcasts; flushes leave through the
+/// fabric according to the progress mode.
+pub(crate) struct ProcessAccumulator {
+    process: usize,
+    processes: usize,
+    mode: ProgressMode,
+    set: AccumulatorSet,
+    net: Arc<Mutex<NetSender>>,
+    seq: u64,
+}
+
+impl ProcessAccumulator {
+    pub(crate) fn new(
+        process: usize,
+        processes: usize,
+        mode: ProgressMode,
+        registry: Arc<ProcessRegistry>,
+        net: Arc<Mutex<NetSender>>,
+        total_workers: usize,
+    ) -> Self {
+        ProcessAccumulator {
+            process,
+            processes,
+            mode,
+            // In Local+Global mode the central accumulator echoes this
+            // process's own updates back, so the view must not also fold
+            // flushes (they would double count). In Local mode nothing
+            // echoes, so flushes fold immediately.
+            set: AccumulatorSet::new(registry, mode == ProgressMode::Local, total_workers),
+            net,
+            seq: 0,
+        }
+    }
+
+    /// This accumulator's sender id.
+    pub(crate) fn sender_id(&self) -> u32 {
+        PROC_ACC_SENDER_BASE + self.process as u32
+    }
+
+    /// Deposits a worker's journal; forwards a flush if the §3.3 condition
+    /// requires one.
+    pub(crate) fn deposit(&mut self, dataflow: usize, updates: Vec<ProgressUpdate>) {
+        if let Some(flushed) = self.set.acc(dataflow).deposit(updates) {
+            self.forward(dataflow, flushed);
+        }
+    }
+
+    /// Observes an external broadcast (from another process's accumulator
+    /// or the central accumulator); forwards a flush if the buffered
+    /// updates are no longer safe to hold.
+    pub(crate) fn observe(&mut self, dataflow: usize, updates: &[ProgressUpdate]) {
+        match self.set.try_acc(dataflow) {
+            Some(acc) => {
+                if let Some(flushed) = acc.observe(updates.iter()) {
+                    self.forward(dataflow, flushed);
+                }
+            }
+            // A peer broadcast can outrun this process's construction.
+            None => self.set.stash(dataflow, updates),
+        }
+    }
+
+    fn forward(&mut self, dataflow: usize, updates: Vec<ProgressUpdate>) {
+        let batch = ProgressBatch {
+            sender: self.sender_id(),
+            seq: self.seq,
+            dataflow: dataflow as u32,
+            updates,
+        };
+        self.seq += 1;
+        let bytes: Bytes = encode_to_vec(&batch).into();
+        let mut net = self.net.lock();
+        match self.mode {
+            ProgressMode::Local => {
+                // Broadcast directly to every process (including ours).
+                for dst in 0..self.processes {
+                    net.send(dst, PROGRESS_TAG, TrafficClass::Progress, bytes.clone());
+                }
+            }
+            ProgressMode::LocalGlobal => {
+                // Up the tree: the central accumulator redistributes.
+                net.send(self.processes, CENTRAL_TAG, TrafficClass::Progress, bytes);
+            }
+            _ => unreachable!("process accumulators exist only in local modes"),
+        }
+    }
+}
+
+/// The cluster-level accumulator thread body (§3.3): receives batches on
+/// the extra fabric endpoint, accumulates, and broadcasts net effects to
+/// every process.
+pub(crate) fn run_central_accumulator(
+    mut rx: NetReceiver,
+    net: Arc<Mutex<NetSender>>,
+    registry: Arc<ProcessRegistry>,
+    processes: usize,
+    total_workers: usize,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut set = AccumulatorSet::new(registry, true, total_workers);
+    let mut seq = 0u64;
+    loop {
+        match rx.recv_deadline(Some(std::time::Duration::from_millis(5))) {
+            Ok(env) => {
+                debug_assert_eq!(env.channel, CENTRAL_TAG);
+                let batch: ProgressBatch =
+                    naiad_wire::decode_from_slice(&env.payload).expect("corrupt central batch");
+                let dataflow = batch.dataflow as usize;
+                if let Some(flushed) = set.acc(dataflow).deposit(batch.updates) {
+                    let out = ProgressBatch {
+                        sender: CENTRAL_SENDER,
+                        seq,
+                        dataflow: batch.dataflow,
+                        updates: flushed,
+                    };
+                    seq += 1;
+                    let bytes: Bytes = encode_to_vec(&out).into();
+                    let mut net = net.lock();
+                    for dst in 0..processes {
+                        net.send(dst, PROGRESS_TAG, TrafficClass::Progress, bytes.clone());
+                    }
+                }
+            }
+            Err(RecvError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvError::Disconnected) => return,
+        }
+    }
+}
+
+/// The per-process router thread body: dispatches incoming fabric traffic
+/// to worker queues, fanning progress broadcasts out to every local worker
+/// and teeing them into the process accumulator where the mode requires.
+pub(crate) fn run_router(
+    mut rx: NetReceiver,
+    registry: Arc<ProcessRegistry>,
+    workers_per_process: usize,
+    accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    // Lazily resolved progress-inbox senders, one per local worker.
+    let progress_txs: Vec<_> = (0..workers_per_process)
+        .map(|w| registry.sender::<Bytes>(ChannelKey::Progress(w)))
+        .collect();
+    loop {
+        match rx.recv_deadline(Some(std::time::Duration::from_millis(5))) {
+            Ok(env) => match env.channel {
+                PROGRESS_TAG => {
+                    for tx in &progress_txs {
+                        let _ = tx.send(env.payload.clone());
+                    }
+                    if let Some(acc) = &accumulator {
+                        let batch: ProgressBatch = naiad_wire::decode_from_slice(&env.payload)
+                            .expect("corrupt progress batch");
+                        let mut acc = acc.lock();
+                        // Do not observe our own flushes coming back (they
+                        // were folded at flush time in Local mode; in
+                        // Local+Global everything arrives via the central
+                        // accumulator and must be observed, own updates
+                        // included, because flushes were not folded).
+                        if batch.sender != acc.sender_id() {
+                            acc.observe(batch.dataflow as usize, &batch.updates);
+                        }
+                    }
+                }
+                CENTRAL_TAG => {
+                    unreachable!("central traffic is addressed to the central endpoint")
+                }
+                tag => {
+                    let (dataflow, channel, dst_local) = parse_data_tag(tag);
+                    let tx = registry
+                        .sender::<Bytes>(ChannelKey::RemoteData(dataflow, channel, dst_local));
+                    let _ = tx.send(env.payload);
+                }
+            },
+            Err(RecvError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvError::Disconnected) => return,
+        }
+    }
+}

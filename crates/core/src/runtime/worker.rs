@@ -1,0 +1,444 @@
+//! Workers: vertex scheduling, notification delivery, and the worker side
+//! of the progress protocol (§3.2, §3.3).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use naiad_netsim::{NetSender, TrafficClass};
+use naiad_wire::encode_to_vec;
+use parking_lot::Mutex;
+
+use crate::dataflow::{OpCore, Scope, StateRegistry, TrackerCell};
+use crate::progress::{PointstampTable, ProgressBatch, ProgressMode, ProgressUpdate};
+
+use super::channels::{
+    ChannelKey, Journal, ProcessRegistry, RoutingContext, CENTRAL_TAG, PROGRESS_TAG,
+};
+use super::config::Config;
+use super::progress_hub::ProcessAccumulator;
+
+/// One dataflow installed at this worker.
+struct DataflowRuntime {
+    id: usize,
+    tracker: TrackerCell,
+    journal: Journal,
+    ops: Vec<Rc<RefCell<dyn OpCore>>>,
+    states: StateRegistry,
+    complete: bool,
+}
+
+/// A worker: owns one vertex per stage of each dataflow it participates in
+/// and exchanges messages and progress updates with its peers (§3.2).
+///
+/// Workers are handed to the closure passed to
+/// [`execute`](crate::runtime::execute::execute); they are not constructed
+/// directly.
+pub struct Worker {
+    index: usize,
+    peers: usize,
+    process: usize,
+    config: Config,
+    registry: Arc<ProcessRegistry>,
+    net: Arc<Mutex<NetSender>>,
+    progress_rx: Receiver<Bytes>,
+    accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
+    /// Global dataflow directory, shared with the central accumulator.
+    directory: Arc<ProcessRegistry>,
+    dataflows: Vec<DataflowRuntime>,
+    next_dataflow: usize,
+    /// Sequence number for this worker's outgoing progress batches.
+    seq: u64,
+    /// Per-sender FIFO check on incoming progress batches.
+    last_seqs: HashMap<u32, u64>,
+    /// Whether the previous step processed anything, used to decide when
+    /// the worker may block briefly instead of spinning.
+    last_step_worked: bool,
+    /// Progress batches that arrived before this worker built their
+    /// dataflow, replayed at construction.
+    stashed: HashMap<usize, Vec<ProgressBatch>>,
+}
+
+impl Worker {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        index: usize,
+        peers: usize,
+        config: Config,
+        registry: Arc<ProcessRegistry>,
+        net: Arc<Mutex<NetSender>>,
+        accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
+        directory: Arc<ProcessRegistry>,
+    ) -> Self {
+        let local_index = index % config.workers_per_process;
+        let process = index / config.workers_per_process;
+        let progress_rx = registry.receiver::<Bytes>(ChannelKey::Progress(local_index));
+        Worker {
+            index,
+            peers,
+            process,
+            config,
+            registry,
+            net,
+            progress_rx,
+            accumulator,
+            directory,
+            dataflows: Vec::new(),
+            next_dataflow: 0,
+            seq: 0,
+            last_seqs: HashMap::new(),
+            last_step_worked: true,
+            stashed: HashMap::new(),
+        }
+    }
+
+    /// This worker's global index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of workers in the computation.
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// The process hosting this worker.
+    pub fn process(&self) -> usize {
+        self.process
+    }
+
+    /// Builds a dataflow. Every worker must call `dataflow` the same
+    /// number of times with structurally identical graphs — the usual
+    /// SPMD contract (§3.1's logical graph is shared; each worker
+    /// instantiates its own vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed graph fails validation (invalid cycle,
+    /// unconnected input, cross-context connector, …).
+    pub fn dataflow<R>(&mut self, construct: impl FnOnce(&mut Scope) -> R) -> R {
+        let id = self.next_dataflow;
+        self.next_dataflow += 1;
+        let journal: Journal = Rc::new(RefCell::new(Vec::new()));
+        let tracker: TrackerCell = Rc::new(RefCell::new(None));
+        let routing = RoutingContext {
+            dataflow: id,
+            my_index: self.index,
+            peers: self.peers,
+            workers_per_process: self.config.workers_per_process,
+            process: self.process,
+            batch_size: self.config.batch_size,
+            registry: self.registry.clone(),
+            net: Some(self.net.clone()),
+        };
+        let mut scope = Scope::new(routing, journal.clone(), tracker.clone());
+        let result = construct(&mut scope);
+
+        let (graph, ops, states) = scope.finalize();
+        let graph = Arc::new(graph);
+        self.registry.register_dataflow(id, graph.clone());
+        self.directory.register_dataflow(id, graph.clone());
+        *tracker.borrow_mut() = Some(PointstampTable::initialized(graph, self.peers));
+        let runtime = DataflowRuntime {
+            id,
+            tracker,
+            journal,
+            ops,
+            states,
+            complete: false,
+        };
+        // Replay any progress batches that raced ahead of construction.
+        for batch in self.stashed.remove(&id).unwrap_or_default() {
+            let mut t = runtime.tracker.borrow_mut();
+            t.as_mut()
+                .expect("tracker just installed")
+                .apply(batch.updates.iter().copied());
+        }
+        self.dataflows.push(runtime);
+        result
+    }
+
+    /// Serializes every registered vertex state of every dataflow (§3.4).
+    ///
+    /// Call at a quiescent point — e.g. after
+    /// [`ProbeHandle::done_through`](crate::dataflow::ProbeHandle::done_through)
+    /// reports the epochs you want captured — so the snapshot is
+    /// consistent: no messages for the captured epochs remain in flight.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        naiad_wire::Wire::encode(&self.dataflows.len(), &mut out);
+        for df in &self.dataflows {
+            let states = df.states.borrow();
+            naiad_wire::Wire::encode(&states.len(), &mut out);
+            for (_stage, state) in states.iter() {
+                let mut blob = Vec::new();
+                state.borrow().checkpoint(&mut blob);
+                naiad_wire::Wire::encode(&blob, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Restores vertex states captured by [`Worker::checkpoint`] into the
+    /// structurally identical dataflows this worker has constructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shape does not match the constructed
+    /// dataflows (different dataflow count or registered-state count) or
+    /// the bytes are corrupt.
+    pub fn restore(&mut self, mut snapshot: &[u8]) {
+        let input = &mut snapshot;
+        let dataflows = <usize as naiad_wire::Wire>::decode(input).expect("snapshot header");
+        assert_eq!(
+            dataflows,
+            self.dataflows.len(),
+            "snapshot dataflow count mismatch"
+        );
+        for df in &self.dataflows {
+            let states = df.states.borrow();
+            let count = <usize as naiad_wire::Wire>::decode(input).expect("state count");
+            assert_eq!(count, states.len(), "registered-state count mismatch");
+            for (_stage, state) in states.iter() {
+                let blob = <Vec<u8> as naiad_wire::Wire>::decode(input).expect("state blob");
+                state.borrow_mut().restore(&mut &blob[..]);
+            }
+        }
+    }
+
+    /// Runs one scheduling round: pumps vertices, delivers ready
+    /// notifications, flushes progress updates, and applies incoming ones.
+    /// Returns whether any dataflow is still live.
+    pub fn step(&mut self) -> bool {
+        self.last_step_worked = false;
+        self.drain_progress();
+        for df in 0..self.dataflows.len() {
+            self.step_dataflow(df);
+        }
+        self.drain_progress();
+        self.dataflows.iter().any(|df| !df.complete)
+    }
+
+    /// Steps until every installed dataflow completes.
+    ///
+    /// Completion requires all inputs to be closed (dropping an
+    /// [`InputHandle`](crate::dataflow::InputHandle) closes it).
+    pub fn step_until_done(&mut self) {
+        let debug = std::env::var_os("NAIAD_DEBUG").is_some();
+        let mut steps = 0u64;
+        while self.step() {
+            self.idle_wait();
+            steps += 1;
+            if debug && steps.is_multiple_of(5_000) {
+                self.dump_state(steps);
+            }
+        }
+    }
+
+    /// Prints tracker state for hang diagnosis (`NAIAD_DEBUG`).
+    fn dump_state(&self, steps: u64) {
+        for df in &self.dataflows {
+            let tracker = df.tracker.borrow();
+            let tracker = tracker.as_ref().unwrap();
+            eprintln!(
+                "[worker {} step {steps}] dataflow {}: complete={} active={} frontier={:?} journal={}",
+                self.index,
+                df.id,
+                df.complete,
+                tracker.active_count(),
+                tracker.frontier(),
+                df.journal.borrow().len(),
+            );
+        }
+    }
+
+    /// Steps while `condition` holds and work remains.
+    pub fn step_while(&mut self, mut condition: impl FnMut() -> bool) {
+        while condition() && self.step() {
+            self.idle_wait();
+        }
+    }
+
+    /// Blocks briefly on the progress inbox so idle workers do not spin.
+    fn idle_wait(&mut self) {
+        if self.last_step_worked {
+            return;
+        }
+        if let Ok(bytes) = self.progress_rx.try_recv() {
+            self.apply_progress_bytes(&bytes);
+            return;
+        }
+        if let Ok(bytes) = self.progress_rx.recv_timeout(self.config.idle_wait) {
+            self.apply_progress_bytes(&bytes);
+        }
+    }
+
+    fn step_dataflow(&mut self, df: usize) {
+        if self.dataflows[df].complete {
+            return;
+        }
+        // Pump vertices until locally quiet (bounded to stay responsive to
+        // progress traffic).
+        for _round in 0..8 {
+            let mut worked = false;
+            for op in &self.dataflows[df].ops {
+                worked |= op.borrow_mut().pump();
+            }
+            self.last_step_worked |= worked;
+            if !worked {
+                break;
+            }
+        }
+        self.deliver_notifications(df);
+        self.flush_progress(df);
+        self.check_complete(df);
+    }
+
+    fn deliver_notifications(&mut self, df: usize) {
+        let runtime = &self.dataflows[df];
+        for op in &runtime.ops {
+            let ready = {
+                let tracker = runtime.tracker.borrow();
+                let Some(tracker) = tracker.as_ref() else {
+                    return;
+                };
+                op.borrow().notify_handle().take_ready(tracker)
+            };
+            for (time, blocking) in ready {
+                op.borrow_mut().deliver(time);
+                if blocking {
+                    // §2.3: the occurrence count decrements as OnNotify
+                    // completes.
+                    op.borrow().notify_handle().retire(time);
+                }
+            }
+        }
+    }
+
+    /// Broadcasts this step's journal according to the progress mode
+    /// (§3.3). All paths ultimately traverse the fabric, including to this
+    /// worker itself: local views are fed exclusively by the protocol.
+    fn flush_progress(&mut self, df: usize) {
+        let updates: Vec<ProgressUpdate> =
+            std::mem::take(&mut *self.dataflows[df].journal.borrow_mut());
+        if updates.is_empty() {
+            return;
+        }
+        let dataflow = self.dataflows[df].id;
+        match self.config.progress_mode {
+            ProgressMode::Broadcast => {
+                // Naive protocol: every update broadcast on its own.
+                for update in updates {
+                    let batch = self.make_batch(dataflow, vec![update]);
+                    let bytes: Bytes = encode_to_vec(&batch).into();
+                    self.net
+                        .lock()
+                        .broadcast(PROGRESS_TAG, TrafficClass::Progress, bytes);
+                }
+            }
+            ProgressMode::Global => {
+                // No local accumulation: per-step batches go straight to
+                // the central accumulator.
+                let batch = self.make_batch(dataflow, updates);
+                let bytes: Bytes = encode_to_vec(&batch).into();
+                let central = self.central_endpoint();
+                self.net
+                    .lock()
+                    .send(central, CENTRAL_TAG, TrafficClass::Progress, bytes);
+            }
+            ProgressMode::Local | ProgressMode::LocalGlobal => {
+                let acc = self
+                    .accumulator
+                    .as_ref()
+                    .expect("local modes allocate a process accumulator")
+                    .clone();
+                acc.lock().deposit(dataflow, updates);
+            }
+        }
+    }
+
+    fn make_batch(&mut self, dataflow: usize, updates: Vec<ProgressUpdate>) -> ProgressBatch {
+        let seq = self.seq;
+        self.seq += 1;
+        ProgressBatch {
+            sender: self.index as u32,
+            seq,
+            dataflow: dataflow as u32,
+            updates,
+        }
+    }
+
+    fn central_endpoint(&self) -> usize {
+        // The central accumulator is the extra fabric endpoint.
+        self.config.processes
+    }
+
+    /// Applies all queued progress batches to the relevant trackers.
+    fn drain_progress(&mut self) {
+        while let Ok(bytes) = self.progress_rx.try_recv() {
+            self.apply_progress_bytes(&bytes);
+            self.last_step_worked = true;
+        }
+    }
+
+    fn apply_progress_bytes(&mut self, bytes: &Bytes) {
+        let batch: ProgressBatch =
+            naiad_wire::decode_from_slice(bytes).expect("corrupt progress batch");
+        // FIFO check per sender (the fabric guarantees it; broken FIFO
+        // would silently corrupt frontiers, so fail loudly).
+        let last = self.last_seqs.insert(batch.sender, batch.seq);
+        if let Some(last) = last {
+            assert!(
+                batch.seq > last,
+                "progress batches from sender {} out of order: {} after {}",
+                batch.sender,
+                batch.seq,
+                last
+            );
+        }
+        let dataflow = batch.dataflow as usize;
+        if let Some(runtime) = self.dataflows.iter_mut().find(|d| d.id == dataflow) {
+            let mut tracker = runtime.tracker.borrow_mut();
+            tracker
+                .as_mut()
+                .expect("registered dataflows have trackers")
+                .apply(batch.updates.iter().copied());
+        } else {
+            self.stashed.entry(dataflow).or_default().push(batch);
+        }
+        // A batch can arrive for a dataflow this worker has not built yet
+        // (peers construct concurrently). Buffer it for later application
+        // rather than dropping counts on the floor.
+    }
+
+    fn check_complete(&mut self, df: usize) {
+        let runtime = &mut self.dataflows[df];
+        if runtime.complete {
+            return;
+        }
+        let tracker_empty = runtime
+            .tracker
+            .borrow()
+            .as_ref()
+            .is_some_and(|t| t.is_empty());
+        let journal_empty = runtime.journal.borrow().is_empty();
+        // The tracker starts with the a-priori input pointstamps, and
+        // queued batches and pending blocking notifications all hold
+        // occurrence counts, so "empty" subsumes every form of outstanding
+        // work; see the progress module docs for why FIFO +
+        // consequence-before-retirement ordering makes this sound.
+        if tracker_empty && journal_empty {
+            runtime.complete = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Worker behaviour is exercised end-to-end in the runtime integration
+    // tests (`runtime::execute` and the crate-level tests); unit tests here
+    // would need the full fabric anyway.
+}

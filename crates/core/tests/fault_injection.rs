@@ -1,0 +1,145 @@
+//! Fault injection: the runtime must stay correct when the fabric delays
+//! and stalls messages (§3.5's micro-stragglers), because correctness
+//! rests on per-link FIFO plus the progress protocol — never on timing.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use naiad::dataflow::{InputPort, Notify, OutputPort};
+use naiad::progress::ProgressMode;
+use naiad::runtime::Pact;
+use naiad::{execute, Config, Timestamp};
+use naiad_netsim::LatencyModel;
+
+fn lossy_config(processes: usize, mode: ProgressMode, seed: u64) -> Config {
+    Config::processes_and_workers(processes, 2)
+        .progress_mode(mode)
+        .latency(LatencyModel::lossy(
+            Duration::from_micros(200),
+            0.05,
+            Duration::from_millis(5),
+            seed,
+        ))
+}
+
+/// A keyed per-epoch sum with notifications, across processes, under
+/// heavy injected delay and stalls: results must match exactly.
+#[test]
+fn notifications_survive_stalls() {
+    for (mode, seed) in [
+        (ProgressMode::Broadcast, 1),
+        (ProgressMode::Local, 2),
+        (ProgressMode::LocalGlobal, 3),
+    ] {
+        let results = execute(lossy_config(2, mode, seed), |worker| {
+            let (mut input, captured) = worker.dataflow(|scope| {
+                let (input, stream) = scope.new_input::<u64>();
+                let sums = stream.unary_notify(Pact::exchange(|x: &u64| *x % 4), "Sum", |_info| {
+                    let acc: std::rc::Rc<std::cell::RefCell<HashMap<u64, u64>>> =
+                        std::rc::Rc::new(std::cell::RefCell::new(HashMap::new()));
+                    let recv = acc.clone();
+                    (
+                        move |input: &mut InputPort<u64>,
+                              _out: &mut OutputPort<u64>,
+                              notify: &Notify| {
+                            input.for_each(|time, data| {
+                                notify.notify_at(time);
+                                *recv.borrow_mut().entry(time.epoch).or_insert(0) +=
+                                    data.iter().sum::<u64>();
+                            });
+                        },
+                        move |time: Timestamp, out: &mut OutputPort<u64>, _n: &Notify| {
+                            if let Some(sum) = acc.borrow_mut().remove(&time.epoch) {
+                                out.session(time).give(sum);
+                            }
+                        },
+                    )
+                });
+                (input, sums.capture())
+            });
+            for epoch in 0..3u64 {
+                for i in 0..40u64 {
+                    input.send(i + 100 * epoch + worker.index() as u64);
+                }
+                if epoch < 2 {
+                    input.advance_to(epoch + 1);
+                }
+            }
+            input.close();
+            worker.step_until_done();
+            let result = captured.borrow().clone();
+            result
+        })
+        .unwrap();
+        let mut per_epoch: HashMap<u64, u64> = HashMap::new();
+        for (epoch, sums) in results.into_iter().flatten() {
+            *per_epoch.entry(epoch).or_insert(0) += sums.iter().sum::<u64>();
+        }
+        let expected: HashMap<u64, u64> = (0..3u64)
+            .map(|e| {
+                let total: u64 = (0..4u64)
+                    .flat_map(|w| (0..40u64).map(move |i| i + 100 * e + w))
+                    .sum();
+                (e, total)
+            })
+            .collect();
+        assert_eq!(per_epoch, expected, "mode {mode:?}");
+    }
+}
+
+/// A loop under injected delay: iteration order and fixpoint results are
+/// delay-independent.
+#[test]
+fn loops_survive_stalls() {
+    let results = execute(lossy_config(2, ProgressMode::Local, 7), |worker| {
+        let (mut input, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let mut scope2 = stream.scope();
+            let lc = scope2.loop_context(naiad::graph::ContextId::ROOT);
+            let entered = lc.enter(&stream);
+            let (handle, cycle) = lc.feedback::<u64>(Some(64));
+            let merged = naiad::dataflow::ops::concatenate(&entered, &cycle);
+            let advanced = merged.unary(Pact::exchange(|x: &u64| *x), "Step", |_info| {
+                |input: &mut InputPort<u64>, output: &mut OutputPort<u64>| {
+                    input.for_each(|time, data| {
+                        output
+                            .session(time)
+                            .give_iterator(data.into_iter().filter(|x| *x < 32).map(|x| x * 2));
+                    });
+                }
+            });
+            handle.connect(&advanced);
+            let out = lc.leave(&advanced);
+            (input, out.filter_final())
+        });
+        if worker.index() == 0 {
+            input.send_batch([1, 3, 5]);
+        }
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+    let mut finals: Vec<u64> = results
+        .into_iter()
+        .flatten()
+        .flat_map(|(_, d)| d)
+        .filter(|&x| x >= 32)
+        .collect();
+    finals.sort_unstable();
+    // 1→32(x2^5), 3→48, 5→40.
+    assert_eq!(finals, vec![32, 40, 48]);
+}
+
+/// Helper: the loop test just captures everything; this keeps the
+/// builder chain readable above.
+trait FilterFinal {
+    fn filter_final(&self) -> std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u64>)>>>;
+}
+
+impl FilterFinal for naiad::Stream<u64> {
+    fn filter_final(&self) -> std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u64>)>>> {
+        self.capture()
+    }
+}

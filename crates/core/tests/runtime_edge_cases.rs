@@ -1,0 +1,253 @@
+//! Edge cases of the runtime: empty dataflows, empty epochs, many epochs,
+//! multiple inputs, deep operator chains, and misuse panics.
+
+use naiad::dataflow::{InputPort, OutputPort};
+use naiad::runtime::Pact;
+use naiad::{execute, Config};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A dataflow whose input closes without any records still completes and
+/// reports its (empty) epochs.
+#[test]
+fn empty_input_completes() {
+    execute(Config::single_process(2), |worker| {
+        let (mut input, seen) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let seen = Rc::new(RefCell::new(0u64));
+            let sink = seen.clone();
+            stream.subscribe(move |_epoch, data| {
+                assert!(data.is_empty());
+                *sink.borrow_mut() += 1;
+            });
+            (input, seen)
+        });
+        input.close();
+        worker.step_until_done();
+        drop(seen);
+    })
+    .unwrap();
+}
+
+/// Epochs with no records between epochs with records complete in order.
+#[test]
+fn sparse_epochs_complete_in_order() {
+    let results = execute(Config::single_process(1), |worker| {
+        let (mut input, order) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let order = Rc::new(RefCell::new(Vec::new()));
+            let sink = order.clone();
+            stream.subscribe(move |epoch, _| sink.borrow_mut().push(epoch));
+            (input, order)
+        });
+        input.send(1);
+        input.advance_to(3); // epochs 1, 2 are empty
+        input.send(2);
+        input.advance_to(10);
+        input.send(3);
+        input.close();
+        worker.step_until_done();
+        let result = order.borrow().clone();
+        result
+    })
+    .unwrap();
+    // Epochs complete in nondecreasing order; every data-bearing epoch
+    // appears.
+    let order = &results[0];
+    assert!(order.windows(2).all(|w| w[0] < w[1]), "{order:?}");
+    for e in [0, 3, 10] {
+        assert!(order.contains(&e), "missing epoch {e} in {order:?}");
+    }
+}
+
+/// Many epochs stream through without accumulating tracker state.
+#[test]
+fn hundred_epochs_stream() {
+    let results = execute(Config::single_process(2), |worker| {
+        let (mut input, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let sum = Rc::new(RefCell::new(0u64));
+            let sink = sum.clone();
+            stream
+                .unary(Pact::exchange(|x: &u64| *x), "Sum", move |_info| {
+                    move |input: &mut InputPort<u64>, output: &mut OutputPort<u64>| {
+                        input.for_each(|time, data| {
+                            *sink.borrow_mut() += data.iter().sum::<u64>();
+                            output.session(time).give_vec(data);
+                        });
+                    }
+                })
+                .probe();
+            (input, sum)
+        });
+        for epoch in 0..100u64 {
+            if worker.index() == 0 {
+                input.send(epoch);
+            }
+            input.advance_to(epoch + 1);
+        }
+        input.close();
+        worker.step_until_done();
+        let result = *captured.borrow();
+        result
+    })
+    .unwrap();
+    assert_eq!(results.iter().sum::<u64>(), (0..100).sum::<u64>());
+}
+
+/// Three inputs into one ternary-ish dataflow (two binaries) coordinate
+/// epoch completion across all of them.
+#[test]
+fn three_inputs_coordinate() {
+    let results = execute(Config::single_process(2), |worker| {
+        let (mut a_in, mut b_in, mut c_in, captured) = worker.dataflow(|scope| {
+            let (a_in, a) = scope.new_input::<u64>();
+            let (b_in, b) = scope.new_input::<u64>();
+            let (c_in, c) = scope.new_input::<u64>();
+            let ab = naiad::dataflow::ops::concatenate(&a, &b);
+            let abc = naiad::dataflow::ops::concatenate(&ab, &c);
+            (a_in, b_in, c_in, abc.capture())
+        });
+        if worker.index() == 0 {
+            a_in.send(1);
+            b_in.send(2);
+            c_in.send(3);
+        }
+        // Advance inputs to different epochs: completion is gated by the
+        // slowest input.
+        a_in.advance_to(5);
+        b_in.advance_to(2);
+        if worker.index() == 0 {
+            c_in.send(4);
+        }
+        c_in.advance_to(3);
+        a_in.close();
+        b_in.close();
+        c_in.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+    let mut all: Vec<(u64, u64)> = results
+        .into_iter()
+        .flatten()
+        .flat_map(|(e, d)| d.into_iter().map(move |x| (e, x)))
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+}
+
+/// A 32-stage pipeline pushes records through in one run.
+#[test]
+fn deep_pipeline() {
+    let results = execute(Config::single_process(1), |worker| {
+        let (mut input, captured) = worker.dataflow(|scope| {
+            let (input, mut stream) = scope.new_input::<u64>();
+            for _ in 0..32 {
+                stream = stream.unary(Pact::Pipeline, "Inc", |_info| {
+                    |input: &mut InputPort<u64>, output: &mut OutputPort<u64>| {
+                        input.for_each(|time, data| {
+                            output
+                                .session(time)
+                                .give_iterator(data.into_iter().map(|x| x + 1));
+                        });
+                    }
+                });
+            }
+            (input, stream.capture())
+        });
+        input.send(0);
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+    assert_eq!(results[0][0].1, vec![32]);
+}
+
+/// Misuse: sending on a closed input panics on the worker.
+#[test]
+fn send_after_close_panics() {
+    let result = execute(Config::single_process(1), |worker| {
+        let (mut input, _probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            (input, stream.probe())
+        });
+        input.close();
+        input.send(1);
+    });
+    assert!(matches!(
+        result,
+        Err(naiad::runtime::ExecuteError::WorkerPanic(0))
+    ));
+}
+
+/// Misuse: advancing backwards panics.
+#[test]
+fn advance_backwards_panics() {
+    let result = execute(Config::single_process(1), |worker| {
+        let (mut input, _probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            (input, stream.probe())
+        });
+        input.advance_to(5);
+        input.advance_to(3);
+    });
+    assert!(matches!(
+        result,
+        Err(naiad::runtime::ExecuteError::WorkerPanic(0))
+    ));
+}
+
+/// Misuse: an unconnected feedback input fails graph validation.
+#[test]
+fn dangling_feedback_panics() {
+    let result = execute(Config::single_process(1), |worker| {
+        worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            let mut scope2 = stream.scope();
+            let lc = scope2.loop_context(naiad::graph::ContextId::ROOT);
+            let entered = lc.enter(&stream);
+            let (_handle, cycle) = lc.feedback::<u64>(None);
+            let merged = naiad::dataflow::ops::concatenate(&entered, &cycle);
+            let _ = lc.leave(&merged);
+            // _handle dropped unconnected: validation must reject.
+            input
+        });
+    });
+    assert!(matches!(
+        result,
+        Err(naiad::runtime::ExecuteError::WorkerPanic(0))
+    ));
+}
+
+/// Results are identical across repeated runs (single worker determinism).
+#[test]
+fn single_worker_runs_are_deterministic() {
+    let run = || {
+        execute(Config::single_process(1), |worker| {
+            let (mut input, captured) = worker.dataflow(|scope| {
+                let (input, stream) = scope.new_input::<u64>();
+                let out = stream.unary(Pact::Pipeline, "Triple", |_info| {
+                    |input: &mut InputPort<u64>, output: &mut OutputPort<u64>| {
+                        input.for_each(|time, data| {
+                            output
+                                .session(time)
+                                .give_iterator(data.into_iter().map(|x| 3 * x));
+                        });
+                    }
+                });
+                (input, out.capture())
+            });
+            input.send_batch([5, 6, 7]);
+            input.close();
+            worker.step_until_done();
+            let result = captured.borrow().clone();
+            result
+        })
+        .unwrap()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,164 @@
+//! Delivery-latency injection.
+//!
+//! §3.5 of the paper identifies micro-stragglers — transient delivery
+//! stalls from packet loss, timer coarseness, and GC — as the main obstacle
+//! to low-latency coordination. The real runtime in this reproduction runs
+//! in shared memory, so stalls are injected here instead: a [`LatencyModel`]
+//! assigns each message a delivery delay, and endpoints hold messages until
+//! their delivery time.
+
+use std::time::Duration;
+
+/// A per-message delivery delay model.
+///
+/// The model is deterministic given its seed, which keeps latency
+/// experiments repeatable.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Delay applied to every message (propagation plus protocol overhead).
+    pub base: Duration,
+    /// Probability in [0, 1] that a message suffers a stall.
+    pub stall_probability: f64,
+    /// Duration of a stall (e.g. a 20 ms retransmit timeout, §3.5).
+    pub stall: Duration,
+    /// Link bandwidth in bytes per second; each message additionally
+    /// serializes onto the link at this rate (`None` = infinite).
+    pub bytes_per_sec: Option<f64>,
+    /// Seed for the internal xorshift generator.
+    pub seed: u64,
+}
+
+impl LatencyModel {
+    /// A model with a fixed delay and no stalls.
+    pub fn constant(base: Duration) -> Self {
+        LatencyModel {
+            base,
+            stall_probability: 0.0,
+            stall: Duration::ZERO,
+            bytes_per_sec: None,
+            seed: 1,
+        }
+    }
+
+    /// Adds a link-bandwidth limit: a message of `n` bytes takes an extra
+    /// `n / bytes_per_sec` to serialize onto the link, and back-to-back
+    /// messages queue behind each other (FIFO delivery already enforces
+    /// the ordering; the bandwidth term supplies the spacing).
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        self.bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// A model emulating a best-effort network: `base` propagation delay
+    /// plus a `stall` of the given probability (packet loss followed by a
+    /// retransmit timeout).
+    pub fn lossy(base: Duration, stall_probability: f64, stall: Duration, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&stall_probability),
+            "probability must be in [0, 1]"
+        );
+        LatencyModel {
+            base,
+            stall_probability,
+            stall,
+            bytes_per_sec: None,
+            seed: seed.max(1),
+        }
+    }
+}
+
+/// Stateful sampler for a [`LatencyModel`]; one per link so streams of
+/// delays are independent across links.
+#[derive(Debug, Clone)]
+pub(crate) struct LatencySampler {
+    model: LatencyModel,
+    state: u64,
+}
+
+impl LatencySampler {
+    pub(crate) fn new(model: LatencyModel, link_salt: u64) -> Self {
+        let state = model.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (link_salt | 1);
+        LatencySampler {
+            model,
+            state: state.max(1),
+        }
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // Xorshift64*: adequate statistical quality for fault injection and
+        // dependency-free.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+
+    /// Propagation + stall delay for one message of `payload_len` bytes,
+    /// plus the time the message occupies the link (returned separately so
+    /// the sender can serialize back-to-back messages).
+    pub(crate) fn sample(&mut self, payload_len: usize) -> (Duration, Duration) {
+        let mut delay = self.model.base;
+        if self.model.stall_probability > 0.0 && self.next_unit() < self.model.stall_probability {
+            delay += self.model.stall;
+        }
+        let occupancy = match self.model.bytes_per_sec {
+            Some(rate) => Duration::from_secs_f64(payload_len as f64 / rate),
+            None => Duration::ZERO,
+        };
+        (delay, occupancy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_model_never_stalls() {
+        let mut s = LatencySampler::new(LatencyModel::constant(Duration::from_micros(5)), 3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(0), (Duration::from_micros(5), Duration::ZERO));
+        }
+    }
+
+    #[test]
+    fn bandwidth_adds_size_proportional_occupancy() {
+        let model = LatencyModel::constant(Duration::ZERO).with_bandwidth(1_000_000.0);
+        let mut s = LatencySampler::new(model, 1);
+        let (_, occ) = s.sample(10_000);
+        assert_eq!(occ, Duration::from_millis(10));
+        let (_, occ) = s.sample(0);
+        assert_eq!(occ, Duration::ZERO);
+    }
+
+    #[test]
+    fn lossy_model_stalls_at_roughly_the_configured_rate() {
+        let model = LatencyModel::lossy(Duration::ZERO, 0.25, Duration::from_millis(20), 42);
+        let mut s = LatencySampler::new(model, 0);
+        let stalls = (0..10_000).filter(|_| !s.sample(0).0.is_zero()).count();
+        assert!((2_000..3_000).contains(&stalls), "stalls = {stalls}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed_and_salt() {
+        let model = LatencyModel::lossy(Duration::ZERO, 0.5, Duration::from_millis(1), 7);
+        let mut a = LatencySampler::new(model.clone(), 1);
+        let mut b = LatencySampler::new(model.clone(), 1);
+        let mut c = LatencySampler::new(model, 2);
+        let sa: Vec<_> = (0..64).map(|_| a.sample(0)).collect();
+        let sb: Vec<_> = (0..64).map(|_| b.sample(0)).collect();
+        let sc: Vec<_> = (0..64).map(|_| c.sample(0)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn lossy_rejects_invalid_probability() {
+        let _ = LatencyModel::lossy(Duration::ZERO, 1.5, Duration::ZERO, 1);
+    }
+}

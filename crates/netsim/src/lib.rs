@@ -1,0 +1,35 @@
+//! An in-process message fabric standing in for Naiad's TCP/Ethernet network.
+//!
+//! The paper's cluster connects processes with pairwise TCP links (§3).
+//! This crate provides the same abstraction inside one OS process so the
+//! full distributed runtime — serialization, routing, FIFO progress
+//! broadcasts — runs unmodified on a laptop:
+//!
+//! * every ordered pair of endpoints has a FIFO link,
+//! * every payload is a byte buffer (the runtime serializes records with
+//!   `naiad-wire` before they reach the fabric),
+//! * links meter bytes and message counts separately for data and
+//!   progress-protocol traffic (Figures 6a and 6c),
+//! * links can inject delivery latency, the hook used to emulate the
+//!   micro-stragglers of §3.5.
+//!
+//! # Examples
+//!
+//! ```
+//! use naiad_netsim::{Fabric, TrafficClass};
+//!
+//! let mut endpoints = Fabric::builder(2).build();
+//! let mut b = endpoints.pop().unwrap();
+//! let mut a = endpoints.pop().unwrap();
+//! a.send(1, 7, TrafficClass::Data, vec![1, 2, 3].into());
+//! let env = b.recv_blocking().unwrap();
+//! assert_eq!((env.src, env.channel, &env.payload[..]), (0, 7, &[1u8, 2, 3][..]));
+//! ```
+
+mod endpoint;
+mod latency;
+mod metrics;
+
+pub use endpoint::{Endpoint, Envelope, Fabric, FabricBuilder, NetReceiver, NetSender, RecvError};
+pub use latency::LatencyModel;
+pub use metrics::{ClassCounters, FabricMetrics, LinkCounters, TrafficClass};

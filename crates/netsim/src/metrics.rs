@@ -1,0 +1,173 @@
+//! Traffic meters.
+//!
+//! The evaluation distinguishes application data from progress-protocol
+//! traffic: Figure 6a reports aggregate data throughput, Figure 6c reports
+//! progress traffic in MB under four accumulation policies. Counters are
+//! plain atomics so metering adds no locking to the send path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The accounting class of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Application records flowing along dataflow connectors.
+    Data,
+    /// Progress-protocol updates (§3.3).
+    Progress,
+}
+
+impl TrafficClass {
+    const COUNT: usize = 2;
+
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::Data => 0,
+            TrafficClass::Progress => 1,
+        }
+    }
+}
+
+/// Bytes and message counts for one traffic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounters {
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Total messages sent.
+    pub messages: u64,
+}
+
+/// Counters for a single directed link.
+#[derive(Debug, Default)]
+pub(crate) struct LinkMeter {
+    bytes: [AtomicU64; TrafficClass::COUNT],
+    messages: [AtomicU64; TrafficClass::COUNT],
+}
+
+impl LinkMeter {
+    pub(crate) fn record(&self, class: TrafficClass, bytes: usize) {
+        let i = class.index();
+        self.bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(&self, class: TrafficClass) -> ClassCounters {
+        let i = class.index();
+        ClassCounters {
+            bytes: self.bytes[i].load(Ordering::Relaxed),
+            messages: self.messages[i].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of one directed link's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkCounters {
+    /// Application data counters.
+    pub data: ClassCounters,
+    /// Progress-protocol counters.
+    pub progress: ClassCounters,
+}
+
+/// Fabric-wide traffic meters, shared by all endpoints.
+#[derive(Debug)]
+pub struct FabricMetrics {
+    processes: usize,
+    // Row-major `processes × processes` matrix of directed links.
+    links: Vec<LinkMeter>,
+}
+
+impl FabricMetrics {
+    pub(crate) fn new(processes: usize) -> Self {
+        let mut links = Vec::with_capacity(processes * processes);
+        links.resize_with(processes * processes, LinkMeter::default);
+        FabricMetrics { processes, links }
+    }
+
+    pub(crate) fn link(&self, src: usize, dst: usize) -> &LinkMeter {
+        &self.links[src * self.processes + dst]
+    }
+
+    /// The number of endpoints in the fabric.
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+
+    /// Snapshot of the `src → dst` link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn link_counters(&self, src: usize, dst: usize) -> LinkCounters {
+        assert!(src < self.processes && dst < self.processes);
+        let meter = self.link(src, dst);
+        LinkCounters {
+            data: meter.read(TrafficClass::Data),
+            progress: meter.read(TrafficClass::Progress),
+        }
+    }
+
+    /// Sum over all directed links, optionally excluding loopback
+    /// (`src == dst`) traffic, which never crosses a physical network.
+    pub fn total(&self, class: TrafficClass, include_loopback: bool) -> ClassCounters {
+        let mut out = ClassCounters::default();
+        for src in 0..self.processes {
+            for dst in 0..self.processes {
+                if !include_loopback && src == dst {
+                    continue;
+                }
+                let c = self.link(src, dst).read(class);
+                out.bytes += c.bytes;
+                out.messages += c.messages;
+            }
+        }
+        out
+    }
+
+    /// Total cross-process (non-loopback) bytes for a class: the quantity
+    /// the paper's byte-denominated figures report.
+    pub fn network_bytes(&self, class: TrafficClass) -> u64 {
+        self.total(class, false).bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_link_and_class() {
+        let m = FabricMetrics::new(3);
+        m.link(0, 1).record(TrafficClass::Data, 100);
+        m.link(0, 1).record(TrafficClass::Data, 50);
+        m.link(0, 1).record(TrafficClass::Progress, 8);
+        m.link(2, 2).record(TrafficClass::Data, 7);
+
+        let c = m.link_counters(0, 1);
+        assert_eq!(
+            c.data,
+            ClassCounters {
+                bytes: 150,
+                messages: 2
+            }
+        );
+        assert_eq!(
+            c.progress,
+            ClassCounters {
+                bytes: 8,
+                messages: 1
+            }
+        );
+        assert_eq!(m.link_counters(1, 0), LinkCounters::default());
+    }
+
+    #[test]
+    fn totals_respect_loopback_flag() {
+        let m = FabricMetrics::new(2);
+        m.link(0, 0).record(TrafficClass::Data, 10);
+        m.link(0, 1).record(TrafficClass::Data, 20);
+        assert_eq!(m.total(TrafficClass::Data, true).bytes, 30);
+        assert_eq!(m.total(TrafficClass::Data, false).bytes, 20);
+        assert_eq!(m.network_bytes(TrafficClass::Data), 20);
+        assert_eq!(m.network_bytes(TrafficClass::Progress), 0);
+    }
+}

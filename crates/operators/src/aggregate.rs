@@ -1,0 +1,116 @@
+//! Monotonic aggregation (BloomL-style, §4.2): emit a key's aggregate the
+//! moment it improves, with no coordination.
+//!
+//! Inside a loop this allows fast uncoordinated iteration at the cost of
+//! emitting intermediate values (§2.4's trade-off); compose with a
+//! blocking operator at the loop boundary when a single final value is
+//! needed.
+
+use std::collections::HashMap;
+
+use naiad::dataflow::{InputPort, OutputPort};
+use naiad::runtime::Pact;
+use naiad::Stream;
+use naiad_wire::ExchangeData;
+
+use crate::hash_of;
+use crate::keyed::ExchangeKey;
+
+/// Monotonic aggregation operators.
+pub trait AggregateOps<K: ExchangeKey, V: ExchangeData> {
+    /// Keeps one aggregate per key across *all* times; `improve` merges a
+    /// new value into the aggregate and reports whether it changed. Emits
+    /// `(key, aggregate)` on every improvement.
+    fn aggregate_monotonic<A: ExchangeData>(
+        &self,
+        init: impl Fn(&V) -> A + 'static,
+        improve: impl FnMut(&mut A, V) -> bool + 'static,
+    ) -> Stream<(K, A)>;
+
+    /// Monotonic minimum per key.
+    fn min_monotonic(&self) -> Stream<(K, V)>
+    where
+        V: Ord;
+}
+
+impl<K: ExchangeKey, V: ExchangeData> AggregateOps<K, V> for Stream<(K, V)> {
+    fn aggregate_monotonic<A: ExchangeData>(
+        &self,
+        init: impl Fn(&V) -> A + 'static,
+        mut improve: impl FnMut(&mut A, V) -> bool + 'static,
+    ) -> Stream<(K, A)> {
+        self.unary(
+            Pact::exchange(|(k, _): &(K, V)| hash_of(k)),
+            "AggregateMonotonic",
+            move |info| {
+                let aggregates: std::rc::Rc<std::cell::RefCell<HashMap<K, A>>> =
+                    std::rc::Rc::new(std::cell::RefCell::new(HashMap::new()));
+                // Cross-time state: exactly what checkpoints must capture.
+                info.register_state(aggregates.clone());
+                move |input: &mut InputPort<(K, V)>, output: &mut OutputPort<(K, A)>| {
+                    let mut aggregates = aggregates.borrow_mut();
+                    input.for_each(|time, data| {
+                        let mut session = output.session(time);
+                        for (k, v) in data {
+                            match aggregates.get_mut(&k) {
+                                None => {
+                                    let a = init(&v);
+                                    aggregates.insert(k.clone(), a.clone());
+                                    session.give((k, a));
+                                }
+                                Some(a) => {
+                                    if improve(a, v) {
+                                        session.give((k.clone(), a.clone()));
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            },
+        )
+    }
+
+    fn min_monotonic(&self) -> Stream<(K, V)>
+    where
+        V: Ord,
+    {
+        self.aggregate_monotonic(
+            |v| v.clone(),
+            |a, v| {
+                if v < *a {
+                    *a = v;
+                    true
+                } else {
+                    false
+                }
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_epochs;
+
+    #[test]
+    fn min_emits_only_improvements() {
+        let out = run_epochs(1, vec![vec![(1u64, 5u64), (1, 7), (1, 3), (1, 4)]], |s| {
+            s.min_monotonic()
+        });
+        // 5 first seen, 7 ignored, 3 improves, 4 ignored.
+        assert_eq!(out, vec![(0, (1, 3)), (0, (1, 5))]);
+    }
+
+    #[test]
+    fn aggregates_persist_across_epochs() {
+        let out = run_epochs(
+            2,
+            vec![vec![(1u64, 5u64)], vec![(1, 9)], vec![(1, 2)]],
+            |s| s.min_monotonic(),
+        );
+        // Epoch 1's 9 does not improve on 5; epoch 2's 2 does.
+        assert_eq!(out, vec![(0, (1, 5)), (2, (1, 2))]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Stream merging: `concat` forwards records from both inputs immediately
+//! (the specialized, coordination-free implementation of §4.2).
+
+use naiad::dataflow::ops::concatenate;
+use naiad::Stream;
+use naiad_wire::ExchangeData;
+
+/// Merging operators.
+pub trait ConcatOps<D: ExchangeData> {
+    /// Merges two streams, forwarding records from both as they arrive.
+    fn concat(&self, other: &Stream<D>) -> Stream<D>;
+
+    /// Merges any number of streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is empty.
+    fn concat_many(streams: Vec<Stream<D>>) -> Stream<D>;
+}
+
+impl<D: ExchangeData> ConcatOps<D> for Stream<D> {
+    fn concat(&self, other: &Stream<D>) -> Stream<D> {
+        concatenate(self, other)
+    }
+
+    fn concat_many(streams: Vec<Stream<D>>) -> Stream<D> {
+        let mut iter = streams.into_iter();
+        let first = iter
+            .next()
+            .expect("concat_many requires at least one stream");
+        iter.fold(first, |acc, s| concatenate(&acc, &s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_epochs;
+    use crate::MapOps;
+
+    #[test]
+    fn concat_merges_both_inputs() {
+        let out = run_epochs(1, vec![vec![1u64, 2]], |s| {
+            let tens = s.map(|x| x + 10);
+            s.concat(&tens)
+        });
+        let values: Vec<u64> = out.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(values, vec![1, 2, 11, 12]);
+    }
+
+    #[test]
+    fn concat_many_folds() {
+        let out = run_epochs(1, vec![vec![1u64]], |s| {
+            Stream::concat_many(vec![s.clone(), s.map(|x| x + 1), s.map(|x| x + 2)])
+        });
+        let values: Vec<u64> = out.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! `distinct`: emit each record the first time it is seen at a time.
+//!
+//! This is the asynchronous specialization §4.2 calls out: a record is
+//! forwarded from `OnRecv` the moment it is first observed, so `distinct`
+//! adds no coordination — which is what lets Datalog-style loops built
+//! from `Where`/`Concat`/`Distinct`/`Join` run fully asynchronously.
+//! Per-time state is reclaimed by a purge notification (§2.4) that never
+//! holds back the frontier.
+
+use std::collections::{HashMap, HashSet};
+
+use naiad::dataflow::{InputPort, Notify, OutputPort};
+use naiad::runtime::Pact;
+use naiad::{Stream, Timestamp};
+use naiad_wire::ExchangeData;
+
+use crate::hash_of;
+
+/// Deduplication operators.
+pub trait DistinctOps<D: ExchangeData> {
+    /// Emits each distinct record once per timestamp, at first sight.
+    ///
+    /// Records are exchanged by hash so all copies of a record meet at one
+    /// worker. Works inside loop contexts: distinctness is per full
+    /// timestamp (epoch and loop counters), which is what fixed-point
+    /// loops rely on for termination.
+    fn distinct(&self) -> Stream<D>;
+}
+
+impl<D: ExchangeData + std::hash::Hash + Eq> DistinctOps<D> for Stream<D> {
+    fn distinct(&self) -> Stream<D> {
+        self.unary_notify(Pact::exchange(|d: &D| hash_of(d)), "Distinct", |_info| {
+            let seen: std::rc::Rc<std::cell::RefCell<HashMap<Timestamp, HashSet<D>>>> =
+                std::rc::Rc::new(std::cell::RefCell::new(HashMap::new()));
+            let recv_seen = seen.clone();
+            (
+                move |input: &mut InputPort<D>, output: &mut OutputPort<D>, notify: &Notify| {
+                    let mut seen = recv_seen.borrow_mut();
+                    input.for_each(|time, data| {
+                        let set = seen.entry(time).or_insert_with(|| {
+                            notify.notify_at_purge(time);
+                            HashSet::new()
+                        });
+                        let mut session = output.session(time);
+                        for record in data {
+                            if set.insert(record.clone()) {
+                                session.give(record);
+                            }
+                        }
+                    });
+                },
+                // Purge: the time is complete everywhere, free its set.
+                move |time: Timestamp, _output: &mut OutputPort<D>, _notify: &Notify| {
+                    seen.borrow_mut().remove(&time);
+                },
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_epochs;
+
+    #[test]
+    fn distinct_dedupes_within_epoch() {
+        let out = run_epochs(2, vec![vec![1u64, 2, 1, 1, 2, 3], vec![1, 1]], |s| {
+            s.distinct()
+        });
+        assert_eq!(out, vec![(0, 1), (0, 2), (0, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn distinct_keeps_epochs_separate() {
+        let out = run_epochs(1, vec![vec![5u64], vec![5], vec![5]], |s| s.distinct());
+        assert_eq!(out, vec![(0, 5), (1, 5), (2, 5)]);
+    }
+}

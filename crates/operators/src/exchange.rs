@@ -1,0 +1,55 @@
+//! Repartitioning operators: explicit exchange and broadcast.
+
+use naiad::dataflow::{InputPort, OutputPort};
+use naiad::runtime::Pact;
+use naiad::Stream;
+use naiad_wire::ExchangeData;
+
+/// Operators that move records between workers without transforming them.
+pub trait ExchangeOps<D: ExchangeData> {
+    /// Routes each record to the worker selected by `route(record) mod
+    /// peers` (§3.1's partitioning function).
+    fn exchange(&self, route: impl Fn(&D) -> u64 + 'static) -> Stream<D>;
+
+    /// Delivers a copy of every record to every worker.
+    fn broadcast(&self) -> Stream<D>;
+}
+
+impl<D: ExchangeData> ExchangeOps<D> for Stream<D> {
+    fn exchange(&self, route: impl Fn(&D) -> u64 + 'static) -> Stream<D> {
+        forward(self, Pact::exchange(route), "Exchange")
+    }
+
+    fn broadcast(&self) -> Stream<D> {
+        forward(self, Pact::Broadcast, "Broadcast")
+    }
+}
+
+fn forward<D: ExchangeData>(stream: &Stream<D>, pact: Pact<D>, name: &str) -> Stream<D> {
+    stream.unary(pact, name, |_info| {
+        |input: &mut InputPort<D>, output: &mut OutputPort<D>| {
+            input.for_each(|time, data| output.session(time).give_vec(data));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_epochs;
+    use crate::MapOps;
+
+    #[test]
+    fn exchange_preserves_records() {
+        let out = run_epochs(3, vec![(0..30u64).collect()], |s| s.exchange(|x| *x));
+        let values: Vec<u64> = out.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(values, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn broadcast_duplicates_per_worker() {
+        let out = run_epochs(3, vec![vec![7u64]], |s| s.broadcast().map(|x| x));
+        assert_eq!(out.len(), 3, "one copy per worker");
+        assert!(out.iter().all(|&(e, v)| e == 0 && v == 7));
+    }
+}

@@ -1,0 +1,123 @@
+//! Record-at-a-time transformations: `map` (LINQ `Select`), `flat_map`
+//! (`SelectMany`), `filter` (`Where`), and `filter_map`.
+//!
+//! None of these buffer or coordinate: they transform and forward from
+//! `OnRecv`, like the specialized `Select` implementation §4.2 describes.
+
+use naiad::dataflow::{InputPort, OutputPort};
+use naiad::runtime::Pact;
+use naiad::Stream;
+use naiad_wire::ExchangeData;
+
+/// Stateless per-record operators.
+pub trait MapOps<D: ExchangeData> {
+    /// Applies `logic` to every record (LINQ `Select`).
+    fn map<D2: ExchangeData>(&self, logic: impl FnMut(D) -> D2 + 'static) -> Stream<D2>;
+
+    /// Applies `logic` and flattens the results (LINQ `SelectMany`).
+    fn flat_map<D2: ExchangeData, I: IntoIterator<Item = D2>>(
+        &self,
+        logic: impl FnMut(D) -> I + 'static,
+    ) -> Stream<D2>;
+
+    /// Keeps records satisfying `predicate` (LINQ `Where`).
+    fn filter(&self, predicate: impl FnMut(&D) -> bool + 'static) -> Stream<D>;
+
+    /// Applies `logic`, keeping only `Some` results.
+    fn filter_map<D2: ExchangeData>(
+        &self,
+        logic: impl FnMut(D) -> Option<D2> + 'static,
+    ) -> Stream<D2>;
+}
+
+impl<D: ExchangeData> MapOps<D> for Stream<D> {
+    fn map<D2: ExchangeData>(&self, mut logic: impl FnMut(D) -> D2 + 'static) -> Stream<D2> {
+        self.unary(Pact::Pipeline, "Map", move |_info| {
+            move |input: &mut InputPort<D>, output: &mut OutputPort<D2>| {
+                input.for_each(|time, data| {
+                    output
+                        .session(time)
+                        .give_iterator(data.into_iter().map(&mut logic));
+                });
+            }
+        })
+    }
+
+    fn flat_map<D2: ExchangeData, I: IntoIterator<Item = D2>>(
+        &self,
+        mut logic: impl FnMut(D) -> I + 'static,
+    ) -> Stream<D2> {
+        self.unary(Pact::Pipeline, "FlatMap", move |_info| {
+            move |input: &mut InputPort<D>, output: &mut OutputPort<D2>| {
+                input.for_each(|time, data| {
+                    let mut session = output.session(time);
+                    for record in data {
+                        session.give_iterator(logic(record));
+                    }
+                });
+            }
+        })
+    }
+
+    fn filter(&self, mut predicate: impl FnMut(&D) -> bool + 'static) -> Stream<D> {
+        self.unary(Pact::Pipeline, "Filter", move |_info| {
+            move |input: &mut InputPort<D>, output: &mut OutputPort<D>| {
+                input.for_each(|time, mut data| {
+                    data.retain(&mut predicate);
+                    if !data.is_empty() {
+                        output.session(time).give_vec(data);
+                    }
+                });
+            }
+        })
+    }
+
+    fn filter_map<D2: ExchangeData>(
+        &self,
+        mut logic: impl FnMut(D) -> Option<D2> + 'static,
+    ) -> Stream<D2> {
+        self.unary(Pact::Pipeline, "FilterMap", move |_info| {
+            move |input: &mut InputPort<D>, output: &mut OutputPort<D2>| {
+                input.for_each(|time, data| {
+                    output
+                        .session(time)
+                        .give_iterator(data.into_iter().filter_map(&mut logic));
+                });
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_epochs;
+
+    #[test]
+    fn map_transforms_each_record() {
+        let out = run_epochs(2, vec![vec![1u64, 2, 3], vec![4]], |s| s.map(|x| x * 10));
+        assert_eq!(out, vec![(0, 10), (0, 20), (0, 30), (1, 40)]);
+    }
+
+    #[test]
+    fn flat_map_expands_and_flattens() {
+        let out = run_epochs(1, vec![vec![2u64, 3]], |s| {
+            s.flat_map(|x| (0..x).collect::<Vec<_>>())
+        });
+        assert_eq!(out, vec![(0, 0), (0, 0), (0, 1), (0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let out = run_epochs(2, vec![(0..10u64).collect()], |s| s.filter(|x| x % 3 == 0));
+        assert_eq!(out, vec![(0, 0), (0, 3), (0, 6), (0, 9)]);
+    }
+
+    #[test]
+    fn filter_map_combines_both() {
+        let out = run_epochs(1, vec![vec![1u64, 2, 3, 4]], |s| {
+            s.filter_map(|x| (x % 2 == 0).then_some(x * 100))
+        });
+        assert_eq!(out, vec![(0, 200), (0, 400)]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Global reductions: per-epoch folds and the data-parallel AllReduce of
+//! §6.2.
+//!
+//! The AllReduce follows the paper's design: each of `k` workers reduces
+//! `1/k` of the vector and broadcasts its slice, rather than reducing over
+//! a binary tree like Vowpal Wabbit — the variant the paper credits with
+//! its 35% asymptotic improvement on full-bisection clusters.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use naiad::dataflow::{InputPort, Notify, OutputPort};
+use naiad::runtime::Pact;
+use naiad::{Stream, Timestamp};
+use naiad_wire::ExchangeData;
+
+/// Whole-stream folds.
+pub trait ReductionOps<D: ExchangeData> {
+    /// Folds every record of each epoch into one value, emitted at one
+    /// worker when the epoch completes.
+    fn fold_all<A: ExchangeData>(
+        &self,
+        init: impl Fn() -> A + 'static,
+        fold: impl FnMut(&mut A, D) + 'static,
+    ) -> Stream<A>;
+}
+
+impl<D: ExchangeData> ReductionOps<D> for Stream<D> {
+    fn fold_all<A: ExchangeData>(
+        &self,
+        init: impl Fn() -> A + 'static,
+        mut fold: impl FnMut(&mut A, D) + 'static,
+    ) -> Stream<A> {
+        self.unary_notify(Pact::exchange(|_d: &D| 0), "FoldAll", move |_info| {
+            let accs: Rc<RefCell<HashMap<Timestamp, A>>> = Rc::new(RefCell::new(HashMap::new()));
+            let recv_accs = accs.clone();
+            (
+                move |input: &mut InputPort<D>, _output: &mut OutputPort<A>, notify: &Notify| {
+                    let mut accs = recv_accs.borrow_mut();
+                    input.for_each(|time, data| {
+                        accs.entry(time).or_insert_with(|| {
+                            notify.notify_at(time);
+                            init()
+                        });
+                        let acc = accs.get_mut(&time).expect("just inserted");
+                        for d in data {
+                            fold(acc, d);
+                        }
+                    });
+                },
+                move |time: Timestamp, output: &mut OutputPort<A>, _notify: &Notify| {
+                    if let Some(acc) = accs.borrow_mut().remove(&time) {
+                        output.session(time).give(acc);
+                    }
+                },
+            )
+        })
+    }
+}
+
+/// The data-parallel AllReduce (§6.2).
+pub trait AllReduceOps {
+    /// Element-wise sums one vector per worker per epoch, delivering the
+    /// complete reduced vector to *every* worker when its epoch's
+    /// contributions have all arrived.
+    ///
+    /// Every worker must contribute exactly one vector per epoch, and all
+    /// vectors in an epoch must have equal length. Slices are emitted as
+    /// soon as the last contribution arrives — count-based, no
+    /// coordination — which is what makes the tail latency competitive
+    /// with a hand-built MPI-style implementation.
+    fn all_reduce_sum(&self) -> Stream<Vec<f64>>;
+}
+
+impl AllReduceOps for Stream<Vec<f64>> {
+    fn all_reduce_sum(&self) -> Stream<Vec<f64>> {
+        // Phase 1: scatter — split each worker's vector into one slice per
+        // peer, routed so slice i lands at worker i.
+        let slices = self.unary(Pact::Pipeline, "AllReduceSplit", |info| {
+            let peers = info.peers as u64;
+            move |input: &mut InputPort<Vec<f64>>, output: &mut OutputPort<(u64, u64, Vec<f64>)>| {
+                input.for_each(|time, data| {
+                    let mut session = output.session(time);
+                    for vector in data {
+                        let len = vector.len() as u64;
+                        for slice in 0..peers {
+                            let start = (slice * len / peers) as usize;
+                            let end = ((slice + 1) * len / peers) as usize;
+                            session.give((slice, len, vector[start..end].to_vec()));
+                        }
+                    }
+                });
+            }
+        });
+
+        // Phase 2: reduce — worker i sums slice i over all contributions,
+        // emitting the moment the count reaches `peers`.
+        let reduced = slices.unary(
+            Pact::exchange(|(slice, _, _): &(u64, u64, Vec<f64>)| *slice),
+            "AllReduceSlice",
+            |info| {
+                let peers = info.peers;
+                let mut partial: HashMap<(Timestamp, u64), (usize, Vec<f64>)> = HashMap::new();
+                move |input: &mut InputPort<(u64, u64, Vec<f64>)>,
+                      output: &mut OutputPort<(u64, u64, Vec<f64>)>| {
+                    input.for_each(|time, data| {
+                        let mut session = output.session(time);
+                        for (slice, len, values) in data {
+                            let entry = partial
+                                .entry((time, slice))
+                                .or_insert_with(|| (0, vec![0.0; values.len()]));
+                            for (acc, v) in entry.1.iter_mut().zip(&values) {
+                                *acc += v;
+                            }
+                            entry.0 += 1;
+                            if entry.0 == peers {
+                                let (_, summed) =
+                                    partial.remove(&(time, slice)).expect("just updated");
+                                session.give((slice, len, summed));
+                            }
+                        }
+                    });
+                }
+            },
+        );
+
+        // Phase 3: gather — broadcast reduced slices; every worker
+        // reassembles the full vector once all slices arrive.
+        reduced.unary(Pact::Broadcast, "AllReduceGather", |info| {
+            let peers = info.peers as u64;
+            let mut pending: HashMap<Timestamp, Vec<Option<Vec<f64>>>> = HashMap::new();
+            move |input: &mut InputPort<(u64, u64, Vec<f64>)>, output: &mut OutputPort<Vec<f64>>| {
+                input.for_each(|time, data| {
+                    for (slice, len, values) in data {
+                        let slots = pending
+                            .entry(time)
+                            .or_insert_with(|| vec![None; peers as usize]);
+                        slots[slice as usize] = Some(values);
+                        if slots.iter().all(Option::is_some) {
+                            let slots = pending.remove(&time).expect("just filled");
+                            let mut full = Vec::with_capacity(len as usize);
+                            for s in slots {
+                                full.extend(s.expect("all present"));
+                            }
+                            output.session(time).give(full);
+                        }
+                    }
+                });
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naiad::{execute, Config};
+
+    #[test]
+    fn fold_all_sums_an_epoch() {
+        let out = crate::testing::run_epochs(3, vec![(1..=10u64).collect(), vec![5]], |s| {
+            s.fold_all(|| 0u64, |acc, x| *acc += x)
+        });
+        assert_eq!(out, vec![(0, 55), (1, 5)]);
+    }
+
+    #[test]
+    fn all_reduce_delivers_the_sum_everywhere() {
+        for workers in [1, 2, 3] {
+            let results = execute(Config::single_process(workers), |worker| {
+                let (mut input, captured) = worker.dataflow(|scope| {
+                    let (input, vectors) = scope.new_input::<Vec<f64>>();
+                    let reduced = vectors.all_reduce_sum();
+                    (input, reduced.capture())
+                });
+                let index = worker.index() as f64;
+                // Length 7 exercises uneven slicing.
+                for epoch in 0..2u64 {
+                    input.send((0..7).map(|i| index + i as f64 + epoch as f64).collect());
+                    if epoch == 0 {
+                        input.advance_to(1);
+                    }
+                }
+                input.close();
+                worker.step_until_done();
+                let result = captured.borrow().clone();
+                result
+            })
+            .unwrap();
+            let w = workers as f64;
+            for (worker_out, _) in results.iter().zip(0..) {
+                assert_eq!(worker_out.len(), 2, "one vector per epoch");
+                for (epoch, vectors) in worker_out {
+                    assert_eq!(vectors.len(), 1);
+                    let base: f64 = (0..workers as u64).map(|i| i as f64).sum();
+                    let expect: Vec<f64> = (0..7)
+                        .map(|i| base + w * (i as f64 + *epoch as f64))
+                        .collect();
+                    assert_eq!(vectors[0], expect, "workers={workers} epoch={epoch}");
+                }
+            }
+        }
+    }
+}

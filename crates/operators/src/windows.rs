@@ -1,0 +1,195 @@
+//! Epoch-based windows: tumbling and sliding aggregates over streams.
+//!
+//! The paper's streaming applications (§6.3–§6.4) aggregate per epoch;
+//! windowing generalizes that to aggregates over *ranges* of epochs, using
+//! the same notification machinery: a window's result is emitted at its
+//! closing epoch, when the frontier guarantees every contributing epoch is
+//! complete. (The paper notes Naiad can even express sliding-window
+//! connected components; these operators are the keyed-aggregate
+//! building blocks of that style.)
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use naiad::dataflow::{InputPort, Notify, OutputPort};
+use naiad::runtime::Pact;
+use naiad::{Stream, Timestamp};
+use naiad_wire::ExchangeData;
+
+use crate::hash_of;
+use crate::keyed::ExchangeKey;
+
+/// Windowed aggregation over `(key, value)` streams at the top level.
+///
+/// Windows are measured in epochs. Results for a window are emitted at
+/// its last epoch; epochs with no records for any key advance windows only
+/// once a later data-bearing epoch closes (windows are data-driven, like
+/// the rest of the dataflow).
+pub trait WindowOps<K: ExchangeKey, V: ExchangeData> {
+    /// Sums `fold`-ed values per key over consecutive disjoint windows of
+    /// `width` epochs: window `w` covers epochs `[w·width, (w+1)·width)`,
+    /// and `(key, w, aggregate)` is emitted at the window's final epoch.
+    fn tumbling_fold<A: ExchangeData>(
+        &self,
+        width: u64,
+        init: impl Fn() -> A + 'static,
+        fold: impl FnMut(&mut A, V) + 'static,
+    ) -> Stream<(K, u64, A)>;
+
+    /// Per-epoch counts per key over the trailing `width` epochs:
+    /// `(key, count)` emitted at every data-bearing epoch `e`, counting
+    /// records with epochs in `(e − width, e]`.
+    fn sliding_count(&self, width: u64) -> Stream<(K, u64)>;
+}
+
+impl<K: ExchangeKey, V: ExchangeData> WindowOps<K, V> for Stream<(K, V)> {
+    fn tumbling_fold<A: ExchangeData>(
+        &self,
+        width: u64,
+        init: impl Fn() -> A + 'static,
+        mut fold: impl FnMut(&mut A, V) + 'static,
+    ) -> Stream<(K, u64, A)> {
+        assert!(width > 0, "window width must be positive");
+        self.unary_notify(
+            Pact::exchange(|(k, _): &(K, V)| hash_of(k)),
+            "TumblingFold",
+            move |_info| {
+                // Partial aggregates per window per key, plus the set of
+                // epochs we asked to be notified at (window closers).
+                let state: Rc<RefCell<HashMap<u64, HashMap<K, A>>>> =
+                    Rc::new(RefCell::new(HashMap::new()));
+                let recv_state = state.clone();
+                (
+                    move |input: &mut InputPort<(K, V)>,
+                          _output: &mut OutputPort<(K, u64, A)>,
+                          notify: &Notify| {
+                        let mut state = recv_state.borrow_mut();
+                        input.for_each(|time, data| {
+                            let window = time.epoch / width;
+                            let close = window * width + width - 1;
+                            state.entry(window).or_insert_with(|| {
+                                // Ask to run when the window's last epoch
+                                // completes.
+                                notify.notify_at(Timestamp::new(close));
+                                HashMap::new()
+                            });
+                            let per_key = state.get_mut(&window).expect("just inserted");
+                            for (k, v) in data {
+                                let acc = per_key.entry(k).or_insert_with(&init);
+                                fold(acc, v);
+                            }
+                        });
+                    },
+                    move |time: Timestamp,
+                          output: &mut OutputPort<(K, u64, A)>,
+                          _notify: &Notify| {
+                        let window = time.epoch / width;
+                        if let Some(per_key) = state.borrow_mut().remove(&window) {
+                            let mut session = output.session(time);
+                            for (k, acc) in per_key {
+                                session.give((k, window, acc));
+                            }
+                        }
+                    },
+                )
+            },
+        )
+    }
+
+    fn sliding_count(&self, width: u64) -> Stream<(K, u64)> {
+        assert!(width > 0, "window width must be positive");
+        self.unary_notify(
+            Pact::exchange(|(k, _): &(K, V)| hash_of(k)),
+            "SlidingCount",
+            move |_info| {
+                let state: Rc<RefCell<HashMap<u64, HashMap<K, u64>>>> =
+                    Rc::new(RefCell::new(HashMap::new()));
+                let recv_state = state.clone();
+                (
+                    move |input: &mut InputPort<(K, V)>,
+                          _output: &mut OutputPort<(K, u64)>,
+                          notify: &Notify| {
+                        let mut state = recv_state.borrow_mut();
+                        input.for_each(|time, data| {
+                            state.entry(time.epoch).or_insert_with(|| {
+                                notify.notify_at(time);
+                                HashMap::new()
+                            });
+                            let per_key = state.get_mut(&time.epoch).expect("just inserted");
+                            for (k, _v) in data {
+                                *per_key.entry(k).or_insert(0) += 1;
+                            }
+                        });
+                    },
+                    move |time: Timestamp, output: &mut OutputPort<(K, u64)>, _n: &Notify| {
+                        let state = state.borrow_mut();
+                        let from = time.epoch.saturating_sub(width - 1);
+                        let mut totals: HashMap<K, u64> = HashMap::new();
+                        for (epoch, per_key) in state.iter() {
+                            if (from..=time.epoch).contains(epoch) {
+                                for (k, n) in per_key {
+                                    *totals.entry(k.clone()).or_insert(0) += n;
+                                }
+                            }
+                        }
+                        // Epochs older than any future window could be
+                        // purged here; kept simple since widths are small.
+                        output.session(time).give_iterator(totals);
+                    },
+                )
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::run_epochs;
+
+    #[test]
+    fn tumbling_folds_disjoint_windows() {
+        // Width 2: epochs {0,1} → window 0, {2,3} → window 1.
+        let out = run_epochs(
+            2,
+            vec![
+                vec![(1u64, 5u64)],
+                vec![(1, 7), (2, 1)],
+                vec![(1, 100)],
+                vec![],
+            ],
+            |s| s.tumbling_fold(2, || 0u64, |acc, v| *acc += v),
+        );
+        let mut rows: Vec<(u64, u64, u64)> = out.into_iter().map(|(_, r)| r).collect();
+        rows.sort();
+        assert_eq!(rows, vec![(1, 0, 12), (1, 1, 100), (2, 0, 1)]);
+    }
+
+    #[test]
+    fn sliding_counts_trailing_epochs() {
+        let out = run_epochs(
+            1,
+            vec![vec![(9u64, ())], vec![(9, ()), (9, ())], vec![(9, ())]],
+            |s| s.sliding_count(2),
+        );
+        // Epoch 0: 1; epoch 1: 1+2 = 3; epoch 2: 2+1 = 3.
+        assert_eq!(out, vec![(0, (9, 1)), (1, (9, 3)), (2, (9, 3))]);
+    }
+
+    #[test]
+    fn windows_are_keyed() {
+        // Single worker: windows are evaluated at data-bearing epochs of
+        // the worker's whole partition, so key 2's trailing count appears
+        // at epoch 1 even though only key 1 has epoch-1 records.
+        let out = run_epochs(1, vec![vec![(1u64, ()), (2u64, ())], vec![(1, ())]], |s| {
+            s.sliding_count(2)
+        });
+        let mut rows: Vec<(u64, (u64, u64))> = out;
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![(0, (1, 1)), (0, (2, 1)), (1, (1, 2)), (1, (2, 1))]
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Decoding errors.
+
+use std::fmt;
+
+/// An error produced while decoding a [`Wire`](crate::Wire) value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// A varint ran past its maximum width or overflowed the target type.
+    VarintOverflow,
+    /// A one-byte tag (e.g. for `bool` or `Option`) held an invalid value.
+    InvalidTag(u8),
+    /// A decoded scalar is not a valid value of the target type
+    /// (e.g. a `char` surrogate).
+    InvalidValue,
+    /// A declared length exceeds the remaining input, which would otherwise
+    /// trigger a pathological allocation.
+    LengthOverrun { declared: usize, remaining: usize },
+    /// `decode_from_slice` finished with this many bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::VarintOverflow => write!(f, "varint too long for target type"),
+            WireError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            WireError::InvalidValue => write!(f, "decoded bits are not a valid value"),
+            WireError::LengthOverrun {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining input {remaining}"
+            ),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs: Vec<String> = [
+            WireError::UnexpectedEof,
+            WireError::VarintOverflow,
+            WireError::InvalidTag(3),
+            WireError::InvalidValue,
+            WireError::LengthOverrun {
+                declared: 10,
+                remaining: 2,
+            },
+            WireError::TrailingBytes(4),
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! [`Wire`] implementations for scalar types.
+
+use crate::varint;
+use crate::{Wire, WireError};
+
+macro_rules! wire_unsigned {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                varint::encode_u64(u64::from(*self), buf);
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                let v = varint::decode_u64(input)?;
+                <$t>::try_from(v).map_err(|_| WireError::VarintOverflow)
+            }
+            fn encoded_len(&self) -> usize {
+                varint::len_u64(u64::from(*self))
+            }
+        }
+    )*};
+}
+
+wire_unsigned!(u8, u16, u32, u64);
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(*self as u64, buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let v = varint::decode_u64(input)?;
+        usize::try_from(v).map_err(|_| WireError::VarintOverflow)
+    }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(*self as u64)
+    }
+}
+
+macro_rules! wire_signed {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                varint::encode_u64(varint::zigzag(i64::from(*self)), buf);
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                let v = varint::unzigzag(varint::decode_u64(input)?);
+                <$t>::try_from(v).map_err(|_| WireError::VarintOverflow)
+            }
+            fn encoded_len(&self) -> usize {
+                varint::len_u64(varint::zigzag(i64::from(*self)))
+            }
+        }
+    )*};
+}
+
+wire_signed!(i8, i16, i32, i64);
+
+impl Wire for isize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(varint::zigzag(*self as i64), buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let v = varint::unzigzag(varint::decode_u64(input)?);
+        isize::try_from(v).map_err(|_| WireError::VarintOverflow)
+    }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(varint::zigzag(*self as i64))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let (&byte, rest) = input.split_first().ok_or(WireError::UnexpectedEof)?;
+        *input = rest;
+        match byte {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::InvalidTag(other)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Wire for f32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if input.len() < 4 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let (head, rest) = input.split_at(4);
+        *input = rest;
+        Ok(f32::from_le_bytes(head.try_into().expect("split_at(4)")))
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        if input.len() < 8 {
+            return Err(WireError::UnexpectedEof);
+        }
+        let (head, rest) = input.split_at(8);
+        *input = rest;
+        Ok(f64::from_le_bytes(head.try_into().expect("split_at(8)")))
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for char {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        varint::encode_u64(u64::from(u32::from(*self)), buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u32::decode(input)?;
+        char::from_u32(v).ok_or(WireError::InvalidValue)
+    }
+    fn encoded_len(&self) -> usize {
+        varint::len_u64(u64::from(u32::from(*self)))
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode_from_slice, encode_to_vec, Wire, WireError};
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        assert_eq!(bytes.len(), v.encoded_len());
+        assert_eq!(decode_from_slice::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(i8::MIN);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(isize::MIN);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(1.5f32);
+        roundtrip(-0.0f64);
+        roundtrip('é');
+        roundtrip('\u{10FFFF}');
+        roundtrip(());
+    }
+
+    #[test]
+    fn narrow_types_reject_wide_values() {
+        let bytes = encode_to_vec(&300u64);
+        assert_eq!(
+            decode_from_slice::<u8>(&bytes),
+            Err(WireError::VarintOverflow)
+        );
+        let bytes = encode_to_vec(&(-200i64));
+        assert_eq!(
+            decode_from_slice::<i8>(&bytes),
+            Err(WireError::VarintOverflow)
+        );
+    }
+
+    #[test]
+    fn bool_rejects_other_tags() {
+        assert_eq!(
+            decode_from_slice::<bool>(&[2]),
+            Err(WireError::InvalidTag(2))
+        );
+    }
+
+    #[test]
+    fn char_rejects_surrogates() {
+        let bytes = encode_to_vec(&0xD800u32);
+        assert_eq!(
+            decode_from_slice::<char>(&bytes),
+            Err(WireError::InvalidValue)
+        );
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let v = f64::NAN;
+        let bytes = encode_to_vec(&v);
+        let back = decode_from_slice::<f64>(&bytes).unwrap();
+        assert_eq!(v.to_bits(), back.to_bits());
+    }
+}

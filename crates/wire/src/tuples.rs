@@ -1,0 +1,70 @@
+//! [`Wire`] implementations for tuples up to arity 8.
+//!
+//! Tuples are the workhorse record type of the operator library
+//! (key/value pairs, `(src, dst)` edges, `(user, hashtag, mentions)`
+//! tweets), so they encode with zero framing overhead: parts are simply
+//! concatenated.
+
+use crate::{Wire, WireError};
+
+macro_rules! wire_tuple {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode(buf);)+
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(($($name::decode(input)?,)+))
+            }
+            fn encoded_len(&self) -> usize {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.encoded_len())+
+            }
+        }
+    )+};
+}
+
+wire_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode_from_slice, encode_to_vec, Wire};
+
+    #[test]
+    fn tuples_roundtrip() {
+        let v = (1u8, -2i32, String::from("x"), vec![true, false]);
+        let bytes = encode_to_vec(&v);
+        assert_eq!(bytes.len(), v.encoded_len());
+        let back: (u8, i32, String, Vec<bool>) = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn tuple_encoding_is_concatenation() {
+        let v = (7u32, 9u64);
+        let mut manual = Vec::new();
+        7u32.encode(&mut manual);
+        9u64.encode(&mut manual);
+        assert_eq!(encode_to_vec(&v), manual);
+    }
+
+    #[test]
+    fn arity_eight_roundtrips() {
+        let v = (1u8, 2u8, 3u8, 4u8, 5u8, 6u8, 7u8, 8u8);
+        let bytes = encode_to_vec(&v);
+        let back: (u8, u8, u8, u8, u8, u8, u8, u8) = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,132 @@
+//! LEB128 variable-length integers and the zigzag mapping.
+//!
+//! Progress-protocol updates are dominated by small integers (stage ids,
+//! epochs, loop counters, ±1 deltas), so a varint representation is what
+//! makes the Figure 6c byte counts meaningful.
+
+use crate::WireError;
+
+/// Appends `value` to `buf` as an LEB128 varint (1–10 bytes).
+pub fn encode_u64(mut value: u64, buf: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes an LEB128 varint from the front of `input`.
+pub fn decode_u64(input: &mut &[u8]) -> Result<u64, WireError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or(WireError::UnexpectedEof)?;
+        *input = rest;
+        let low = u64::from(byte & 0x7f);
+        if shift == 63 && low > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::VarintOverflow);
+        }
+    }
+}
+
+/// The number of bytes [`encode_u64`] writes for `value`.
+pub fn len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Maps a signed integer to an unsigned one so small magnitudes stay small.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = Vec::new();
+        encode_u64(v, &mut buf);
+        assert_eq!(buf.len(), len_u64(v), "len_u64 mismatch for {v}");
+        let mut slice = &buf[..];
+        assert_eq!(decode_u64(&mut slice).unwrap(), v);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn roundtrips_boundaries() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..128 {
+            assert_eq!(len_u64(v), 1);
+        }
+        assert_eq!(len_u64(128), 2);
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        // Eleven continuation bytes can never be a valid u64.
+        let bytes = [0x80u8; 10];
+        let mut slice = &bytes[..];
+        assert!(decode_u64(&mut slice).is_err());
+        // Ten bytes whose top byte has payload > 1 overflows 64 bits.
+        let bytes = [0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02];
+        let mut slice = &bytes[..];
+        assert_eq!(decode_u64(&mut slice), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = [0x80u8, 0x80];
+        let mut slice = &bytes[..];
+        assert_eq!(decode_u64(&mut slice), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn zigzag_is_involutive_and_compact() {
+        for v in [-2i64, -1, 0, 1, 2, i64::MIN, i64::MAX, -64, 63] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        // Progress deltas of ±1 encode in one byte.
+        assert_eq!(len_u64(zigzag(1)), 1);
+        assert_eq!(len_u64(zigzag(-1)), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests: every `Wire` impl round-trips and reports exact lengths.
+
+use naiad_wire::{decode_from_slice, encode_to_vec, Wire};
+use proptest::prelude::*;
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = encode_to_vec(value);
+    assert_eq!(bytes.len(), value.encoded_len());
+    let back: T = decode_from_slice(&bytes).unwrap();
+    assert_eq!(&back, value);
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrips(v: u64) { roundtrip(&v); }
+
+    #[test]
+    fn i64_roundtrips(v: i64) { roundtrip(&v); }
+
+    #[test]
+    fn u32_roundtrips(v: u32) { roundtrip(&v); }
+
+    #[test]
+    fn f64_roundtrips(v: f64) {
+        let bytes = encode_to_vec(&v);
+        let back: f64 = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn string_roundtrips(v: String) { roundtrip(&v); }
+
+    #[test]
+    fn vec_u64_roundtrips(v: Vec<u64>) { roundtrip(&v); }
+
+    #[test]
+    fn vec_string_roundtrips(v: Vec<String>) { roundtrip(&v); }
+
+    #[test]
+    fn pair_roundtrips(v: (u64, String)) { roundtrip(&v); }
+
+    #[test]
+    fn nested_roundtrips(v: Vec<(u32, Option<String>, Vec<i32>)>) { roundtrip(&v); }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes: Vec<u8>) {
+        // Decoding untrusted input must fail cleanly, not panic or OOM.
+        let _ = decode_from_slice::<Vec<(u64, String)>>(&bytes);
+        let _ = decode_from_slice::<String>(&bytes);
+        let _ = decode_from_slice::<(u8, i64, bool)>(&bytes);
+    }
+
+    #[test]
+    fn values_concatenate(a: u64, b: String, c: Vec<i32>) {
+        // Encoding is prefix-free per value: sequential decodes recover
+        // sequentially encoded values.
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        c.encode(&mut buf);
+        let mut slice = &buf[..];
+        prop_assert_eq!(u64::decode(&mut slice).unwrap(), a);
+        prop_assert_eq!(String::decode(&mut slice).unwrap(), b);
+        prop_assert_eq!(Vec::<i32>::decode(&mut slice).unwrap(), c);
+        prop_assert!(slice.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Graph processing through the Pregel port (§4.2): connected components
+//! by min-label propagation, expressed as a vertex program with a
+//! combiner, running over multiple workers.
+//!
+//! Run with: `cargo run --example pregel_components`
+
+use naiad::{execute, Config};
+use naiad_algorithms::datasets::random_graph;
+use naiad_pregel::{pregel, Compute, VertexProgram};
+use std::collections::HashMap;
+
+struct MinLabel;
+
+impl VertexProgram for MinLabel {
+    type State = u64;
+    type Msg = u64;
+
+    fn compute(&mut self, ctx: &mut Compute<'_, Self>) {
+        let best = ctx.messages().iter().copied().min();
+        let improved = match best {
+            Some(l) if l < *ctx.state() => {
+                *ctx.state_mut() = l;
+                true
+            }
+            _ => ctx.superstep() == 0,
+        };
+        if improved {
+            let label = *ctx.state();
+            ctx.send_to_all(label);
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, a: u64, b: u64) -> Option<u64> {
+        Some(a.min(b))
+    }
+}
+
+fn main() {
+    let edges = random_graph(200, 260, 7);
+    let edges_shared = std::sync::Arc::new(edges);
+
+    let results = execute(Config::single_process(3), move |worker| {
+        let (mut seeds, captured) = worker.dataflow(|scope| {
+            let (input, seed_stream) = scope.new_input::<(u64, (u64, Vec<u64>))>();
+            let components = pregel(&seed_stream, MinLabel, 64);
+            (input, components.capture())
+        });
+        if worker.index() == 0 {
+            // Symmetrize and seed each vertex with its own id.
+            let mut adjacency: HashMap<u64, Vec<u64>> = HashMap::new();
+            for &(a, b) in edges_shared.iter() {
+                adjacency.entry(a).or_default().push(b);
+                adjacency.entry(b).or_default().push(a);
+            }
+            for (v, neighbours) in adjacency {
+                seeds.send((v, (v, neighbours)));
+            }
+        }
+        seeds.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+
+    let mut labels: Vec<(u64, u64)> = results
+        .into_iter()
+        .flatten()
+        .flat_map(|(_, data)| data)
+        .collect();
+    labels.sort_unstable();
+    let mut sizes: HashMap<u64, usize> = HashMap::new();
+    for (_, label) in &labels {
+        *sizes.entry(*label).or_insert(0) += 1;
+    }
+    let mut sizes: Vec<(u64, usize)> = sizes.into_iter().collect();
+    sizes.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    println!("{} vertices in {} components", labels.len(), sizes.len());
+    for (label, n) in sizes.iter().take(5) {
+        println!("  component {label:>4}: {n} vertices");
+    }
+}

@@ -1,0 +1,56 @@
+//! The prototypical Naiad program (§4.1): an incrementally updatable
+//! MapReduce — word counting over epochs of text, with per-epoch results
+//! delivered as each epoch completes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use naiad::{execute, Config};
+use naiad_operators::prelude::*;
+
+fn main() {
+    // Two processes of two workers each: records cross simulated process
+    // boundaries exactly as they would cross machines.
+    let config = Config::processes_and_workers(2, 2);
+
+    execute(config, |worker| {
+        // 1a. Define the input stage, 1b. the dataflow graph, and
+        // 1c. the per-epoch output callback — the §4.1 pattern.
+        let (mut input, probe) = worker.dataflow(|scope| {
+            let index = scope.worker_index();
+            let (input, lines) = scope.new_input::<String>();
+            let counts = lines
+                .flat_map(|line: String| {
+                    line.split_whitespace()
+                        .map(|w| (w.to_string(), ()))
+                        .collect::<Vec<_>>()
+                })
+                .count();
+            counts.subscribe(move |epoch, mut data| {
+                data.sort();
+                for (word, n) in data {
+                    println!("[worker {index}] epoch {epoch}: {word:12} {n}");
+                }
+            });
+            let probe = counts.probe();
+            (input, probe)
+        });
+
+        // 2. Supply epochs of input data.
+        let epochs = [
+            "the quick brown fox jumps over the lazy dog",
+            "the dog barks and the fox runs",
+            "no dog and no fox only words",
+        ];
+        for (e, text) in epochs.iter().enumerate() {
+            if worker.index() == 0 {
+                input.send(text.to_string());
+            }
+            input.advance_to(e as u64 + 1);
+            // Wait until this epoch's counts are final everywhere.
+            worker.step_while(|| !probe.done_through(e as u64));
+        }
+        input.close();
+        worker.step_until_done();
+    })
+    .unwrap();
+}

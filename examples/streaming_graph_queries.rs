@@ -1,0 +1,118 @@
+//! The Figure 1 application (§6.4): real-time queries on continually
+//! updated data.
+//!
+//! Tweets stream in; an incremental connected-components computation
+//! maintains the graph of users mentioning other users and the most
+//! popular hashtag in each component; interactive queries ask for the top
+//! hashtag in a user's component, served either *fresh* (waiting for the
+//! current epoch) or *stale* (from the last completed epoch).
+//!
+//! Run with: `cargo run --example streaming_graph_queries`
+
+use naiad::{execute, Config};
+use naiad_algorithms::datasets::tweet_stream;
+use naiad_algorithms::wcc::connected_components;
+use naiad_operators::prelude::*;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+const USERS: u64 = 500;
+const EPOCHS: u64 = 25;
+const TWEETS_PER_EPOCH: usize = 200;
+
+fn main() {
+    execute(Config::single_process(2), |worker| {
+        // Serving state, mirrored from completed epochs by subscribers.
+        let cids: Rc<RefCell<HashMap<u64, u64>>> = Rc::new(RefCell::new(HashMap::new()));
+        let tops: Rc<RefCell<HashMap<u64, (u64, u64)>>> = Rc::new(RefCell::new(HashMap::new()));
+        let cid_sink = cids.clone();
+        let top_sink = tops.clone();
+
+        let (mut mentions_in, mut tags_in, probe) = worker.dataflow(|scope| {
+            let (mentions_in, mention_edges) = scope.new_input::<(u64, u64)>();
+            let (tags_in, tag_events) = scope.new_input::<(u64, u64)>();
+
+            // Iterative incremental processing (the dashed box in Fig. 1).
+            let cid_updates = connected_components(&mention_edges);
+            cid_updates.subscribe(move |_epoch, data| {
+                cid_sink.borrow_mut().extend(data);
+            });
+
+            // Join hashtags with component ids, count per (cid, tag).
+            let per_component =
+                tag_events.join_accumulate(&cid_updates, |_user, tag, cid| (*cid, *tag));
+            let counted = per_component.map(|(cid, tag)| ((cid, tag), ())).count();
+            counted.subscribe(move |_epoch, data| {
+                let mut tops = top_sink.borrow_mut();
+                for ((cid, tag), n) in data {
+                    let entry = tops.entry(cid).or_insert((tag, 0));
+                    if n >= entry.1 {
+                        *entry = (tag, n);
+                    }
+                }
+            });
+            (mentions_in, tags_in, cid_updates.probe())
+        });
+
+        let tweets = tweet_stream(TWEETS_PER_EPOCH * EPOCHS as usize, USERS, 50, 99);
+        for epoch in 0..EPOCHS {
+            let lo = epoch as usize * TWEETS_PER_EPOCH;
+            let hi = lo + TWEETS_PER_EPOCH;
+            for (i, t) in tweets[lo..hi].iter().enumerate() {
+                if i % worker.peers() == worker.index() {
+                    for &m in &t.mentions {
+                        mentions_in.send((t.user, m));
+                    }
+                    for &h in &t.hashtags {
+                        tags_in.send((t.user, h));
+                    }
+                }
+            }
+            mentions_in.advance_to(epoch + 1);
+            tags_in.advance_to(epoch + 1);
+
+            if worker.index() == 0 && epoch % 5 == 4 {
+                let user = (epoch * 13) % USERS;
+                // Stale query: immediate answer from completed state.
+                let t0 = Instant::now();
+                let stale = answer(&cids, &tops, user);
+                let stale_us = t0.elapsed().as_micros();
+                // Fresh query: wait for this epoch's updates first.
+                let t0 = Instant::now();
+                worker.step_while(|| !probe.done_through(epoch));
+                let fresh = answer(&cids, &tops, user);
+                let fresh_us = t0.elapsed().as_micros();
+                println!(
+                    "epoch {epoch:>3} | user {user:>4} | stale: {} in {stale_us:>5} µs | \
+                     fresh: {} in {fresh_us:>6} µs",
+                    show(stale),
+                    show(fresh)
+                );
+            } else {
+                worker.step_while(|| !probe.done_through(epoch));
+            }
+        }
+        mentions_in.close();
+        tags_in.close();
+        worker.step_until_done();
+    })
+    .unwrap();
+}
+
+fn answer(
+    cids: &Rc<RefCell<HashMap<u64, u64>>>,
+    tops: &Rc<RefCell<HashMap<u64, (u64, u64)>>>,
+    user: u64,
+) -> Option<(u64, u64)> {
+    let cid = *cids.borrow().get(&user)?;
+    tops.borrow().get(&cid).copied()
+}
+
+fn show(answer: Option<(u64, u64)>) -> String {
+    match answer {
+        Some((tag, n)) => format!("#tag{tag} (x{n})"),
+        None => "<no data>".to_string(),
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared helpers for the repository's examples and integration tests.
+//!
+//! The substance lives in the workspace crates (see `crates/`); this root
+//! package exists to host the runnable examples (`cargo run --example
+//! quickstart`) and the cross-crate integration tests (`cargo test`).
+
+/// Splits `items` round-robin across `peers` workers and returns the slice
+/// for `index` — the feeding pattern every example uses.
+pub fn my_share<T: Clone>(items: &[T], index: usize, peers: usize) -> Vec<T> {
+    items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % peers == index)
+        .map(|(_, item)| item.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_partition_everything_exactly_once() {
+        let items: Vec<u32> = (0..10).collect();
+        let mut all: Vec<u32> = (0..3).flat_map(|w| my_share(&items, w, 3)).collect();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+}

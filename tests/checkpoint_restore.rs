@@ -1,0 +1,173 @@
+//! Fault-tolerance round trip (§3.4): checkpoint a running computation at
+//! an epoch boundary, "fail", rebuild the dataflow in a fresh cluster,
+//! restore, and continue — the resumed run must match an uninterrupted
+//! one exactly.
+
+use naiad::{execute, Config};
+use naiad_examples::my_share;
+use naiad_operators::prelude::*;
+use std::sync::Arc;
+
+/// Cross-epoch state: monotonic minimum per key. Epochs 0–2 establish
+/// state; epochs 3–5 only emit improvements relative to it.
+fn inputs() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        vec![(1, 50), (2, 60), (3, 70)],
+        vec![(1, 40), (2, 90)],
+        vec![(3, 30)],
+        vec![(1, 45), (2, 50), (3, 35)], // only (2, 50) improves
+        vec![(1, 10)],
+        vec![(2, 20), (3, 5)],
+    ]
+}
+
+type Out = Vec<(u64, Vec<(u64, u64)>)>;
+
+/// Runs epochs `[from, to)`, optionally restoring `snapshot` first, and
+/// returns (captured outputs, checkpoint taken after the last epoch).
+fn run(from: u64, to: u64, snapshot: Option<Vec<u8>>) -> (Out, Vec<u8>) {
+    let all = Arc::new(inputs());
+    let snapshot = Arc::new(snapshot);
+    let results = execute(Config::single_process(2), move |worker| {
+        let (mut input, probe, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            let captured = mins.capture();
+            (input, mins.probe(), captured)
+        });
+        if let Some(snapshot) = snapshot.as_ref() {
+            worker.restore(snapshot);
+        }
+        // Resumed runs re-number epochs from zero; the driver offsets.
+        for (local, epoch) in (from..to).enumerate() {
+            for r in my_share(&all[epoch as usize], worker.index(), worker.peers()) {
+                input.send(r);
+            }
+            input.advance_to(local as u64 + 1);
+            worker.step_while(|| !probe.done_through(local as u64));
+        }
+        let snapshot = worker.checkpoint();
+        input.close();
+        worker.step_until_done();
+        let result = (captured.borrow().clone(), snapshot);
+        result
+    })
+    .unwrap();
+    let mut merged: Out = Vec::new();
+    let mut snapshot = Vec::new();
+    for (cap, snap) in results {
+        merged.extend(cap);
+        if !snap.is_empty() {
+            // Single-process: all workers share one address space, but
+            // each worker snapshots only its own vertex partition; the
+            // test concatenates per-worker snapshots like a process-level
+            // checkpoint file would.
+            snapshot.push(snap);
+        }
+    }
+    merged.sort();
+    for (_, data) in merged.iter_mut() {
+        data.sort();
+    }
+    let combined = naiad_wire::encode_to_vec(&snapshot);
+    (merged, combined)
+}
+
+fn restore_shape(bytes: &[u8]) -> Vec<Vec<u8>> {
+    naiad_wire::decode_from_slice(bytes).expect("per-worker snapshot vector")
+}
+
+#[test]
+fn resumed_run_matches_uninterrupted_run() {
+    // Uninterrupted reference over all six epochs.
+    let (reference, _) = run(0, 6, None);
+
+    // Interrupted run: epochs 0–2, checkpoint, then a fresh cluster
+    // resumes 3–5 from the snapshot.
+    let (prefix, snapshot) = run(0, 3, None);
+    let per_worker = restore_shape(&snapshot);
+    assert_eq!(per_worker.len(), 2, "one snapshot per worker");
+
+    // Feed each worker its own snapshot back.
+    let all = Arc::new(inputs());
+    let per_worker = Arc::new(per_worker);
+    let results = execute(Config::single_process(2), move |worker| {
+        let (mut input, probe, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            let captured = mins.capture();
+            (input, mins.probe(), captured)
+        });
+        worker.restore(&per_worker[worker.index()]);
+        for (local, epoch) in (3u64..6).enumerate() {
+            for r in my_share(&all[epoch as usize], worker.index(), worker.peers()) {
+                input.send(r);
+            }
+            input.advance_to(local as u64 + 1);
+            worker.step_while(|| !probe.done_through(local as u64));
+        }
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+    let mut resumed: Out = results.into_iter().flatten().collect();
+    resumed.sort();
+    for (_, data) in resumed.iter_mut() {
+        data.sort();
+    }
+
+    // Stitch: reference epochs 3..6 must equal resumed epochs 0..3.
+    let tail_reference: Vec<Vec<(u64, u64)>> = (3..6)
+        .map(|e| {
+            let mut v: Vec<(u64, u64)> = reference
+                .iter()
+                .filter(|(epoch, _)| *epoch == e)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    let tail_resumed: Vec<Vec<(u64, u64)>> = (0..3)
+        .map(|e| {
+            let mut v: Vec<(u64, u64)> = resumed
+                .iter()
+                .filter(|(epoch, _)| *epoch == e)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    assert_eq!(tail_resumed, tail_reference, "restore changed the future");
+
+    // And the prefix run saw exactly the reference's first three epochs.
+    let head_reference: Vec<_> = reference.iter().filter(|(e, _)| *e < 3).cloned().collect();
+    assert_eq!(prefix, head_reference);
+}
+
+/// Restoring into a structurally different dataflow must fail loudly, not
+/// corrupt state.
+#[test]
+fn restore_rejects_mismatched_shape() {
+    let (_, snapshot) = run(0, 2, None);
+    let per_worker = restore_shape(&snapshot);
+    let blob = Arc::new(per_worker[0].clone());
+    let result = execute(Config::single_process(1), move |worker| {
+        // Two stateful operators instead of one: shape mismatch.
+        let (_input, _probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let a = stream.min_monotonic();
+            let b = a.min_monotonic();
+            (input, b.probe())
+        });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            worker.restore(&blob);
+        }));
+        caught.is_err()
+    })
+    .unwrap();
+    assert!(result[0], "mismatched restore must panic");
+}
