@@ -8,17 +8,16 @@
 //! streams with hashtags and mentions — at laptop scale, seeded for
 //! reproducibility.
 
+use naiad_rng::Xorshift;
 use naiad_wire::{Wire, WireError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A directed edge list over `nodes` vertices with `edges` uniformly
 /// random edges (the WCC input of §5.3/§5.4).
 pub fn random_graph(nodes: u64, edges: usize, seed: u64) -> Vec<(u64, u64)> {
     assert!(nodes > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift::new(seed);
     (0..edges)
-        .map(|_| (rng.gen_range(0..nodes), rng.gen_range(0..nodes)))
+        .map(|_| (rng.below(nodes), rng.below(nodes)))
         .collect()
 }
 
@@ -27,17 +26,17 @@ pub fn random_graph(nodes: u64, edges: usize, seed: u64) -> Vec<(u64, u64)> {
 /// attachment over a shuffled node order.
 pub fn powerlaw_graph(nodes: u64, edges: usize, seed: u64) -> Vec<(u64, u64)> {
     assert!(nodes > 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift::new(seed);
     let mut out: Vec<(u64, u64)> = Vec::with_capacity(edges);
     // Preferential attachment on destinations: a new edge points at the
     // destination of an earlier edge with high probability, so in-degrees
     // develop the celebrity-skewed tail of a follower graph.
     for i in 0..edges {
-        let src = rng.gen_range(0..nodes);
-        let dst = if i > 0 && rng.gen_bool(0.75) {
-            out[rng.gen_range(0..i)].1
+        let src = rng.below(nodes);
+        let dst = if i > 0 && rng.chance(0.75) {
+            out[rng.below_usize(i)].1
         } else {
-            rng.gen_range(0..nodes)
+            rng.below(nodes)
         };
         if src != dst {
             out.push((src, dst));
@@ -52,11 +51,11 @@ pub fn powerlaw_graph(nodes: u64, edges: usize, seed: u64) -> Vec<(u64, u64)> {
 /// `vocabulary` words (the WordCount corpus of §5.4).
 pub fn zipf_words(count: usize, vocabulary: u64, seed: u64) -> Vec<String> {
     assert!(vocabulary > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift::new(seed);
     (0..count)
         .map(|_| {
             // Inverse-CDF sampling of an approximate Zipf(1) distribution.
-            let u: f64 = rng.gen_range(0.0..1.0);
+            let u: f64 = rng.unit();
             let rank = ((vocabulary as f64).powf(u) - 1.0) as u64;
             format!("w{rank}")
         })
@@ -96,21 +95,21 @@ impl Wire for Tweet {
 /// (the §6.3/§6.4 input).
 pub fn tweet_stream(count: usize, users: u64, topics: u64, seed: u64) -> Vec<Tweet> {
     assert!(users > 1 && topics > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xorshift::new(seed);
     (0..count)
         .map(|_| {
-            let user = rng.gen_range(0..users);
-            let n_tags = rng.gen_range(0..=2);
+            let user = rng.below(users);
+            let n_tags = rng.below(3);
             let hashtags = (0..n_tags)
                 .map(|_| {
-                    let u: f64 = rng.gen_range(0.0..1.0);
+                    let u: f64 = rng.unit();
                     ((topics as f64).powf(u) - 1.0) as u64
                 })
                 .collect();
-            let n_mentions = rng.gen_range(0..=2);
+            let n_mentions = rng.below(3);
             let mentions = (0..n_mentions)
                 .map(|_| {
-                    let mut m = rng.gen_range(0..users);
+                    let mut m = rng.below(users);
                     if m == user {
                         m = (m + 1) % users;
                     }
@@ -130,13 +129,13 @@ pub fn tweet_stream(count: usize, users: u64, topics: u64, seed: u64) -> Vec<Twe
 /// whose labels follow a fixed random hyperplane plus noise (the §6.2
 /// input).
 pub fn logreg_data(count: usize, dims: usize, seed: u64) -> Vec<(Vec<f64>, f64)> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let truth: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut rng = Xorshift::new(seed);
+    let truth: Vec<f64> = (0..dims).map(|_| rng.range_f64(-1.0, 1.0)).collect();
     (0..count)
         .map(|_| {
-            let x: Vec<f64> = (0..dims).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let x: Vec<f64> = (0..dims).map(|_| rng.range_f64(-1.0, 1.0)).collect();
             let dot: f64 = x.iter().zip(&truth).map(|(a, b)| a * b).sum();
-            let label = if dot + rng.gen_range(-0.1..0.1) > 0.0 {
+            let label = if dot + rng.range_f64(-0.1, 0.1) > 0.0 {
                 1.0
             } else {
                 0.0

@@ -11,7 +11,6 @@ use naiad_algorithms::pagerank::{pagerank_edge, pagerank_pregel, pagerank_vertex
 use naiad_baselines::gas::GasEngine;
 use naiad_bench::{header, scaled, timed};
 use naiad_clustersim::{iterative_job_time, ClusterSpec, IterativeJob};
-use naiad_operators::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 

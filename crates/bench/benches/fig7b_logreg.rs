@@ -8,7 +8,6 @@ use naiad_algorithms::logreg::{gradient, train};
 use naiad_baselines::tree::tree_all_reduce_sum;
 use naiad_bench::{header, scaled, timed};
 use naiad_clustersim::{allreduce_iteration_time, AllReduceKind, ClusterSpec};
-use naiad_operators::prelude::*;
 use std::sync::Arc;
 
 /// One training iteration with the butterfly/tree AllReduce instead of

@@ -1,12 +1,17 @@
-//! Criterion micro-benchmarks for the coordination machinery the paper's
-//! §2.3/§3.3 performance claims rest on.
+//! Micro-benchmarks for the coordination machinery the paper's §2.3/§3.3
+//! performance claims rest on.
+//!
+//! Dependency-free harness: each case runs a warm-up pass, then a timed
+//! pass of `iters` iterations, and prints mean ns/iter. Scale iteration
+//! counts with `NAIAD_BENCH_SCALE`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
 use naiad::graph::{ContextId, GraphBuilder, StageKind};
 use naiad::progress::{Accumulator, Pointstamp, PointstampTable};
 use naiad::{Antichain, Timestamp};
+use naiad_bench::{header, scaled, timed};
 use naiad_wire::{decode_from_slice, encode_to_vec};
-use std::sync::Arc;
 
 fn loop_graph() -> Arc<naiad::graph::LogicalGraph> {
     let mut g = GraphBuilder::new();
@@ -26,72 +31,75 @@ fn loop_graph() -> Arc<naiad::graph::LogicalGraph> {
     Arc::new(g.build().unwrap())
 }
 
-fn bench_tracker(c: &mut Criterion) {
-    let graph = loop_graph();
-    c.bench_function("tracker_update_cycle", |b| {
-        let mut table = PointstampTable::initialized(graph.clone(), 4);
-        let body = naiad::graph::StageId(3);
-        b.iter(|| {
-            for i in 0..16u64 {
-                let p = Pointstamp::at_vertex(Timestamp::with_counters(0, &[i]), body);
-                table.update(p, 1);
-                table.update(p, -1);
-            }
-        });
+/// Runs `f` for `iters` iterations (after `iters / 10 + 1` warm-up
+/// iterations) and prints mean ns/iter.
+fn bench_case(name: &str, iters: usize, mut f: impl FnMut()) {
+    for _ in 0..(iters / 10 + 1) {
+        f();
+    }
+    let ((), secs) = timed(|| {
+        for _ in 0..iters {
+            f();
+        }
     });
-    c.bench_function("summary_matrix_compute", |b| {
-        b.iter(|| {
-            let _ = loop_graph();
-        });
+    let ns_per_iter = secs * 1e9 / iters as f64;
+    println!("{name:<32} {ns_per_iter:>12.1} ns/iter   ({iters} iters)");
+}
+
+fn bench_tracker() {
+    let graph = loop_graph();
+    let mut table = PointstampTable::initialized(graph.clone(), 4);
+    let body = naiad::graph::StageId(3);
+    bench_case("tracker_update_cycle", scaled(20_000), || {
+        for i in 0..16u64 {
+            let p = Pointstamp::at_vertex(Timestamp::with_counters(0, &[i]), body);
+            table.update(p, 1);
+            table.update(p, -1);
+        }
+    });
+    bench_case("summary_matrix_compute", scaled(2_000), || {
+        let _ = loop_graph();
     });
 }
 
-fn bench_protocol(c: &mut Criterion) {
+fn bench_protocol() {
     let graph = loop_graph();
-    c.bench_function("accumulator_covered_churn", |b| {
-        let mut acc = Accumulator::new(graph.clone(), 4);
-        let body = naiad::graph::StageId(3);
-        b.iter(|| {
-            let p = Pointstamp::at_vertex(Timestamp::with_counters(0, &[1]), body);
-            let flushed = acc.deposit([(p, 1), (p, -1)]);
-            assert!(flushed.is_none());
-        });
+    let mut acc = Accumulator::new(graph.clone(), 4);
+    let body = naiad::graph::StageId(3);
+    bench_case("accumulator_covered_churn", scaled(100_000), || {
+        let p = Pointstamp::at_vertex(Timestamp::with_counters(0, &[1]), body);
+        let flushed = acc.deposit([(p, 1), (p, -1)]);
+        assert!(flushed.is_none());
     });
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire() {
     let records: Vec<(u64, String)> = (0..1024).map(|i| (i, format!("record-{i}"))).collect();
-    c.bench_function("wire_encode_1k_records", |b| {
-        b.iter(|| encode_to_vec(&records));
+    bench_case("wire_encode_1k_records", scaled(2_000), || {
+        let bytes = encode_to_vec(&records);
+        assert!(!bytes.is_empty());
     });
     let bytes = encode_to_vec(&records);
-    c.bench_function("wire_decode_1k_records", |b| {
-        b.iter(|| decode_from_slice::<Vec<(u64, String)>>(&bytes).unwrap());
+    bench_case("wire_decode_1k_records", scaled(2_000), || {
+        let back = decode_from_slice::<Vec<(u64, String)>>(&bytes).unwrap();
+        assert_eq!(back.len(), 1024);
     });
 }
 
-fn bench_antichain(c: &mut Criterion) {
-    c.bench_function("antichain_insert_timestamps", |b| {
-        b.iter(|| {
-            let mut a = Antichain::new();
-            for e in (0..64u64).rev() {
-                a.insert(Timestamp::new(e));
-            }
-            assert_eq!(a.len(), 1);
-        });
+fn bench_antichain() {
+    bench_case("antichain_insert_timestamps", scaled(20_000), || {
+        let mut a = Antichain::new();
+        for e in (0..64u64).rev() {
+            a.insert(Timestamp::new(e));
+        }
+        assert_eq!(a.len(), 1);
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(300))
+fn main() {
+    header("micro", "coordination-machinery micro-benchmarks");
+    bench_tracker();
+    bench_protocol();
+    bench_wire();
+    bench_antichain();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_tracker, bench_protocol, bench_wire, bench_antichain
-}
-criterion_main!(benches);

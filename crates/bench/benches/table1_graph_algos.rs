@@ -15,7 +15,6 @@ use naiad_algorithms::scc::strongly_connected_components;
 use naiad_algorithms::wcc::wcc_once;
 use naiad_baselines::batch::{BatchEngine, EngineKind};
 use naiad_bench::{header, scaled, timed};
-use naiad_operators::prelude::*;
 use std::sync::Arc;
 
 fn run_naiad_pagerank(edges: Arc<Vec<(u64, u64)>>, iters: u64) -> f64 {

@@ -28,10 +28,12 @@
 //! figure regenerates identically.
 
 mod model;
-mod rng;
 mod workloads;
 
-pub use model::{ClusterSim, ClusterSpec, PhaseStats, StragglerModel};
+pub use model::{ClusterSim, ClusterSpec, FailureModel, PhaseStats, RecoveryStats, StragglerModel};
+/// Re-export of the shared seeded generator (previously a private module
+/// here; now the workspace-wide randomness primitive).
+pub use naiad_rng::Xorshift;
 pub use workloads::{
     allreduce_iteration_time, barrier_distribution, exchange_throughput_gbps, iterative_job_time,
     AllReduceKind, IterativeJob,

@@ -1,6 +1,6 @@
 //! The cluster model: hardware spec, phase timing, stragglers.
 
-use crate::rng::Xorshift;
+use naiad_rng::Xorshift;
 
 /// Hardware description, defaulted to the paper's evaluation cluster
 /// (§5): two racks of 32 computers, two quad-core 2.1 GHz Opterons and a
@@ -70,6 +70,59 @@ impl StragglerModel {
             mean_pause: 0.030,
         }
     }
+}
+
+/// Whole-process failure and coordinated-rollback recovery (§3.4): the
+/// macro-scale counterpart of [`StragglerModel`]'s micro-stragglers.
+/// Matches the semantics of the real runtime's `execute_resilient`: on
+/// any crash the *entire* cluster rolls back to the last consistent
+/// checkpoint and replays logged inputs.
+#[derive(Debug, Clone)]
+pub struct FailureModel {
+    /// Probability an individual computer crashes during any given epoch.
+    pub crash_probability_per_epoch: f64,
+    /// Time to detect a dead process (missed progress traffic; the
+    /// paper's testbed leans on TCP timeouts, tuned to tens of ms, plus
+    /// application-level suspicion — order seconds in practice).
+    pub detection_timeout: f64,
+    /// Seconds to reload one computer's checkpoint blob (storage read +
+    /// decode); every computer restores in parallel.
+    pub restore_seconds_per_computer: f64,
+}
+
+impl FailureModel {
+    /// No failures: every epoch completes on the first attempt.
+    pub fn none() -> Self {
+        FailureModel {
+            crash_probability_per_epoch: 0.0,
+            detection_timeout: 0.0,
+            restore_seconds_per_computer: 0.0,
+        }
+    }
+
+    /// A paper-plausible default: roughly one crash per thousand
+    /// computer-epochs, one-second detection, 200 ms restore.
+    pub fn paper_default() -> Self {
+        FailureModel {
+            crash_probability_per_epoch: 0.001,
+            detection_timeout: 1.0,
+            restore_seconds_per_computer: 0.2,
+        }
+    }
+}
+
+/// Outcome of simulating a checkpointed streaming job under a
+/// [`FailureModel`] — see [`ClusterSim::recovery_run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryStats {
+    /// Total simulated wall-clock, including rollbacks and re-execution.
+    pub duration: f64,
+    /// Crashes that struck the run.
+    pub crashes: usize,
+    /// Epochs re-executed because a crash rolled the cluster back past
+    /// work it had already completed (the §3.4 recovery tax that
+    /// checkpoint frequency trades against).
+    pub replayed_epochs: usize,
 }
 
 impl ClusterSpec {
@@ -238,6 +291,59 @@ impl ClusterSim {
             straggler_delay: straggler,
         }
     }
+
+    /// Simulates a checkpointed streaming job of `epochs` epochs, each
+    /// costing `epoch_seconds` of fault-free wall-clock, with a full
+    /// checkpoint every `checkpoint_every` epochs, under `failures`.
+    ///
+    /// Recovery semantics mirror the real runtime's `execute_resilient`
+    /// (coordinated rollback, §3.4): a crash anywhere rolls the whole
+    /// cluster back to the last consistent checkpoint; the time already
+    /// spent on the abandoned epochs is lost and they are re-executed
+    /// after detection + parallel restore.
+    pub fn recovery_run(
+        &mut self,
+        epochs: usize,
+        epoch_seconds: f64,
+        checkpoint_every: usize,
+        checkpoint_seconds: f64,
+        failures: &FailureModel,
+    ) -> RecoveryStats {
+        assert!(checkpoint_every > 0, "checkpoint interval must be positive");
+        let start = self.clock;
+        let mut crashes = 0usize;
+        let mut replayed = 0usize;
+        let mut completed = 0usize; // epochs durably finished
+        let mut last_checkpoint = 0usize; // rollback target
+        let p_epoch = {
+            // Probability *some* computer crashes during an epoch.
+            let p = failures.crash_probability_per_epoch;
+            1.0 - (1.0 - p).powi(self.spec.computers as i32)
+        };
+        while completed < epochs {
+            // Run the epoch; a crash strikes at a uniform point within it.
+            if p_epoch > 0.0 && self.rng.unit() < p_epoch {
+                crashes += 1;
+                self.clock += self.rng.unit() * epoch_seconds; // wasted partial epoch
+                self.clock += failures.detection_timeout;
+                self.clock += failures.restore_seconds_per_computer; // parallel restore
+                replayed += completed - last_checkpoint;
+                completed = last_checkpoint;
+                continue;
+            }
+            self.clock += epoch_seconds;
+            completed += 1;
+            if completed % checkpoint_every == 0 {
+                self.clock += checkpoint_seconds;
+                last_checkpoint = completed;
+            }
+        }
+        RecoveryStats {
+            duration: self.clock - start,
+            crashes,
+            replayed_epochs: replayed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +417,68 @@ mod tests {
             .count();
         let struck_big = delays.iter().filter(|d| **d > 0.005).count();
         assert!(struck * 4 < struck_big, "small {struck}, big {struck_big}");
+    }
+
+    #[test]
+    fn recovery_run_is_exact_without_failures() {
+        let mut sim = quiet(8);
+        let stats = sim.recovery_run(100, 0.1, 10, 0.5, &FailureModel::none());
+        assert_eq!(stats.crashes, 0);
+        assert_eq!(stats.replayed_epochs, 0);
+        // 100 epochs + 10 checkpoints.
+        assert!((stats.duration - (100.0 * 0.1 + 10.0 * 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crashes_cost_rollback_and_replay() {
+        let mut sim = quiet(64);
+        let failures = FailureModel {
+            crash_probability_per_epoch: 0.002,
+            detection_timeout: 1.0,
+            restore_seconds_per_computer: 0.2,
+        };
+        let clean = quiet(64).recovery_run(200, 0.1, 10, 0.2, &FailureModel::none());
+        let faulty = sim.recovery_run(200, 0.1, 10, 0.2, &failures);
+        assert!(faulty.crashes > 0, "64 computers × 200 epochs must crash");
+        assert!(faulty.replayed_epochs > 0);
+        assert!(
+            faulty.duration > clean.duration,
+            "recovery must cost wall-clock: {} vs {}",
+            faulty.duration,
+            clean.duration
+        );
+        // Every crash pays at least detection + restore.
+        assert!(
+            faulty.duration - clean.duration
+                >= faulty.crashes as f64 * (failures.detection_timeout),
+            "crashes {} underpriced",
+            faulty.crashes
+        );
+    }
+
+    #[test]
+    fn frequent_checkpoints_reduce_replay() {
+        let failures = FailureModel {
+            crash_probability_per_epoch: 0.002,
+            detection_timeout: 0.5,
+            restore_seconds_per_computer: 0.1,
+        };
+        let replay_with = |every: usize| {
+            let mut total = 0usize;
+            for seed in 0..20 {
+                let mut spec = ClusterSpec::paper_cluster(64);
+                spec.straggler = StragglerModel::none();
+                let mut sim = ClusterSim::new(spec, seed);
+                total += sim.recovery_run(200, 0.1, every, 0.05, &failures).replayed_epochs;
+            }
+            total
+        };
+        let tight = replay_with(2);
+        let loose = replay_with(50);
+        assert!(
+            tight < loose,
+            "checkpointing every 2 epochs must replay less than every 50: {tight} vs {loose}"
+        );
     }
 
     #[test]

@@ -70,7 +70,8 @@ pub mod time;
 
 pub use dataflow::{InputHandle, ProbeHandle, Scope, Stream};
 pub use order::{Antichain, MutableAntichain, PartialOrder};
-pub use runtime::execute::{execute, execute_with_metrics};
+pub use runtime::execute::{execute, execute_with_metrics, ExecuteError};
+pub use runtime::recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
 pub use runtime::{Config, Pact, Worker};
 pub use time::Timestamp;
 

@@ -20,12 +20,14 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use naiad_netsim::{NetSender, TrafficClass};
-use naiad_wire::{encode_to_vec, ExchangeData, Wire, WireError};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
+use naiad_netsim::{NetSender, TrafficClass};
+use naiad_wire::{encode_to_vec, Bytes, ExchangeData, Wire, WireError};
+
+use super::sync::Mutex;
+
+use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 use crate::graph::{ConnectorId, LogicalGraph};
 use crate::progress::{Pointstamp, ProgressUpdate};
 use crate::time::Timestamp;
@@ -120,7 +122,7 @@ impl ProcessRegistry {
     fn with_chan<T: Send + 'static, R>(&self, key: ChannelKey, f: impl FnOnce(&Chan<T>) -> R) -> R {
         let mut map = self.map.lock();
         let entry = map.entry(key).or_insert_with(|| {
-            let (tx, rx) = unbounded::<T>();
+            let (tx, rx) = channel::<T>();
             Box::new(Chan {
                 tx,
                 rx: Mutex::new(Some(rx)),
@@ -220,6 +222,8 @@ pub(crate) struct Pusher<D> {
     buffer_time: Option<Timestamp>,
     net: Option<Arc<Mutex<NetSender>>>,
     journal: Journal,
+    escalation: Arc<EscalationCell>,
+    policy: RetryPolicy,
     /// Batches emitted since creation (test and diagnostics surface).
     #[cfg_attr(not(test), allow(dead_code))]
     emitted: u64,
@@ -235,6 +239,8 @@ pub(crate) struct RoutingContext {
     pub batch_size: usize,
     pub registry: Arc<ProcessRegistry>,
     pub net: Option<Arc<Mutex<NetSender>>>,
+    pub escalation: Arc<EscalationCell>,
+    pub policy: RetryPolicy,
 }
 
 impl RoutingContext {
@@ -275,6 +281,8 @@ impl<D: ExchangeData> Pusher<D> {
             buffer_time: None,
             net: ctx.net.clone(),
             journal,
+            escalation: ctx.escalation.clone(),
+            policy: ctx.policy,
             emitted: 0,
         }
     }
@@ -335,11 +343,12 @@ impl<D: ExchangeData> Pusher<D> {
             }
             Route::Remote { process, tag } => {
                 let bytes: Bytes = encode_to_vec(&Message { time, data }).into();
-                self.net
-                    .as_ref()
-                    .expect("remote route requires a fabric")
-                    .lock()
-                    .send(*process, *tag, TrafficClass::Data, bytes);
+                let net = self.net.as_ref().expect("remote route requires a fabric");
+                if let Err(err) =
+                    send_with_retry(net, self.policy, *process, *tag, TrafficClass::Data, bytes)
+                {
+                    escalate(&self.escalation, FaultKind::from_send_error(err));
+                }
             }
         }
     }
@@ -433,6 +442,11 @@ mod tests {
             batch_size: 4,
             registry,
             net: None,
+            escalation: Arc::new(EscalationCell::default()),
+            policy: RetryPolicy {
+                retries: 0,
+                backoff: std::time::Duration::ZERO,
+            },
         }
     }
 

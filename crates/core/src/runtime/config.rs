@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use naiad_netsim::LatencyModel;
+use naiad_netsim::{FaultPlan, LatencyModel};
 
 use crate::progress::ProgressMode;
 
@@ -31,6 +31,15 @@ pub struct Config {
     /// How long an idle worker sleeps waiting for progress traffic before
     /// rechecking its queues.
     pub idle_wait: Duration,
+    /// Optional deterministic fault-injection plan for the fabric (§3.4
+    /// evaluation: drops, duplicates, partitions, crashes).
+    pub faults: Option<FaultPlan>,
+    /// How many times a transient send failure (drop, partition) is
+    /// retried before the fault escalates — the stand-in for TCP
+    /// retransmission over the simulated wire.
+    pub send_retries: u32,
+    /// Base backoff between send retries; doubles per attempt.
+    pub retry_backoff: Duration,
 }
 
 impl Config {
@@ -54,6 +63,9 @@ impl Config {
             batch_size: 1024,
             latency: None,
             idle_wait: Duration::from_micros(200),
+            faults: None,
+            send_retries: 24,
+            retry_backoff: Duration::from_micros(50),
         }
     }
 
@@ -77,6 +89,24 @@ impl Config {
     /// Injects a latency model on every fabric link.
     pub fn latency(mut self, model: LatencyModel) -> Self {
         self.latency = Some(model);
+        self
+    }
+
+    /// Installs a fault-injection plan on the fabric.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the transient-send retry budget.
+    pub fn send_retries(mut self, retries: u32) -> Self {
+        self.send_retries = retries;
+        self
+    }
+
+    /// Sets the base retry backoff (doubles per attempt).
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
         self
     }
 
@@ -111,5 +141,17 @@ mod tests {
     #[should_panic(expected = "at least one process")]
     fn zero_processes_rejected() {
         let _ = Config::processes_and_workers(0, 1);
+    }
+
+    #[test]
+    fn fault_builders_compose() {
+        let c = Config::processes_and_workers(2, 1)
+            .faults(FaultPlan::seeded(7).drop_probability(0.1))
+            .send_retries(3)
+            .retry_backoff(Duration::from_micros(10));
+        assert_eq!(c.faults.as_ref().unwrap().seed, 7);
+        assert_eq!(c.send_retries, 3);
+        assert_eq!(c.retry_backoff, Duration::from_micros(10));
+        assert!(Config::default().faults.is_none());
     }
 }

@@ -4,35 +4,108 @@
 //! and one worker thread per worker (plus the central accumulator when the
 //! progress mode uses one), runs the user's worker closure everywhere, and
 //! joins everything down cleanly.
+//!
+//! When a [`FaultPlan`](naiad_netsim::FaultPlan) is installed
+//! ([`Config::faults`](super::config::Config::faults)), injected faults
+//! that survive the retry layer unwind every worker thread via the
+//! escalation cell and surface here as typed [`ExecuteError`]s — the
+//! entry point for the coordinated-recovery loop in
+//! [`execute_resilient`](super::recovery::execute_resilient).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::thread;
 
 use naiad_netsim::{Fabric, FabricMetrics};
-use parking_lot::Mutex;
 
 use super::channels::ProcessRegistry;
 use super::config::Config;
 use super::progress_hub::{run_central_accumulator, run_router, ProcessAccumulator};
+use super::retry::{EscalationCell, FaultKind, FaultPanic, RetryPolicy};
+use super::sync::Mutex;
 use super::worker::Worker;
 
 /// Errors surfaced by [`execute`].
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecuteError {
     /// A worker thread panicked; the payload is the worker index.
     WorkerPanic(usize),
+    /// A fabric link kept failing after the configured retry budget.
+    LinkFailed {
+        /// Sending endpoint.
+        src: usize,
+        /// Receiving endpoint.
+        dst: usize,
+    },
+    /// A simulated process crashed (scheduled by the fault plan or
+    /// injected at runtime).
+    ProcessCrashed {
+        /// The crashed process.
+        process: usize,
+    },
+    /// Coordinated recovery gave up (see
+    /// [`execute_resilient`](super::recovery::execute_resilient)).
+    RecoveryFailed {
+        /// Recovery attempts consumed, including the initial run.
+        attempts: usize,
+        /// The error that ended the final attempt.
+        last: Box<ExecuteError>,
+    },
 }
 
 impl std::fmt::Display for ExecuteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecuteError::WorkerPanic(w) => write!(f, "worker {w} panicked"),
+            ExecuteError::LinkFailed { src, dst } => {
+                write!(f, "fabric link {src} → {dst} failed after all retries")
+            }
+            ExecuteError::ProcessCrashed { process } => {
+                write!(f, "process {process} crashed")
+            }
+            ExecuteError::RecoveryFailed { attempts, last } => {
+                write!(f, "recovery failed after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
 impl std::error::Error for ExecuteError {}
+
+impl ExecuteError {
+    fn from_fault(kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::LinkFailed { src, dst } => ExecuteError::LinkFailed { src, dst },
+            FaultKind::ProcessCrashed { process } => ExecuteError::ProcessCrashed { process },
+        }
+    }
+
+    /// Ranking for reporting: a process crash explains link failures and
+    /// secondary panics, so it wins; link failures beat generic panics.
+    fn severity(&self) -> u8 {
+        match self {
+            ExecuteError::RecoveryFailed { .. } => 3,
+            ExecuteError::ProcessCrashed { .. } => 2,
+            ExecuteError::LinkFailed { .. } => 1,
+            ExecuteError::WorkerPanic(_) => 0,
+        }
+    }
+}
+
+/// Silences the default panic report for [`FaultPanic`] unwinds: injected
+/// faults are expected control flow for the recovery machinery, not bugs
+/// worth a backtrace. All other panics reach the previous hook untouched.
+fn install_fault_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<FaultPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
 
 /// Runs `worker_fn` on every worker of a simulated Naiad cluster and
 /// returns the per-worker results in worker-index order.
@@ -61,7 +134,7 @@ where
 
 /// Like [`execute`], additionally returning the fabric's traffic meters so
 /// benchmarks can report exchanged data and progress bytes (Figures 6a,
-/// 6c).
+/// 6c) and fault-injection experiments can read the fault counters.
 pub fn execute_with_metrics<F, T>(
     config: Config,
     worker_fn: F,
@@ -70,15 +143,21 @@ where
     F: Fn(&mut Worker) -> T + Send + Sync + 'static,
     T: Send + 'static,
 {
+    install_fault_panic_hook();
     let processes = config.processes;
     let endpoints = processes + usize::from(config.progress_mode.global());
     let mut builder = Fabric::builder(endpoints);
     if let Some(latency) = &config.latency {
         builder = builder.latency(latency.clone());
     }
+    if let Some(faults) = &config.faults {
+        builder = builder.faults(faults.clone());
+    }
     let mut fabric = builder.build();
     let metrics = fabric[0].metrics().clone();
     let shutdown = Arc::new(AtomicBool::new(false));
+    let escalation = Arc::new(EscalationCell::default());
+    let policy = RetryPolicy::from_config(&config);
     let worker_fn = Arc::new(worker_fn);
 
     // The central accumulator (if any) owns the extra endpoint.
@@ -121,6 +200,8 @@ where
                 registry.clone(),
                 net.clone(),
                 config.total_workers(),
+                policy,
+                escalation.clone(),
             ))))
         } else {
             None
@@ -147,6 +228,7 @@ where
             let directory = directory.clone();
             let net = net.clone();
             let accumulator = accumulator.clone();
+            let escalation = escalation.clone();
             let worker_fn = worker_fn.clone();
             worker_handles.push(
                 thread::Builder::new()
@@ -160,6 +242,7 @@ where
                             net,
                             accumulator,
                             directory,
+                            escalation,
                         );
                         worker_fn(&mut worker)
                     })
@@ -171,23 +254,50 @@ where
     let central_thread = central_handle.map(|(rx, net)| {
         let directory = directory.clone();
         let shutdown = shutdown.clone();
+        let escalation = escalation.clone();
         let total_workers = config.total_workers();
         thread::Builder::new()
             .name("naiad-central-accumulator".to_string())
             .spawn(move || {
-                run_central_accumulator(rx, net, directory, processes, total_workers, shutdown)
+                run_central_accumulator(
+                    rx,
+                    net,
+                    directory,
+                    processes,
+                    total_workers,
+                    shutdown,
+                    policy,
+                    escalation,
+                )
             })
             .expect("spawn central accumulator thread")
     });
 
+    fn observe(error: &mut Option<ExecuteError>, e: ExecuteError) {
+        match error {
+            Some(have) if have.severity() >= e.severity() => {}
+            _ => *error = Some(e),
+        }
+    }
     let mut results = Vec::with_capacity(worker_handles.len());
-    let mut panic = None;
+    let mut error: Option<ExecuteError> = None;
     for (index, handle) in worker_handles.into_iter().enumerate() {
         match handle.join() {
             Ok(result) => results.push(result),
-            Err(_) => {
-                panic.get_or_insert(index);
+            Err(payload) => {
+                let e = match payload.downcast_ref::<FaultPanic>() {
+                    Some(FaultPanic(kind)) => ExecuteError::from_fault(*kind),
+                    None => ExecuteError::WorkerPanic(index),
+                };
+                observe(&mut error, e);
             }
+        }
+    }
+    // A raised fault explains secondary panics even in workers that
+    // happened to exit before polling the cell.
+    if error.is_some() {
+        if let Some(kind) = escalation.check() {
+            observe(&mut error, ExecuteError::from_fault(kind));
         }
     }
     shutdown.store(true, Ordering::Release);
@@ -197,8 +307,8 @@ where
     if let Some(handle) = central_thread {
         let _ = handle.join();
     }
-    match panic {
-        Some(index) => Err(ExecuteError::WorkerPanic(index)),
+    match error {
+        Some(e) => Err(e),
         None => Ok((results, metrics)),
     }
 }

@@ -6,9 +6,15 @@ pub mod config;
 pub mod durability;
 pub mod execute;
 mod progress_hub;
+pub mod recovery;
+mod retry;
+pub(crate) mod sync;
 mod worker;
 
 pub use channels::{Message, Pact};
 pub use config::Config;
+pub use durability::{open_blob, seal_blob, RestoreError};
 pub use execute::{execute, ExecuteError};
+pub use recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
+pub use retry::FaultKind;
 pub use worker::Worker;

@@ -13,14 +13,15 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
 use naiad_netsim::{NetReceiver, NetSender, RecvError, TrafficClass};
-use naiad_wire::encode_to_vec;
-use parking_lot::Mutex;
+use naiad_wire::{encode_to_vec, Bytes};
+
+use super::sync::Mutex;
 
 use crate::progress::{Accumulator, ProgressBatch, ProgressMode, ProgressUpdate};
 
 use super::channels::{parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, PROGRESS_TAG};
+use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 
 /// Sender-id base for process accumulators (workers use their own index).
 pub(crate) const PROC_ACC_SENDER_BASE: u32 = 1 << 24;
@@ -92,9 +93,12 @@ pub(crate) struct ProcessAccumulator {
     set: AccumulatorSet,
     net: Arc<Mutex<NetSender>>,
     seq: u64,
+    policy: RetryPolicy,
+    escalation: Arc<EscalationCell>,
 }
 
 impl ProcessAccumulator {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         process: usize,
         processes: usize,
@@ -102,6 +106,8 @@ impl ProcessAccumulator {
         registry: Arc<ProcessRegistry>,
         net: Arc<Mutex<NetSender>>,
         total_workers: usize,
+        policy: RetryPolicy,
+        escalation: Arc<EscalationCell>,
     ) -> Self {
         ProcessAccumulator {
             process,
@@ -114,6 +120,8 @@ impl ProcessAccumulator {
             set: AccumulatorSet::new(registry, mode == ProgressMode::Local, total_workers),
             net,
             seq: 0,
+            policy,
+            escalation,
         }
     }
 
@@ -154,19 +162,28 @@ impl ProcessAccumulator {
         };
         self.seq += 1;
         let bytes: Bytes = encode_to_vec(&batch).into();
-        let mut net = self.net.lock();
         match self.mode {
             ProgressMode::Local => {
-                // Broadcast directly to every process (including ours).
+                // Broadcast directly to every process (including ours),
+                // retrying each link independently so one flaky link never
+                // re-sends to links that already accepted the batch.
                 for dst in 0..self.processes {
-                    net.send(dst, PROGRESS_TAG, TrafficClass::Progress, bytes.clone());
+                    self.send_or_escalate(dst, PROGRESS_TAG, bytes.clone());
                 }
             }
             ProgressMode::LocalGlobal => {
                 // Up the tree: the central accumulator redistributes.
-                net.send(self.processes, CENTRAL_TAG, TrafficClass::Progress, bytes);
+                self.send_or_escalate(self.processes, CENTRAL_TAG, bytes);
             }
             _ => unreachable!("process accumulators exist only in local modes"),
+        }
+    }
+
+    fn send_or_escalate(&self, dst: usize, tag: u32, bytes: Bytes) {
+        if let Err(err) =
+            send_with_retry(&self.net, self.policy, dst, tag, TrafficClass::Progress, bytes)
+        {
+            escalate(&self.escalation, FaultKind::from_send_error(err));
         }
     }
 }
@@ -174,6 +191,7 @@ impl ProcessAccumulator {
 /// The cluster-level accumulator thread body (§3.3): receives batches on
 /// the extra fabric endpoint, accumulates, and broadcasts net effects to
 /// every process.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_central_accumulator(
     mut rx: NetReceiver,
     net: Arc<Mutex<NetSender>>,
@@ -181,6 +199,8 @@ pub(crate) fn run_central_accumulator(
     processes: usize,
     total_workers: usize,
     shutdown: Arc<AtomicBool>,
+    policy: RetryPolicy,
+    escalation: Arc<EscalationCell>,
 ) {
     let mut set = AccumulatorSet::new(registry, true, total_workers);
     let mut seq = 0u64;
@@ -200,9 +220,17 @@ pub(crate) fn run_central_accumulator(
                     };
                     seq += 1;
                     let bytes: Bytes = encode_to_vec(&out).into();
-                    let mut net = net.lock();
                     for dst in 0..processes {
-                        net.send(dst, PROGRESS_TAG, TrafficClass::Progress, bytes.clone());
+                        if let Err(err) = send_with_retry(
+                            &net,
+                            policy,
+                            dst,
+                            PROGRESS_TAG,
+                            TrafficClass::Progress,
+                            bytes.clone(),
+                        ) {
+                            escalate(&escalation, FaultKind::from_send_error(err));
+                        }
                     }
                 }
             }

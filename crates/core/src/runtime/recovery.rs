@@ -1,0 +1,340 @@
+//! Coordinated rollback recovery (§3.4).
+//!
+//! Naiad's fault-tolerance model is a global rollback: when any process
+//! fails, every process reverts to the last durable checkpoint and
+//! replays the inputs logged since. This module implements that
+//! coordinator over the simulated cluster:
+//!
+//! * workers deposit sealed checkpoint blobs at epoch boundaries into a
+//!   [`Recovery`] store that survives cluster teardown (the stand-in for
+//!   stable storage);
+//! * input batches are logged as they are fed, so a resumed attempt can
+//!   replay exactly the records the lost attempt consumed;
+//! * [`execute_resilient`] runs [`execute`](super::execute::execute) in a
+//!   loop — when an attempt dies with an injected fault
+//!   ([`ExecuteError::ProcessCrashed`] or [`ExecuteError::LinkFailed`]),
+//!   it tears the cluster back to the latest *consistent* checkpoint
+//!   (one deposited by **every** worker for the same epoch), absorbs the
+//!   scheduled crash from the fault plan (a restarted process does not
+//!   re-crash, though lossy links stay lossy), and re-runs the worker
+//!   closure from the resume epoch.
+//!
+//! Because operators restore their full state from the checkpoint and
+//! epochs are re-fed deterministically from the input log, a recovered
+//! run produces output bit-identical to a fault-free run — the property
+//! the `checkpoint_restore` integration tests assert at every crash
+//! point.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use naiad_netsim::FabricMetrics;
+use naiad_wire::Wire;
+
+use super::config::Config;
+use super::execute::{execute_with_metrics, ExecuteError};
+use super::sync::Mutex;
+use super::worker::Worker;
+
+/// Tuning for [`execute_resilient`].
+#[derive(Debug, Clone)]
+pub struct RecoveryOptions {
+    /// Total attempts, including the initial run. Once exhausted the
+    /// coordinator reports [`ExecuteError::RecoveryFailed`].
+    pub max_attempts: usize,
+    /// Checkpoint cadence in epochs: with cadence `n`, epochs `n-1`,
+    /// `2n-1`, … are checkpoint boundaries
+    /// (see [`Recovery::should_checkpoint`]).
+    pub checkpoint_every: u64,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            max_attempts: 4,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// Sets the attempt budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn max_attempts(mut self, attempts: usize) -> Self {
+        assert!(attempts > 0, "at least one attempt");
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the checkpoint cadence in epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn checkpoint_every(mut self, epochs: u64) -> Self {
+        assert!(epochs > 0, "checkpoint cadence must be positive");
+        self.checkpoint_every = epochs;
+        self
+    }
+}
+
+/// The durable stores shared across attempts: checkpoints keyed by
+/// `(epoch, worker)` and logged input batches keyed by
+/// `(epoch, worker, input)`. Re-deposits replace, so a re-run attempt
+/// overwrites rather than duplicates — exactly-once by key.
+#[derive(Debug, Default)]
+struct Stores {
+    checkpoints: Mutex<HashMap<u64, HashMap<usize, Vec<u8>>>>,
+    inputs: Mutex<HashMap<(u64, usize, usize), Vec<u8>>>,
+}
+
+impl Stores {
+    /// The newest epoch for which **every** worker deposited a
+    /// checkpoint — the only rollback target that is globally consistent.
+    fn consistent_epoch(&self, total_workers: usize) -> Option<u64> {
+        self.checkpoints
+            .lock()
+            .iter()
+            .filter(|(_, blobs)| blobs.len() == total_workers)
+            .map(|(epoch, _)| *epoch)
+            .max()
+    }
+}
+
+/// Per-attempt handle handed to the worker closure of
+/// [`execute_resilient`]: exposes the resume point and the durable
+/// checkpoint/input-log stores. Cloneable and shareable across worker
+/// threads.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    attempt: usize,
+    resume_epoch: u64,
+    checkpoint_every: u64,
+    stores: Arc<Stores>,
+}
+
+impl Recovery {
+    /// Which attempt this is (0 = the initial run).
+    pub fn attempt(&self) -> usize {
+        self.attempt
+    }
+
+    /// The first epoch this attempt must feed. `0` on a fresh run; after
+    /// a rollback, one past the restored checkpoint's epoch.
+    pub fn resume_epoch(&self) -> u64 {
+        self.resume_epoch
+    }
+
+    /// Whether `epoch` is a checkpoint boundary under the configured
+    /// cadence.
+    pub fn should_checkpoint(&self, epoch: u64) -> bool {
+        (epoch + 1).is_multiple_of(self.checkpoint_every)
+    }
+
+    /// Deposits `worker`'s sealed checkpoint blob for `epoch`. Call at a
+    /// quiescent point — after a probe confirms the epoch complete — so
+    /// the blob is consistent.
+    pub fn deposit_checkpoint(&self, epoch: u64, worker: usize, blob: Vec<u8>) {
+        self.stores
+            .checkpoints
+            .lock()
+            .entry(epoch)
+            .or_default()
+            .insert(worker, blob);
+    }
+
+    /// The checkpoint blob this attempt should restore into `worker`, if
+    /// the attempt resumes from a rollback. `None` on a fresh run.
+    pub fn snapshot(&self, worker: usize) -> Option<Vec<u8>> {
+        let epoch = self.resume_epoch.checked_sub(1)?;
+        self.stores
+            .checkpoints
+            .lock()
+            .get(&epoch)
+            .and_then(|blobs| blobs.get(&worker))
+            .cloned()
+    }
+
+    /// Logs the batch `worker` feeds into input `input` at `epoch`,
+    /// replacing any batch previously logged under the same key.
+    pub fn log_input<D: Wire>(&self, epoch: u64, worker: usize, input: usize, records: &Vec<D>) {
+        let bytes = naiad_wire::encode_to_vec(records);
+        self.stores
+            .inputs
+            .lock()
+            .insert((epoch, worker, input), bytes);
+    }
+
+    /// The batch logged under `(epoch, worker, input)`, if any. Resumed
+    /// attempts replay from here instead of re-reading the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logged bytes do not decode as `Vec<D>` — the log is
+    /// in-memory, so corruption here is a type confusion bug, not bit
+    /// rot.
+    pub fn logged_input<D: Wire>(&self, epoch: u64, worker: usize, input: usize) -> Option<Vec<D>> {
+        self.stores
+            .inputs
+            .lock()
+            .get(&(epoch, worker, input))
+            .map(|bytes| {
+                naiad_wire::decode_from_slice(bytes).expect("input log decoded at a different type")
+            })
+    }
+}
+
+/// The outcome of a successful (possibly recovered) resilient execution.
+#[derive(Debug)]
+pub struct ResilientReport<T> {
+    /// Per-worker results from the final, successful attempt.
+    pub results: Vec<T>,
+    /// Attempts consumed, including the initial run.
+    pub attempts: usize,
+    /// The fault that ended each failed attempt, in order.
+    pub recovered_from: Vec<ExecuteError>,
+    /// Fabric meters of the final attempt (fault counters included).
+    pub metrics: Arc<FabricMetrics>,
+}
+
+/// Runs `worker_fn` with coordinated rollback recovery: on an injected
+/// process crash or unrecoverable link failure, tears the cluster down,
+/// rolls back to the latest consistent checkpoint, and re-runs.
+///
+/// The closure receives a [`Recovery`] handle alongside the worker and is
+/// responsible for the driver side of the protocol:
+///
+/// 1. construct the dataflow, then restore
+///    [`Recovery::snapshot`]`(worker.index())` if present;
+/// 2. feed epochs from [`Recovery::resume_epoch`] onward, replaying
+///    [`Recovery::logged_input`] batches where they exist and logging
+///    fresh ones where they do not;
+/// 3. deposit a checkpoint via [`Recovery::deposit_checkpoint`] whenever
+///    [`Recovery::should_checkpoint`] says so and the epoch is complete.
+///
+/// Scheduled crashes are absorbed after the first failure
+/// ([`FaultPlan::without_crashes`](naiad_netsim::FaultPlan::without_crashes)):
+/// the restarted cluster keeps its lossy links but the lost process does
+/// not re-crash, mirroring a failed machine replaced by a healthy one.
+pub fn execute_resilient<F, T>(
+    config: Config,
+    options: RecoveryOptions,
+    worker_fn: F,
+) -> Result<ResilientReport<T>, ExecuteError>
+where
+    F: Fn(&mut Worker, &Recovery) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    assert!(options.max_attempts > 0, "at least one attempt");
+    assert!(
+        options.checkpoint_every > 0,
+        "checkpoint cadence must be positive"
+    );
+    let stores = Arc::new(Stores::default());
+    let worker_fn = Arc::new(worker_fn);
+    let mut recovered_from = Vec::new();
+    let mut config = config;
+    for attempt in 0..options.max_attempts {
+        let resume_epoch = stores
+            .consistent_epoch(config.total_workers())
+            .map_or(0, |e| e + 1);
+        let recovery = Recovery {
+            attempt,
+            resume_epoch,
+            checkpoint_every: options.checkpoint_every,
+            stores: stores.clone(),
+        };
+        let f = worker_fn.clone();
+        let outcome =
+            execute_with_metrics(config.clone(), move |worker| f(worker, &recovery));
+        match outcome {
+            Ok((results, metrics)) => {
+                return Ok(ResilientReport {
+                    results,
+                    attempts: attempt + 1,
+                    recovered_from,
+                    metrics,
+                })
+            }
+            Err(err) => {
+                let recoverable = matches!(
+                    err,
+                    ExecuteError::ProcessCrashed { .. } | ExecuteError::LinkFailed { .. }
+                );
+                if !recoverable {
+                    // A plain panic is a bug, not an injected fault:
+                    // surface it untouched.
+                    return Err(err);
+                }
+                recovered_from.push(err.clone());
+                if attempt + 1 == options.max_attempts {
+                    return Err(ExecuteError::RecoveryFailed {
+                        attempts: options.max_attempts,
+                        last: Box::new(err),
+                    });
+                }
+                // Absorb scheduled crashes: the replacement process is
+                // healthy. Lossy links and partitions stay in force.
+                config.faults = config.faults.map(|plan| plan.without_crashes());
+            }
+        }
+    }
+    unreachable!("the loop returns on every path")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_epoch_requires_every_worker() {
+        let stores = Stores::default();
+        assert_eq!(stores.consistent_epoch(2), None);
+        stores.checkpoints.lock().entry(0).or_default().insert(0, vec![1]);
+        assert_eq!(stores.consistent_epoch(2), None, "worker 1 missing");
+        stores.checkpoints.lock().entry(0).or_default().insert(1, vec![2]);
+        assert_eq!(stores.consistent_epoch(2), Some(0));
+        // A newer but partial epoch does not advance the rollback target.
+        stores.checkpoints.lock().entry(3).or_default().insert(0, vec![3]);
+        assert_eq!(stores.consistent_epoch(2), Some(0));
+        stores.checkpoints.lock().entry(3).or_default().insert(1, vec![4]);
+        assert_eq!(stores.consistent_epoch(2), Some(3));
+    }
+
+    #[test]
+    fn recovery_handle_roundtrips_logs_and_snapshots() {
+        let stores = Arc::new(Stores::default());
+        let fresh = Recovery {
+            attempt: 0,
+            resume_epoch: 0,
+            checkpoint_every: 2,
+            stores: stores.clone(),
+        };
+        assert_eq!(fresh.snapshot(0), None, "fresh runs restore nothing");
+        assert!(!fresh.should_checkpoint(0));
+        assert!(fresh.should_checkpoint(1));
+        assert!(fresh.should_checkpoint(3));
+        fresh.deposit_checkpoint(1, 0, vec![9, 9]);
+        fresh.log_input(2, 0, 0, &vec![5u64, 6]);
+
+        let resumed = Recovery {
+            attempt: 1,
+            resume_epoch: 2,
+            checkpoint_every: 2,
+            stores,
+        };
+        assert_eq!(resumed.snapshot(0), Some(vec![9, 9]));
+        assert_eq!(resumed.snapshot(1), None);
+        assert_eq!(resumed.logged_input::<u64>(2, 0, 0), Some(vec![5, 6]));
+        assert_eq!(resumed.logged_input::<u64>(3, 0, 0), None);
+    }
+
+    #[test]
+    fn options_validate() {
+        let o = RecoveryOptions::default().max_attempts(2).checkpoint_every(3);
+        assert_eq!((o.max_attempts, o.checkpoint_every), (2, 3));
+    }
+}

@@ -1,0 +1,223 @@
+//! Bounded retry over the faulting fabric, and fault escalation.
+//!
+//! The fabric (`naiad-netsim`) models the wire *below* TCP: with a
+//! [`FaultPlan`](naiad_netsim::FaultPlan) installed, sends can fail with
+//! transient errors (drops, partition windows). This module plays the
+//! role of TCP retransmission — a bounded exponential-backoff retry —
+//! and, when retries are exhausted or the failure is fatal (a crashed
+//! process), escalates the fault so the whole cluster unwinds into a
+//! typed [`ExecuteError`](super::execute::ExecuteError) instead of
+//! hanging.
+//!
+//! Escalation has two halves:
+//!
+//! * the thread that observed the failure panics with a [`FaultPanic`]
+//!   payload, unwinding its worker closure;
+//! * before panicking it raises the fault on the cluster-global
+//!   [`EscalationCell`], which every worker polls in
+//!   [`Worker::step`](super::worker::Worker::step) — workers blocked on
+//!   progress from the failed process unwind too, so `execute` can join
+//!   everything and report the fault.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use naiad_netsim::{NetSender, SendError, TrafficClass};
+use naiad_wire::Bytes;
+
+use super::sync::Mutex;
+
+/// The classified cause of a cluster unwind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A link kept failing after the full retry budget.
+    LinkFailed {
+        /// Sending endpoint.
+        src: usize,
+        /// Receiving endpoint.
+        dst: usize,
+    },
+    /// A process crashed (scheduled by the plan or injected at runtime).
+    ProcessCrashed {
+        /// The crashed process.
+        process: usize,
+    },
+}
+
+impl FaultKind {
+    /// Classifies a non-retryable send error.
+    pub(crate) fn from_send_error(err: SendError) -> FaultKind {
+        match err {
+            SendError::Dropped { src, dst } | SendError::Partitioned { src, dst } => {
+                FaultKind::LinkFailed { src, dst }
+            }
+            SendError::PeerCrashed { dst } | SendError::Disconnected { dst } => {
+                FaultKind::ProcessCrashed { process: dst }
+            }
+            SendError::SelfCrashed { src } => FaultKind::ProcessCrashed { process: src },
+        }
+    }
+}
+
+/// The panic payload used to unwind worker threads on an injected fault.
+/// `execute` downcasts join errors to this type to produce typed
+/// [`ExecuteError`](super::execute::ExecuteError)s.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FaultPanic(pub(crate) FaultKind);
+
+/// Cluster-global slot holding the first escalated fault. Workers poll it
+/// each step so every thread unwinds, not just the one that hit the
+/// failed send.
+#[derive(Debug, Default)]
+pub(crate) struct EscalationCell {
+    slot: Mutex<Option<FaultKind>>,
+}
+
+impl EscalationCell {
+    /// Records `kind` if no fault was raised yet; returns the fault that
+    /// now occupies the cell.
+    pub(crate) fn raise(&self, kind: FaultKind) -> FaultKind {
+        let mut slot = self.slot.lock();
+        *slot.get_or_insert(kind)
+    }
+
+    /// The raised fault, if any.
+    pub(crate) fn check(&self) -> Option<FaultKind> {
+        *self.slot.lock()
+    }
+}
+
+/// Raises `kind` on the cell and unwinds the current thread with a
+/// [`FaultPanic`] payload.
+pub(crate) fn escalate(cell: &EscalationCell, kind: FaultKind) -> ! {
+    let first = cell.raise(kind);
+    std::panic::panic_any(FaultPanic(first));
+}
+
+/// Retry budget for transient send failures.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryPolicy {
+    /// Retries after the first attempt.
+    pub(crate) retries: u32,
+    /// Base backoff; doubles per retry, capped at 1024× base.
+    pub(crate) backoff: Duration,
+}
+
+impl RetryPolicy {
+    pub(crate) fn from_config(config: &super::config::Config) -> Self {
+        RetryPolicy {
+            retries: config.send_retries,
+            backoff: config.retry_backoff,
+        }
+    }
+
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff * 1u32.checked_shl(attempt.min(10)).unwrap_or(u32::MAX)
+    }
+}
+
+/// Sends `payload` to `dst`, retrying transient failures with exponential
+/// backoff. Returns the final error once the budget is exhausted or the
+/// failure is fatal. The fabric lock is released between attempts so
+/// other threads (and the delivery clock) make progress while we back
+/// off.
+pub(crate) fn send_with_retry(
+    net: &Arc<Mutex<NetSender>>,
+    policy: RetryPolicy,
+    dst: usize,
+    channel: u32,
+    class: TrafficClass,
+    payload: Bytes,
+) -> Result<(), SendError> {
+    let mut attempt = 0u32;
+    loop {
+        let result = net.lock().send(dst, channel, class, payload.clone());
+        match result {
+            Ok(()) => return Ok(()),
+            Err(err) if err.is_transient() && attempt < policy.retries => {
+                std::thread::sleep(policy.backoff_for(attempt));
+                attempt += 1;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naiad_netsim::{Fabric, FaultPlan};
+
+    fn policy(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            retries,
+            backoff: Duration::from_micros(1),
+        }
+    }
+
+    #[test]
+    fn retries_ride_out_a_partition_window() {
+        // Attempts 0..3 on 0→1 fail; the 4th emerges from the window.
+        let plan = FaultPlan::seeded(3).partition(0, 1, 0, 3);
+        let mut endpoints = Fabric::builder(2).faults(plan).build();
+        let mut b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+        let (tx, _rx) = a.split();
+        let net = Arc::new(Mutex::new(tx));
+        send_with_retry(
+            &net,
+            policy(8),
+            1,
+            7,
+            TrafficClass::Data,
+            vec![1u8].into(),
+        )
+        .unwrap();
+        assert_eq!(b.recv_blocking().unwrap().payload.as_ref(), &[1u8]);
+        assert_eq!(net.lock().metrics().faults().partition_rejects, 3);
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_transient_error() {
+        let plan = FaultPlan::seeded(3).partition(0, 1, 0, 100);
+        let mut endpoints = Fabric::builder(2).faults(plan).build();
+        let _b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+        let (tx, _rx) = a.split();
+        let net = Arc::new(Mutex::new(tx));
+        let err = send_with_retry(&net, policy(4), 1, 7, TrafficClass::Data, vec![1u8].into())
+            .unwrap_err();
+        assert_eq!(err, SendError::Partitioned { src: 0, dst: 1 });
+        assert!(FaultKind::from_send_error(err) == FaultKind::LinkFailed { src: 0, dst: 1 });
+    }
+
+    #[test]
+    fn crashes_are_not_retried() {
+        let mut endpoints = Fabric::builder(2).build();
+        let _b = endpoints.pop().unwrap();
+        let a = endpoints.pop().unwrap();
+        a.fault_controller().crash(1);
+        let (tx, _rx) = a.split();
+        let net = Arc::new(Mutex::new(tx));
+        let err = send_with_retry(&net, policy(8), 1, 7, TrafficClass::Data, vec![1u8].into())
+            .unwrap_err();
+        assert_eq!(err, SendError::PeerCrashed { dst: 1 });
+        assert_eq!(
+            FaultKind::from_send_error(err),
+            FaultKind::ProcessCrashed { process: 1 }
+        );
+        // Only the initial attempt: no retries burned on a fatal error.
+        assert_eq!(net.lock().metrics().faults().crash_rejects, 1);
+    }
+
+    #[test]
+    fn escalation_cell_keeps_the_first_fault() {
+        let cell = EscalationCell::default();
+        assert_eq!(cell.check(), None);
+        let a = FaultKind::ProcessCrashed { process: 2 };
+        let b = FaultKind::LinkFailed { src: 0, dst: 1 };
+        assert_eq!(cell.raise(a), a);
+        assert_eq!(cell.raise(b), a, "later faults do not displace the first");
+        assert_eq!(cell.check(), Some(a));
+    }
+}

@@ -1,0 +1,56 @@
+//! A tiny mutex wrapper over `std::sync::Mutex` with `parking_lot`-style
+//! ergonomics (`lock()` without an `unwrap` at every call site).
+//!
+//! Poisoning is deliberately ignored: worker panics are part of normal
+//! control flow for the fault-injection machinery (see
+//! [`retry`](super::retry)), and the values guarded here (net senders,
+//! channel registries, accumulators) remain structurally valid after a
+//! panicked critical section — the recovery coordinator rebuilds the whole
+//! cluster anyway.
+
+pub(crate) struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn survives_a_poisoning_panic() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "lock must recover from poisoning");
+    }
+}

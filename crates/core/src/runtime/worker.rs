@@ -6,11 +6,12 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use crossbeam::channel::Receiver;
-use naiad_netsim::{NetSender, TrafficClass};
-use naiad_wire::encode_to_vec;
-use parking_lot::Mutex;
+use std::sync::mpsc::Receiver;
+
+use naiad_netsim::{FaultController, NetSender, TrafficClass};
+use naiad_wire::{encode_to_vec, Bytes};
+
+use super::sync::Mutex;
 
 use crate::dataflow::{OpCore, Scope, StateRegistry, TrackerCell};
 use crate::progress::{PointstampTable, ProgressBatch, ProgressMode, ProgressUpdate};
@@ -19,7 +20,9 @@ use super::channels::{
     ChannelKey, Journal, ProcessRegistry, RoutingContext, CENTRAL_TAG, PROGRESS_TAG,
 };
 use super::config::Config;
+use super::durability::{open_blob, seal_blob, RestoreError};
 use super::progress_hub::ProcessAccumulator;
+use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 
 /// One dataflow installed at this worker.
 struct DataflowRuntime {
@@ -60,6 +63,11 @@ pub struct Worker {
     /// Progress batches that arrived before this worker built their
     /// dataflow, replayed at construction.
     stashed: HashMap<usize, Vec<ProgressBatch>>,
+    /// Cluster-global fault slot, polled each step so this worker unwinds
+    /// when any thread escalates an injected fault.
+    escalation: Arc<EscalationCell>,
+    /// Retry budget for sends over the faulting fabric.
+    policy: RetryPolicy,
 }
 
 impl Worker {
@@ -72,10 +80,12 @@ impl Worker {
         net: Arc<Mutex<NetSender>>,
         accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
         directory: Arc<ProcessRegistry>,
+        escalation: Arc<EscalationCell>,
     ) -> Self {
         let local_index = index % config.workers_per_process;
         let process = index / config.workers_per_process;
         let progress_rx = registry.receiver::<Bytes>(ChannelKey::Progress(local_index));
+        let policy = RetryPolicy::from_config(&config);
         Worker {
             index,
             peers,
@@ -92,6 +102,8 @@ impl Worker {
             last_seqs: HashMap::new(),
             last_step_worked: true,
             stashed: HashMap::new(),
+            escalation,
+            policy,
         }
     }
 
@@ -108,6 +120,33 @@ impl Worker {
     /// The process hosting this worker.
     pub fn process(&self) -> usize {
         self.process
+    }
+
+    /// A handle for injecting faults into the fabric at runtime: crash or
+    /// revive processes, sever or heal links.
+    pub fn fault_controller(&self) -> FaultController {
+        self.net.lock().fault_controller()
+    }
+
+    /// Crashes this worker's own process and unwinds (this function does
+    /// not return): every subsequent fabric send from or to the process
+    /// fails, every peer worker unwinds via the escalation cell — the
+    /// paper's failure model, where one process loss triggers a
+    /// coordinated rollback of the whole computation (§3.4) — and
+    /// [`execute`](crate::runtime::execute::execute) reports
+    /// [`ExecuteError::ProcessCrashed`](crate::runtime::execute::ExecuteError::ProcessCrashed).
+    /// The recovery coordinator
+    /// ([`execute_resilient`](crate::runtime::recovery::execute_resilient))
+    /// uses this to emulate a mid-computation process loss at a precise
+    /// point in the input stream.
+    pub fn inject_crash(&self) -> ! {
+        self.fault_controller().crash(self.process);
+        escalate(
+            &self.escalation,
+            FaultKind::ProcessCrashed {
+                process: self.process,
+            },
+        )
     }
 
     /// Builds a dataflow. Every worker must call `dataflow` the same
@@ -133,6 +172,8 @@ impl Worker {
             batch_size: self.config.batch_size,
             registry: self.registry.clone(),
             net: Some(self.net.clone()),
+            escalation: self.escalation.clone(),
+            policy: self.policy,
         };
         let mut scope = Scope::new(routing, journal.clone(), tracker.clone());
         let result = construct(&mut scope);
@@ -167,6 +208,9 @@ impl Worker {
     /// [`ProbeHandle::done_through`](crate::dataflow::ProbeHandle::done_through)
     /// reports the epochs you want captured — so the snapshot is
     /// consistent: no messages for the captured epochs remain in flight.
+    /// The returned blob is sealed with a versioned header and checksum
+    /// ([`seal_blob`]); [`Worker::try_restore`] verifies both, so storage
+    /// corruption is caught before any state is touched.
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut out = Vec::new();
         naiad_wire::Wire::encode(&self.dataflows.len(), &mut out);
@@ -179,7 +223,7 @@ impl Worker {
                 naiad_wire::Wire::encode(&blob, &mut out);
             }
         }
-        out
+        seal_blob(&out)
     }
 
     /// Restores vertex states captured by [`Worker::checkpoint`] into the
@@ -189,30 +233,59 @@ impl Worker {
     ///
     /// Panics if the snapshot's shape does not match the constructed
     /// dataflows (different dataflow count or registered-state count) or
-    /// the bytes are corrupt.
-    pub fn restore(&mut self, mut snapshot: &[u8]) {
-        let input = &mut snapshot;
-        let dataflows = <usize as naiad_wire::Wire>::decode(input).expect("snapshot header");
-        assert_eq!(
-            dataflows,
-            self.dataflows.len(),
-            "snapshot dataflow count mismatch"
-        );
+    /// the bytes are corrupt. Use [`Worker::try_restore`] for a fallible
+    /// variant.
+    pub fn restore(&mut self, snapshot: &[u8]) {
+        if let Err(e) = self.try_restore(snapshot) {
+            panic!("snapshot restore failed: {e}");
+        }
+    }
+
+    /// Fallible variant of [`Worker::restore`]: validates the snapshot's
+    /// shape against the constructed dataflows and reports corruption as a
+    /// typed [`RestoreError`] instead of panicking.
+    pub fn try_restore(&mut self, snapshot: &[u8]) -> Result<(), RestoreError> {
+        let mut payload = open_blob(snapshot)?;
+        let input = &mut payload;
+        let dataflows = <usize as naiad_wire::Wire>::decode(input)
+            .map_err(|_| RestoreError::Truncated("snapshot header"))?;
+        if dataflows != self.dataflows.len() {
+            return Err(RestoreError::ShapeMismatch {
+                what: "snapshot dataflow count",
+                expected: self.dataflows.len(),
+                found: dataflows,
+            });
+        }
         for df in &self.dataflows {
             let states = df.states.borrow();
-            let count = <usize as naiad_wire::Wire>::decode(input).expect("state count");
-            assert_eq!(count, states.len(), "registered-state count mismatch");
+            let count = <usize as naiad_wire::Wire>::decode(input)
+                .map_err(|_| RestoreError::Truncated("state count"))?;
+            if count != states.len() {
+                return Err(RestoreError::ShapeMismatch {
+                    what: "registered-state count",
+                    expected: states.len(),
+                    found: count,
+                });
+            }
             for (_stage, state) in states.iter() {
-                let blob = <Vec<u8> as naiad_wire::Wire>::decode(input).expect("state blob");
+                let blob = <Vec<u8> as naiad_wire::Wire>::decode(input)
+                    .map_err(|_| RestoreError::Truncated("state blob"))?;
                 state.borrow_mut().restore(&mut &blob[..]);
             }
         }
+        Ok(())
     }
 
     /// Runs one scheduling round: pumps vertices, delivers ready
     /// notifications, flushes progress updates, and applies incoming ones.
     /// Returns whether any dataflow is still live.
     pub fn step(&mut self) -> bool {
+        // If any thread escalated an injected fault, unwind too: peers of
+        // a crashed process would otherwise block forever waiting for its
+        // progress updates.
+        if let Some(kind) = self.escalation.check() {
+            escalate(&self.escalation, kind);
+        }
         self.last_step_worked = false;
         self.drain_progress();
         for df in 0..self.dataflows.len() {
@@ -330,13 +403,18 @@ impl Worker {
         let dataflow = self.dataflows[df].id;
         match self.config.progress_mode {
             ProgressMode::Broadcast => {
-                // Naive protocol: every update broadcast on its own.
+                // Naive protocol: every update broadcast on its own. The
+                // retry loop runs per destination (not around the fabric's
+                // broadcast) so a transient failure on one link never
+                // re-sends to links that already succeeded — re-delivery
+                // would violate the per-sender FIFO sequence check.
+                let processes = self.config.processes;
                 for update in updates {
                     let batch = self.make_batch(dataflow, vec![update]);
                     let bytes: Bytes = encode_to_vec(&batch).into();
-                    self.net
-                        .lock()
-                        .broadcast(PROGRESS_TAG, TrafficClass::Progress, bytes);
+                    for dst in 0..processes {
+                        self.send_progress(dst, PROGRESS_TAG, bytes.clone());
+                    }
                 }
             }
             ProgressMode::Global => {
@@ -345,9 +423,7 @@ impl Worker {
                 let batch = self.make_batch(dataflow, updates);
                 let bytes: Bytes = encode_to_vec(&batch).into();
                 let central = self.central_endpoint();
-                self.net
-                    .lock()
-                    .send(central, CENTRAL_TAG, TrafficClass::Progress, bytes);
+                self.send_progress(central, CENTRAL_TAG, bytes);
             }
             ProgressMode::Local | ProgressMode::LocalGlobal => {
                 let acc = self
@@ -357,6 +433,16 @@ impl Worker {
                     .clone();
                 acc.lock().deposit(dataflow, updates);
             }
+        }
+    }
+
+    /// Sends one progress payload with retry; escalates a fault the retry
+    /// budget cannot mask.
+    fn send_progress(&mut self, dst: usize, tag: u32, bytes: Bytes) {
+        if let Err(err) =
+            send_with_retry(&self.net, self.policy, dst, tag, TrafficClass::Progress, bytes)
+        {
+            escalate(&self.escalation, FaultKind::from_send_error(err));
         }
     }
 

@@ -1,144 +1,139 @@
-//! Property tests for the timestamp order and path-summary algebra: the
-//! laws §2.1/§2.3 depend on.
+//! Randomized tests for the timestamp order and path-summary algebra: the
+//! laws §2.1/§2.3 depend on. Deterministic seeded generation (`naiad-rng`)
+//! keeps every run reproducible without an external framework.
 
 use naiad::summary::Summary;
 use naiad::{Antichain, PartialOrder, Timestamp};
-use proptest::prelude::*;
+use naiad_rng::Xorshift;
 
-fn arb_time() -> impl Strategy<Value = Timestamp> {
-    (0u64..5, proptest::collection::vec(0u64..5, 0..3))
-        .prop_map(|(epoch, counters)| Timestamp::with_counters(epoch, &counters))
+const CASES: usize = 256;
+
+fn gen_time(rng: &mut Xorshift) -> Timestamp {
+    let epoch = rng.below(5);
+    let depth = rng.below_usize(3);
+    let counters: Vec<u64> = (0..depth).map(|_| rng.below(5)).collect();
+    Timestamp::with_counters(epoch, &counters)
 }
 
 /// Summaries built from random compositions of the three system actions,
-/// tracked with a source depth they are valid for.
-fn arb_summary(depth: usize) -> impl Strategy<Value = Summary> {
-    proptest::collection::vec(0u8..3, 0..5).prop_map(move |ops| {
-        let mut s = Summary::identity(depth);
-        for op in ops {
-            let d = s.target_depth();
-            s = match op {
-                0 if d < 3 => s.then(&Summary::ingress(d)),
-                1 if d >= 1 => s.then(&Summary::egress(d)),
-                2 if d >= 1 => s.then(&Summary::feedback(d)),
-                _ => s,
-            };
-        }
-        s
-    })
+/// starting from the identity at `depth`.
+fn gen_summary(rng: &mut Xorshift, depth: usize) -> Summary {
+    let mut s = Summary::identity(depth);
+    for _ in 0..rng.below_usize(5) {
+        let d = s.target_depth();
+        s = match rng.below(3) {
+            0 if d < 3 => s.then(&Summary::ingress(d)),
+            1 if d >= 1 => s.then(&Summary::egress(d)),
+            2 if d >= 1 => s.then(&Summary::feedback(d)),
+            _ => s,
+        };
+    }
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Pads/truncates a timestamp's counters to depth 2 so depth-2 summaries
+/// apply.
+fn pad2(t: Timestamp) -> Timestamp {
+    let mut c = t.counters.as_slice().to_vec();
+    while c.len() < 2 {
+        c.push(0);
+    }
+    c.truncate(2);
+    Timestamp::with_counters(t.epoch, &c)
+}
 
-    /// The §2.1 order is a partial order on equal-depth timestamps.
-    #[test]
-    fn timestamp_order_laws(a in arb_time(), b in arb_time(), c in arb_time()) {
+/// The §2.1 order is a partial order on equal-depth timestamps.
+#[test]
+fn timestamp_order_laws() {
+    let mut rng = Xorshift::new(0xA1);
+    for _ in 0..CASES {
+        let (a, b, c) = (gen_time(&mut rng), gen_time(&mut rng), gen_time(&mut rng));
         // Reflexivity.
-        prop_assert!(a.less_equal(&a));
+        assert!(a.less_equal(&a));
         // Transitivity.
         if a.less_equal(&b) && b.less_equal(&c) {
-            prop_assert!(a.less_equal(&c));
+            assert!(a.less_equal(&c), "transitivity: {a:?} {b:?} {c:?}");
         }
         // Antisymmetry at equal depth.
         if a.depth() == b.depth() && a.less_equal(&b) && b.less_equal(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
         // less_than is consistent.
-        prop_assert_eq!(a.less_than(&b), a.less_equal(&b) && !b.less_equal(&a));
+        assert_eq!(a.less_than(&b), a.less_equal(&b) && !b.less_equal(&a));
     }
+}
 
-    /// Summary application is monotone: t1 ≤ t2 ⇒ s(t1) ≤ s(t2) — the
-    /// property that makes path-summary reasoning sound.
-    #[test]
-    fn summaries_are_monotone(
-        s in arb_summary(2),
-        a in arb_time(),
-        b in arb_time(),
-    ) {
-        // Pad both inputs to depth 2 so the summary applies.
-        let pad = |t: Timestamp| {
-            let mut c = t.counters.as_slice().to_vec();
-            while c.len() < 2 {
-                c.push(0);
-            }
-            c.truncate(2);
-            Timestamp::with_counters(t.epoch, &c)
-        };
-        let (a, b) = (pad(a), pad(b));
+/// Summary application is monotone: t1 ≤ t2 ⇒ s(t1) ≤ s(t2) — the
+/// property that makes path-summary reasoning sound.
+#[test]
+fn summaries_are_monotone() {
+    let mut rng = Xorshift::new(0xA2);
+    for _ in 0..CASES {
+        let s = gen_summary(&mut rng, 2);
+        let a = pad2(gen_time(&mut rng));
+        let b = pad2(gen_time(&mut rng));
         if a.less_equal(&b) {
-            prop_assert!(
+            assert!(
                 s.apply(&a).less_equal(&s.apply(&b)),
                 "{s:?} not monotone on {a:?} ≤ {b:?}"
             );
         }
     }
+}
 
-    /// Composition agrees with sequential application, always.
-    #[test]
-    fn composition_is_application(
-        s1 in arb_summary(2),
-        ops in proptest::collection::vec(0u8..3, 0..4),
-        t in arb_time(),
-    ) {
-        // Extend s1 by a second random path s2 and compare.
+/// Composition agrees with sequential application, always.
+#[test]
+fn composition_is_application() {
+    let mut rng = Xorshift::new(0xA3);
+    for _ in 0..CASES {
+        let s1 = gen_summary(&mut rng, 2);
         let mut s2 = Summary::identity(s1.target_depth());
-        for op in ops {
+        for _ in 0..rng.below_usize(4) {
             let d = s2.target_depth();
-            s2 = match op {
+            s2 = match rng.below(3) {
                 0 if d < 3 => s2.then(&Summary::ingress(d)),
                 1 if d >= 1 => s2.then(&Summary::egress(d)),
                 2 if d >= 1 => s2.then(&Summary::feedback(d)),
                 _ => s2,
             };
         }
-        let mut c = t.counters.as_slice().to_vec();
-        while c.len() < 2 {
-            c.push(0);
-        }
-        c.truncate(2);
-        let t = Timestamp::with_counters(t.epoch, &c);
+        let t = pad2(gen_time(&mut rng));
         let composed = s1.then(&s2);
-        prop_assert_eq!(composed.apply(&t), s2.apply(&s1.apply(&t)));
+        assert_eq!(composed.apply(&t), s2.apply(&s1.apply(&t)));
     }
+}
 
-    /// Summary domination (the antichain order) implies pointwise
-    /// domination of applied timestamps.
-    #[test]
-    fn summary_order_is_pointwise(
-        s1 in arb_summary(2),
-        s2 in arb_summary(2),
-        t in arb_time(),
-    ) {
+/// Summary domination (the antichain order) implies pointwise domination
+/// of applied timestamps.
+#[test]
+fn summary_order_is_pointwise() {
+    let mut rng = Xorshift::new(0xA4);
+    for _ in 0..CASES {
+        let s1 = gen_summary(&mut rng, 2);
+        let s2 = gen_summary(&mut rng, 2);
         if s1.less_equal(&s2) {
-            let mut c = t.counters.as_slice().to_vec();
-            while c.len() < 2 {
-                c.push(0);
-            }
-            c.truncate(2);
-            let t = Timestamp::with_counters(t.epoch, &c);
-            prop_assert!(s1.apply(&t).less_equal(&s2.apply(&t)));
+            let t = pad2(gen_time(&mut rng));
+            assert!(s1.apply(&t).less_equal(&s2.apply(&t)));
         }
     }
+}
 
-    /// Antichain membership answers exactly like a linear scan of every
-    /// inserted element.
-    #[test]
-    fn antichain_matches_linear_scan(
-        elems in proptest::collection::vec(arb_time(), 0..12),
-        probe in arb_time(),
-    ) {
+/// Antichain membership answers exactly like a linear scan of every
+/// inserted element.
+#[test]
+fn antichain_matches_linear_scan() {
+    let mut rng = Xorshift::new(0xA5);
+    for _ in 0..CASES {
         // Restrict to equal-depth timestamps so the order is antisymmetric.
-        let elems: Vec<Timestamp> = elems
-            .into_iter()
-            .map(|t| Timestamp::new(t.epoch))
+        let elems: Vec<Timestamp> = (0..rng.below_usize(12))
+            .map(|_| Timestamp::new(rng.below(5)))
             .collect();
-        let probe = Timestamp::new(probe.epoch);
+        let probe = Timestamp::new(rng.below(5));
         let mut chain = Antichain::new();
         for e in &elems {
             chain.insert(*e);
         }
         let scan = elems.iter().any(|e| e.less_equal(&probe));
-        prop_assert_eq!(chain.less_equal(&probe), scan);
+        assert_eq!(chain.less_equal(&probe), scan);
     }
 }

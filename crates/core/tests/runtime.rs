@@ -225,7 +225,7 @@ fn loop_iterates_to_fixed_point() {
         let results = execute(Config::single_process(workers), move |worker| {
             let (mut input, captured) = worker.dataflow(|scope| {
                 let (input, stream) = scope.new_input::<u64>();
-                let mut lc = scope.loop_context(naiad::graph::ContextId::ROOT);
+                let lc = scope.loop_context(naiad::graph::ContextId::ROOT);
                 let entered = lc.enter(&stream);
                 let (handle, cycle) = lc.feedback::<u64>(Some(100));
                 let merged = naiad::dataflow::ops::concatenate(&entered, &cycle);

@@ -1,16 +1,18 @@
 //! Endpoints and the fabric builder.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use naiad_rng::Xorshift;
+use naiad_wire::Bytes;
 
+use crate::fault::{FaultController, FaultState};
 use crate::latency::LatencySampler;
 use crate::metrics::{FabricMetrics, TrafficClass};
-use crate::LatencyModel;
+use crate::{FaultPlan, LatencyModel, SendError};
 
 /// A message in flight between two endpoints.
 #[derive(Debug, Clone)]
@@ -22,6 +24,10 @@ pub struct Envelope {
     pub channel: u32,
     /// Accounting class.
     pub class: TrafficClass,
+    /// Per-link delivery sequence number, used by the receiver to suppress
+    /// fabric-duplicated messages (strictly increasing per `src` at any
+    /// receiver; gaps mark dropped messages).
+    pub seq: u64,
     /// Serialized payload. `Bytes` makes broadcast fan-out cheap: the same
     /// buffer is reference-counted across all destinations.
     pub payload: Bytes,
@@ -59,6 +65,7 @@ impl Fabric {
         FabricBuilder {
             processes,
             latency: None,
+            faults: None,
         }
     }
 }
@@ -68,6 +75,7 @@ impl Fabric {
 pub struct FabricBuilder {
     processes: usize,
     latency: Option<LatencyModel>,
+    faults: Option<FaultPlan>,
 }
 
 impl FabricBuilder {
@@ -78,15 +86,25 @@ impl FabricBuilder {
         self
     }
 
+    /// Injects a fault plan: message drops, duplications, scheduled link
+    /// partitions, and scheduled process crashes. See [`FaultPlan`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the fabric, returning one endpoint per process, in index
     /// order. Endpoints are `Send`, so each can move to its process thread.
     pub fn build(self) -> Vec<Endpoint> {
         let n = self.processes;
         let metrics = Arc::new(FabricMetrics::new(n));
+        let plan = self.faults.unwrap_or_default();
+        let fault_seed = plan.seed;
+        let faults = Arc::new(FaultState::new(plan, n, metrics.clone()));
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = channel::unbounded::<Timed>();
+            let (tx, rx) = channel::<Timed>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -102,6 +120,12 @@ impl FabricBuilder {
                         })
                         .collect::<Vec<_>>()
                 });
+                let fault_rng = (0..n)
+                    .map(|dst| {
+                        let salt = (index as u64) << 32 | dst as u64;
+                        Xorshift::with_salt(fault_seed, salt)
+                    })
+                    .collect();
                 Endpoint {
                     sender: NetSender {
                         index,
@@ -109,11 +133,18 @@ impl FabricBuilder {
                         metrics: metrics.clone(),
                         samplers,
                         last_delivery: vec![None; n],
+                        faults: faults.clone(),
+                        fault_rng,
+                        next_seq: vec![0; n],
+                        link_attempts: vec![0; n],
+                        total_attempts: 0,
                     },
                     receiver: NetReceiver {
                         receiver,
                         pending: BinaryHeap::new(),
-                        next_seq: 0,
+                        arrivals: 0,
+                        last_seen: HashMap::new(),
+                        metrics: metrics.clone(),
                     },
                 }
             })
@@ -126,7 +157,9 @@ impl FabricBuilder {
 /// Sending is addressed by endpoint index; receiving merges all incoming
 /// links. Per-link FIFO order is guaranteed even under latency injection,
 /// matching TCP's in-order delivery — the property the progress protocol
-/// of §3.3 depends on.
+/// of §3.3 depends on. Fault injection preserves FIFO as well: a failed
+/// send never enters the link, and duplicated deliveries are suppressed
+/// at the receiver by per-link sequence numbers.
 ///
 /// An endpoint can be [`split`](Endpoint::split) into a [`NetSender`] and a
 /// [`NetReceiver`] so a process's workers can share the send half (behind a
@@ -145,13 +178,28 @@ pub struct NetSender {
     /// Last scheduled delivery instant per destination, used to keep each
     /// link FIFO under randomized delays.
     last_delivery: Vec<Option<Instant>>,
+    /// Shared fault-injection state.
+    faults: Arc<FaultState>,
+    /// Per-destination fault generators (independent, seeded streams).
+    fault_rng: Vec<Xorshift>,
+    /// Next per-link delivery sequence number, per destination.
+    next_seq: Vec<u64>,
+    /// Send attempts per destination link (partition windows count these).
+    link_attempts: Vec<u64>,
+    /// Total send attempts by this endpoint (crash schedules count these).
+    total_attempts: u64,
 }
 
 /// The receiving half of an [`Endpoint`].
 pub struct NetReceiver {
     receiver: Receiver<Timed>,
     pending: BinaryHeap<Reverse<PendingEntry>>,
-    next_seq: u64,
+    /// Arrival counter used to break delivery-time ties FIFO.
+    arrivals: u64,
+    /// Highest envelope sequence number seen per source, for duplicate
+    /// suppression.
+    last_seen: HashMap<usize, u64>,
+    metrics: Arc<FabricMetrics>,
 }
 
 struct PendingEntry {
@@ -193,38 +241,149 @@ impl NetSender {
         &self.metrics
     }
 
+    /// A handle for injecting faults at runtime.
+    pub fn fault_controller(&self) -> FaultController {
+        FaultController {
+            state: self.faults.clone(),
+        }
+    }
+
     /// Sends `payload` to endpoint `dst` on `channel`.
     ///
-    /// Sends to dropped endpoints are silently discarded (the peer can no
-    /// longer observe anything), but are still metered — the bytes were
-    /// "put on the wire".
+    /// Under an active [`FaultPlan`] the send can fail: the message may be
+    /// dropped in flight, the link may be partitioned, or either process
+    /// may have crashed — see [`SendError`] for which failures are worth
+    /// retrying. Dropped messages are still metered (the bytes were put on
+    /// the wire before being lost); partition and crash rejections are not.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SendError`] describing the injected fault, or
+    /// [`SendError::Disconnected`] if the destination endpoint is gone.
     ///
     /// # Panics
     ///
     /// Panics if `dst` is out of range.
-    pub fn send(&mut self, dst: usize, channel: u32, class: TrafficClass, payload: Bytes) {
+    pub fn send(
+        &mut self,
+        dst: usize,
+        channel: u32,
+        class: TrafficClass,
+        payload: Bytes,
+    ) -> Result<(), SendError> {
         assert!(dst < self.senders.len(), "destination {dst} out of range");
+        let src = self.index;
+
+        // Scheduled crash: fires once this endpoint's attempt counter
+        // reaches the crash point, failing this and every later send.
+        let attempt = self.total_attempts;
+        self.total_attempts += 1;
+        if self
+            .faults
+            .plan
+            .crashes
+            .iter()
+            .any(|c| c.process == src && attempt >= c.after_sends)
+        {
+            self.faults.mark_crashed(src);
+        }
+        if self.faults.is_crashed(src) {
+            self.metrics.record_crash_reject();
+            return Err(SendError::SelfCrashed { src });
+        }
+        if self.faults.is_crashed(dst) {
+            self.metrics.record_crash_reject();
+            return Err(SendError::PeerCrashed { dst });
+        }
+
+        // Partitions: scheduled windows count per-link attempts (so a
+        // retrying sender eventually emerges), dynamic ones last until
+        // healed.
+        let link_attempt = self.link_attempts[dst];
+        self.link_attempts[dst] += 1;
+        let scheduled = self
+            .faults
+            .plan
+            .partitions
+            .iter()
+            .any(|p| p.src == src && p.dst == dst && (p.from..p.until).contains(&link_attempt));
+        if scheduled || self.faults.is_dynamically_partitioned(src, dst) {
+            self.metrics.record_partition_reject();
+            return Err(SendError::Partitioned { src, dst });
+        }
+
+        // The bytes now reach the wire: meter them, drops included.
         self.metrics
             .link(self.index, dst)
             .record(class, payload.len());
+
+        // Probabilistic faults apply only to cross-process links; loopback
+        // never crosses a physical network.
+        let cross = src != dst;
+        if cross
+            && self.faults.plan.drop_probability > 0.0
+            && self.fault_rng[dst].chance(self.faults.plan.drop_probability)
+        {
+            self.metrics.record_dropped();
+            return Err(SendError::Dropped { src, dst });
+        }
+        let duplicate = cross
+            && self.faults.plan.duplicate_probability > 0.0
+            && self.fault_rng[dst].chance(self.faults.plan.duplicate_probability);
+
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
         let deliver_at = self.schedule(dst, payload.len());
+        let envelope = Envelope {
+            src: self.index,
+            channel,
+            class,
+            seq,
+            payload,
+        };
         let timed = Timed {
             deliver_at,
-            envelope: Envelope {
-                src: self.index,
-                channel,
-                class,
-                payload,
-            },
+            envelope: envelope.clone(),
         };
-        let _ = self.senders[dst].send(timed);
+        if self.senders[dst].send(timed).is_err() {
+            return Err(SendError::Disconnected { dst });
+        }
+        if duplicate {
+            // The copy carries the same sequence number, so the receiver
+            // suppresses it; it trails the original on the link.
+            self.metrics.record_duplicated();
+            let deliver_at = self.schedule(dst, 0);
+            let _ = self.senders[dst].send(Timed {
+                deliver_at,
+                envelope,
+            });
+        }
+        Ok(())
     }
 
     /// Sends the same payload to every endpoint (including this one), the
     /// primitive used by progress-update broadcasts.
-    pub fn broadcast(&mut self, channel: u32, class: TrafficClass, payload: Bytes) {
+    ///
+    /// # Errors
+    ///
+    /// Every destination is attempted; the first failure (in destination
+    /// order) is returned. Callers needing per-destination recovery should
+    /// loop over [`NetSender::send`] instead.
+    pub fn broadcast(
+        &mut self,
+        channel: u32,
+        class: TrafficClass,
+        payload: Bytes,
+    ) -> Result<(), SendError> {
+        let mut first_err = None;
         for dst in 0..self.senders.len() {
-            self.send(dst, channel, class, payload.clone());
+            if let Err(e) = self.send(dst, channel, class, payload.clone()) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
@@ -246,11 +405,22 @@ impl NetSender {
 
 impl NetReceiver {
     fn absorb(&mut self, timed: Timed) -> Option<Envelope> {
+        // Per-link duplicate suppression: arrival order equals send order
+        // per source (mpsc preserves per-sender FIFO), so a non-increasing
+        // sequence number can only be a fabric-injected duplicate.
+        let env = &timed.envelope;
+        if let Some(&last) = self.last_seen.get(&env.src) {
+            if env.seq <= last {
+                self.metrics.record_duplicate_suppressed();
+                return None;
+            }
+        }
+        self.last_seen.insert(env.src, env.seq);
         match timed.deliver_at {
             None => Some(timed.envelope),
             Some(deliver_at) => {
-                let seq = self.next_seq;
-                self.next_seq += 1;
+                let seq = self.arrivals;
+                self.arrivals += 1;
                 self.pending.push(Reverse(PendingEntry {
                     deliver_at,
                     seq,
@@ -347,14 +517,38 @@ impl Endpoint {
         self.sender.metrics()
     }
 
+    /// A handle for injecting faults at runtime.
+    pub fn fault_controller(&self) -> FaultController {
+        self.sender.fault_controller()
+    }
+
     /// Sends `payload` to endpoint `dst` on `channel`; see [`NetSender::send`].
-    pub fn send(&mut self, dst: usize, channel: u32, class: TrafficClass, payload: Bytes) {
-        self.sender.send(dst, channel, class, payload);
+    ///
+    /// # Errors
+    ///
+    /// See [`NetSender::send`].
+    pub fn send(
+        &mut self,
+        dst: usize,
+        channel: u32,
+        class: TrafficClass,
+        payload: Bytes,
+    ) -> Result<(), SendError> {
+        self.sender.send(dst, channel, class, payload)
     }
 
     /// Broadcasts to every endpoint; see [`NetSender::broadcast`].
-    pub fn broadcast(&mut self, channel: u32, class: TrafficClass, payload: Bytes) {
-        self.sender.broadcast(channel, class, payload);
+    ///
+    /// # Errors
+    ///
+    /// See [`NetSender::broadcast`].
+    pub fn broadcast(
+        &mut self,
+        channel: u32,
+        class: TrafficClass,
+        payload: Bytes,
+    ) -> Result<(), SendError> {
+        self.sender.broadcast(channel, class, payload)
     }
 
     /// Returns the next deliverable message, if any, without blocking.
@@ -363,11 +557,19 @@ impl Endpoint {
     }
 
     /// Blocks until a message is deliverable; see [`NetReceiver::recv_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// See [`NetReceiver::recv_deadline`].
     pub fn recv_deadline(&mut self, timeout: Option<Duration>) -> Result<Envelope, RecvError> {
         self.receiver.recv_deadline(timeout)
     }
 
     /// Blocks until a message is deliverable or all peers disconnect.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetReceiver::recv_deadline`].
     pub fn recv_blocking(&mut self) -> Result<Envelope, RecvError> {
         self.receiver.recv_blocking()
     }
@@ -382,7 +584,7 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for i in 0..100u8 {
-            a.send(1, 0, TrafficClass::Data, vec![i].into());
+            a.send(1, 0, TrafficClass::Data, vec![i].into()).unwrap();
         }
         for i in 0..100u8 {
             let env = b.recv_blocking().unwrap();
@@ -395,7 +597,7 @@ mod tests {
     fn loopback_works() {
         let mut eps = Fabric::builder(1).build();
         let mut a = eps.pop().unwrap();
-        a.send(0, 3, TrafficClass::Progress, vec![9].into());
+        a.send(0, 3, TrafficClass::Progress, vec![9].into()).unwrap();
         let env = a.try_recv().unwrap();
         assert_eq!((env.src, env.channel), (0, 3));
     }
@@ -404,7 +606,7 @@ mod tests {
     fn broadcast_reaches_everyone_and_meters_each_link() {
         let mut eps = Fabric::builder(3).build();
         let payload = Bytes::from_static(&[1, 2, 3, 4]);
-        eps[0].broadcast(1, TrafficClass::Progress, payload);
+        eps[0].broadcast(1, TrafficClass::Progress, payload).unwrap();
         let metrics = eps[0].metrics().clone();
         for ep in eps.iter_mut() {
             let env = ep.recv_blocking().unwrap();
@@ -425,7 +627,7 @@ mod tests {
         let mut a = eps.pop().unwrap();
         let start = Instant::now();
         for i in 0..50u8 {
-            a.send(1, 0, TrafficClass::Data, vec![i].into());
+            a.send(1, 0, TrafficClass::Data, vec![i].into()).unwrap();
         }
         // Nothing should be deliverable immediately.
         assert!(b.try_recv().is_none());
@@ -441,7 +643,7 @@ mod tests {
         let mut eps = Fabric::builder(2).build();
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        a.send(1, 0, TrafficClass::Data, vec![1].into());
+        a.send(1, 0, TrafficClass::Data, vec![1].into()).unwrap();
         drop(a);
         drop(eps);
         assert!(b.recv_blocking().is_ok());
@@ -460,7 +662,8 @@ mod tests {
         let mut a = eps.pop().unwrap();
         let handle = std::thread::spawn(move || {
             for i in 0..1000u32 {
-                a.send(1, 0, TrafficClass::Data, i.to_le_bytes().to_vec().into());
+                a.send(1, 0, TrafficClass::Data, i.to_le_bytes().to_vec().into())
+                    .unwrap();
             }
         });
         let mut sum = 0u64;
@@ -484,7 +687,7 @@ mod split_tests {
         let (mut a_tx, _a_rx) = eps.pop().unwrap().split();
         let handle = std::thread::spawn(move || {
             for i in 0..10u8 {
-                a_tx.send(1, 0, TrafficClass::Data, vec![i].into());
+                a_tx.send(1, 0, TrafficClass::Data, vec![i].into()).unwrap();
             }
             a_tx
         });
@@ -494,5 +697,182 @@ mod split_tests {
         }
         let a_tx = handle.join().unwrap();
         assert_eq!(a_tx.metrics().link_counters(0, 1).data.messages, 10);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    #[test]
+    fn drops_are_sender_visible_and_metered() {
+        let plan = FaultPlan::seeded(7).drop_probability(0.3);
+        let mut eps = Fabric::builder(2).faults(plan).build();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        for i in 0..200u8 {
+            match a.send(1, 0, TrafficClass::Data, vec![i].into()) {
+                Ok(()) => delivered += 1,
+                Err(SendError::Dropped { src: 0, dst: 1 }) => dropped += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(dropped > 20 && dropped < 100, "dropped = {dropped}");
+        let faults = a.metrics().faults();
+        assert_eq!(faults.dropped, dropped);
+        // Exactly the successful sends arrive, in order.
+        for _ in 0..delivered {
+            assert!(b.recv_blocking().is_ok());
+        }
+        assert!(b.try_recv().is_none());
+        // Dropped bytes were still metered (put on the wire, then lost).
+        assert_eq!(
+            a.metrics().link_counters(0, 1).data.messages,
+            delivered + dropped
+        );
+    }
+
+    #[test]
+    fn drops_are_deterministic_per_seed() {
+        let outcome = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::seeded(seed).drop_probability(0.5);
+            let mut eps = Fabric::builder(2).faults(plan).build();
+            let mut a = eps.swap_remove(0);
+            (0..64u8)
+                .map(|i| a.send(1, 0, TrafficClass::Data, vec![i].into()).is_ok())
+                .collect()
+        };
+        assert_eq!(outcome(3), outcome(3));
+        assert_ne!(outcome(3), outcome(4));
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_at_the_receiver() {
+        let plan = FaultPlan::seeded(5).duplicate_probability(0.4);
+        let mut eps = Fabric::builder(2).faults(plan).build();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for i in 0..100u8 {
+            a.send(1, 0, TrafficClass::Data, vec![i].into()).unwrap();
+        }
+        // All 100 arrive exactly once, in order, despite duplicates.
+        for i in 0..100u8 {
+            let env = b.recv_blocking().unwrap();
+            assert_eq!(env.payload[0], i);
+        }
+        assert!(b.try_recv().is_none());
+        let faults = b.metrics().faults();
+        assert!(faults.duplicated > 10, "duplicated = {}", faults.duplicated);
+        assert_eq!(faults.duplicated, faults.duplicates_suppressed);
+    }
+
+    #[test]
+    fn scheduled_partition_rejects_inside_the_window_only() {
+        let plan = FaultPlan::seeded(1).partition(0, 1, 2, 5);
+        let mut eps = Fabric::builder(2).faults(plan).build();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let mut outcomes = Vec::new();
+        for i in 0..8u8 {
+            outcomes.push(a.send(1, 0, TrafficClass::Data, vec![i].into()).is_ok());
+        }
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, false, false, true, true, true]
+        );
+        assert_eq!(a.metrics().faults().partition_rejects, 3);
+        // Loopback and the reverse direction are unaffected.
+        a.send(0, 0, TrafficClass::Data, vec![9].into()).unwrap();
+        b.send(0, 0, TrafficClass::Data, vec![9].into()).unwrap();
+    }
+
+    #[test]
+    fn dynamic_partition_and_heal() {
+        let mut eps = Fabric::builder(2).build();
+        let ctl = eps[0].fault_controller();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, 0, TrafficClass::Data, vec![0].into()).unwrap();
+        ctl.sever(0, 1);
+        assert_eq!(
+            a.send(1, 0, TrafficClass::Data, vec![1].into()),
+            Err(SendError::Partitioned { src: 0, dst: 1 })
+        );
+        ctl.heal(0, 1);
+        a.send(1, 0, TrafficClass::Data, vec![2].into()).unwrap();
+        assert_eq!(b.recv_blocking().unwrap().payload[0], 0);
+        assert_eq!(b.recv_blocking().unwrap().payload[0], 2);
+    }
+
+    #[test]
+    fn scheduled_crash_fails_sends_in_both_directions() {
+        let plan = FaultPlan::seeded(1).crash(0, 3);
+        let mut eps = Fabric::builder(2).faults(plan).build();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for i in 0..3u8 {
+            a.send(1, 0, TrafficClass::Data, vec![i].into()).unwrap();
+        }
+        // The 4th attempt trips the crash point.
+        assert_eq!(
+            a.send(1, 0, TrafficClass::Data, vec![3].into()),
+            Err(SendError::SelfCrashed { src: 0 })
+        );
+        // Peers can no longer reach the crashed process either.
+        assert_eq!(
+            b.send(0, 0, TrafficClass::Data, vec![7].into()),
+            Err(SendError::PeerCrashed { dst: 0 })
+        );
+        let faults = a.metrics().faults();
+        assert_eq!(faults.crashes, 1);
+        assert_eq!(faults.crash_rejects, 2);
+        // The three pre-crash messages were delivered.
+        for i in 0..3u8 {
+            assert_eq!(b.recv_blocking().unwrap().payload[0], i);
+        }
+    }
+
+    #[test]
+    fn controller_crash_and_revive() {
+        let mut eps = Fabric::builder(2).build();
+        let ctl = eps[1].fault_controller();
+        let mut a = eps.swap_remove(0);
+        ctl.crash(1);
+        assert_eq!(
+            a.send(1, 0, TrafficClass::Data, vec![1].into()),
+            Err(SendError::PeerCrashed { dst: 1 })
+        );
+        ctl.revive(1);
+        a.send(1, 0, TrafficClass::Data, vec![2].into()).unwrap();
+        assert_eq!(ctl.crashes(), 1, "revive does not erase the count");
+    }
+
+    #[test]
+    fn faults_preserve_fifo_under_latency() {
+        let plan = FaultPlan::seeded(23)
+            .drop_probability(0.2)
+            .duplicate_probability(0.2);
+        let model = LatencyModel::lossy(
+            Duration::from_micros(100),
+            0.3,
+            Duration::from_millis(1),
+            9,
+        );
+        let mut eps = Fabric::builder(2).faults(plan).latency(model).build();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let mut sent = Vec::new();
+        for i in 0..120u8 {
+            if a.send(1, 0, TrafficClass::Data, vec![i].into()).is_ok() {
+                sent.push(i);
+            }
+        }
+        for &i in &sent {
+            let env = b.recv_blocking().unwrap();
+            assert_eq!(env.payload[0], i, "FIFO violated under faults + latency");
+        }
+        assert!(b.try_recv().is_none());
     }
 }

@@ -1,0 +1,391 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! The paper's fault-tolerance story (§3.4) is exercised here by making
+//! the simulated network misbehave on purpose: links can drop or
+//! duplicate messages, scheduled partitions can sever a link for a
+//! window of sends, and whole processes can crash. Every decision is
+//! drawn from a seeded generator salted per link, so a given
+//! [`FaultPlan`] produces the same fault sequence on every run — the
+//! property the recovery tests rely on.
+//!
+//! Faults are *sender-visible*: a dropped or partitioned send returns
+//! [`SendError`] instead of silently vanishing. The fabric models the
+//! wire *below* TCP; the runtime's bounded retry loop plays the role of
+//! TCP retransmission, so per-link FIFO is preserved (a failed send
+//! never entered the channel). Duplicated messages model the opposite
+//! failure — delivery above the retransmit layer — and are suppressed at
+//! the receiver by per-link sequence numbers, exactly as TCP suppresses
+//! duplicate segments.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::FabricMetrics;
+
+/// A scheduled partition of one directed link: send attempts numbered
+/// `from..until` on `src → dst` fail with [`SendError::Partitioned`].
+///
+/// Windows are counted in *send attempts* on the link (failed attempts
+/// included), so a retrying sender eventually emerges from the window —
+/// the partition heals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkPartition {
+    /// Sending endpoint.
+    pub src: usize,
+    /// Receiving endpoint.
+    pub dst: usize,
+    /// First affected attempt number (0-based).
+    pub from: u64,
+    /// First attempt past the window.
+    pub until: u64,
+}
+
+/// A scheduled process crash: once endpoint `process` has attempted
+/// `after_sends` sends in total, it is marked crashed and every
+/// subsequent send from or to it fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The endpoint that crashes.
+    pub process: usize,
+    /// Total send attempts by that endpoint before the crash fires.
+    pub after_sends: u64,
+}
+
+/// A deterministic, seeded fault-injection plan for the whole fabric.
+///
+/// The default plan injects nothing. Probabilistic faults (drops and
+/// duplicates) apply only to cross-process links — loopback traffic
+/// never touches a physical network — while partitions and crashes
+/// follow their explicit schedules.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the per-link fault generators.
+    pub seed: u64,
+    /// Per-message probability in [0, 1] that a cross-process send is
+    /// dropped (sender sees [`SendError::Dropped`]).
+    pub drop_probability: f64,
+    /// Per-message probability in [0, 1] that a cross-process send is
+    /// delivered twice (receiver suppresses the copy).
+    pub duplicate_probability: f64,
+    /// Scheduled link partitions.
+    pub partitions: Vec<LinkPartition>,
+    /// Scheduled process crashes.
+    pub crashes: Vec<CrashPoint>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::seeded(1)
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing, with fault generators seeded by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed: seed.max(1),
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Sets the per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside [0, 1].
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside [0, 1].
+    pub fn duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Schedules a partition of the `src → dst` link for send attempts
+    /// `from..until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn partition(mut self, src: usize, dst: usize, from: u64, until: u64) -> Self {
+        assert!(from < until, "empty partition window {from}..{until}");
+        self.partitions.push(LinkPartition {
+            src,
+            dst,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Schedules a crash of `process` after it has attempted
+    /// `after_sends` sends.
+    pub fn crash(mut self, process: usize, after_sends: u64) -> Self {
+        self.crashes.push(CrashPoint {
+            process,
+            after_sends,
+        });
+        self
+    }
+
+    /// Whether the plan can inject anything at all.
+    pub fn is_inert(&self) -> bool {
+        self.drop_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// A copy of the plan with all scheduled crashes removed — what the
+    /// recovery coordinator runs after a crash has been absorbed (the
+    /// "restarted" process does not re-crash), keeping the lossy-link
+    /// behaviour intact.
+    pub fn without_crashes(&self) -> Self {
+        let mut plan = self.clone();
+        plan.crashes.clear();
+        plan
+    }
+}
+
+/// Error returned by a faulting [`send`](crate::NetSender::send).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The message was lost in flight (transient: a retry models the
+    /// TCP retransmission that would mask this in a real deployment).
+    Dropped {
+        /// Sending endpoint.
+        src: usize,
+        /// Receiving endpoint.
+        dst: usize,
+    },
+    /// The link is partitioned (transient if the partition window ends).
+    Partitioned {
+        /// Sending endpoint.
+        src: usize,
+        /// Receiving endpoint.
+        dst: usize,
+    },
+    /// The destination process has crashed (fatal for this attempt; only
+    /// cluster-level recovery helps).
+    PeerCrashed {
+        /// The crashed destination.
+        dst: usize,
+    },
+    /// The sending process itself has crashed.
+    SelfCrashed {
+        /// The crashed sender.
+        src: usize,
+    },
+    /// The destination endpoint was dropped (its receiver is gone).
+    Disconnected {
+        /// The vanished destination.
+        dst: usize,
+    },
+}
+
+impl SendError {
+    /// Whether a bounded retry can plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SendError::Dropped { .. } | SendError::Partitioned { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Dropped { src, dst } => write!(f, "message dropped on link {src} → {dst}"),
+            SendError::Partitioned { src, dst } => write!(f, "link {src} → {dst} is partitioned"),
+            SendError::PeerCrashed { dst } => write!(f, "destination process {dst} has crashed"),
+            SendError::SelfCrashed { src } => write!(f, "sending process {src} has crashed"),
+            SendError::Disconnected { dst } => write!(f, "destination endpoint {dst} is gone"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Fabric-wide mutable fault state, shared by all endpoints.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    crashed: Vec<AtomicBool>,
+    /// Directed links severed at runtime via [`FaultController`].
+    dynamic_partitions: Mutex<HashSet<(usize, usize)>>,
+    /// Shared meters; crash transitions are counted here.
+    metrics: Arc<FabricMetrics>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, processes: usize, metrics: Arc<FabricMetrics>) -> Self {
+        let mut crashed = Vec::with_capacity(processes);
+        crashed.resize_with(processes, || AtomicBool::new(false));
+        FaultState {
+            plan,
+            crashed,
+            dynamic_partitions: Mutex::new(HashSet::new()),
+            metrics,
+        }
+    }
+
+    pub(crate) fn is_crashed(&self, process: usize) -> bool {
+        self.crashed
+            .get(process)
+            .is_some_and(|c| c.load(Ordering::Acquire))
+    }
+
+    /// Marks `process` crashed; returns whether this call flipped it.
+    pub(crate) fn mark_crashed(&self, process: usize) -> bool {
+        let flipped = !self.crashed[process].swap(true, Ordering::AcqRel);
+        if flipped {
+            self.metrics.record_crash();
+        }
+        flipped
+    }
+
+    pub(crate) fn clear_crashed(&self, process: usize) {
+        self.crashed[process].store(false, Ordering::Release);
+    }
+
+    pub(crate) fn crash_count(&self) -> u64 {
+        self.metrics.faults().crashes
+    }
+
+    fn partitions(&self) -> std::sync::MutexGuard<'_, HashSet<(usize, usize)>> {
+        match self.dynamic_partitions.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub(crate) fn is_dynamically_partitioned(&self, src: usize, dst: usize) -> bool {
+        self.partitions().contains(&(src, dst))
+    }
+
+    pub(crate) fn set_partition(&self, src: usize, dst: usize, severed: bool) {
+        let mut parts = self.partitions();
+        if severed {
+            parts.insert((src, dst));
+        } else {
+            parts.remove(&(src, dst));
+        }
+    }
+}
+
+/// A handle for injecting faults at runtime: crash or revive a process,
+/// sever or heal a directed link. Cloneable and shareable across
+/// threads; obtained from [`Endpoint::fault_controller`](crate::Endpoint::fault_controller).
+#[derive(Debug, Clone)]
+pub struct FaultController {
+    pub(crate) state: Arc<FaultState>,
+}
+
+impl FaultController {
+    /// Marks `process` crashed: every send from or to it now fails.
+    pub fn crash(&self, process: usize) {
+        self.state.mark_crashed(process);
+    }
+
+    /// Clears the crashed flag of `process` (a restart in place).
+    pub fn revive(&self, process: usize) {
+        self.state.clear_crashed(process);
+    }
+
+    /// Whether `process` is currently marked crashed.
+    pub fn is_crashed(&self, process: usize) -> bool {
+        self.state.is_crashed(process)
+    }
+
+    /// Severs the directed link `src → dst`.
+    pub fn sever(&self, src: usize, dst: usize) {
+        self.state.set_partition(src, dst, true);
+    }
+
+    /// Heals the directed link `src → dst`.
+    pub fn heal(&self, src: usize, dst: usize) {
+        self.state.set_partition(src, dst, false);
+    }
+
+    /// Number of processes ever marked crashed.
+    pub fn crashes(&self) -> u64 {
+        self.state.crash_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_compose_and_validate() {
+        let plan = FaultPlan::seeded(9)
+            .drop_probability(0.1)
+            .duplicate_probability(0.05)
+            .partition(0, 1, 10, 20)
+            .crash(2, 100);
+        assert_eq!(plan.seed, 9);
+        assert!(!plan.is_inert());
+        assert!(plan.without_crashes().crashes.is_empty());
+        assert_eq!(plan.without_crashes().partitions.len(), 1);
+        assert!(FaultPlan::default().is_inert());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn plan_rejects_bad_probability() {
+        let _ = FaultPlan::seeded(1).drop_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty partition window")]
+    fn plan_rejects_empty_window() {
+        let _ = FaultPlan::seeded(1).partition(0, 1, 5, 5);
+    }
+
+    #[test]
+    fn controller_flips_state() {
+        let metrics = Arc::new(FabricMetrics::new(3));
+        let state = Arc::new(FaultState::new(FaultPlan::default(), 3, metrics));
+        let ctl = FaultController {
+            state: state.clone(),
+        };
+        assert!(!ctl.is_crashed(1));
+        ctl.crash(1);
+        assert!(ctl.is_crashed(1));
+        assert_eq!(ctl.crashes(), 1);
+        ctl.crash(1); // idempotent
+        assert_eq!(ctl.crashes(), 1);
+        ctl.revive(1);
+        assert!(!ctl.is_crashed(1));
+
+        ctl.sever(0, 2);
+        assert!(state.is_dynamically_partitioned(0, 2));
+        assert!(!state.is_dynamically_partitioned(2, 0));
+        ctl.heal(0, 2);
+        assert!(!state.is_dynamically_partitioned(0, 2));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(SendError::Dropped { src: 0, dst: 1 }.is_transient());
+        assert!(SendError::Partitioned { src: 0, dst: 1 }.is_transient());
+        assert!(!SendError::PeerCrashed { dst: 1 }.is_transient());
+        assert!(!SendError::SelfCrashed { src: 0 }.is_transient());
+        assert!(!SendError::Disconnected { dst: 1 }.is_transient());
+    }
+}

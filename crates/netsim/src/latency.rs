@@ -9,6 +9,8 @@
 
 use std::time::Duration;
 
+use naiad_rng::Xorshift;
+
 /// A per-message delivery delay model.
 ///
 /// The model is deterministic given its seed, which keeps latency
@@ -73,28 +75,13 @@ impl LatencyModel {
 #[derive(Debug, Clone)]
 pub(crate) struct LatencySampler {
     model: LatencyModel,
-    state: u64,
+    rng: Xorshift,
 }
 
 impl LatencySampler {
     pub(crate) fn new(model: LatencyModel, link_salt: u64) -> Self {
-        let state = model.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (link_salt | 1);
-        LatencySampler {
-            model,
-            state: state.max(1),
-        }
-    }
-
-    fn next_unit(&mut self) -> f64 {
-        // Xorshift64*: adequate statistical quality for fault injection and
-        // dependency-free.
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
-        bits as f64 / (1u64 << 53) as f64
+        let rng = Xorshift::with_salt(model.seed, link_salt);
+        LatencySampler { model, rng }
     }
 
     /// Propagation + stall delay for one message of `payload_len` bytes,
@@ -102,7 +89,7 @@ impl LatencySampler {
     /// the sender can serialize back-to-back messages).
     pub(crate) fn sample(&mut self, payload_len: usize) -> (Duration, Duration) {
         let mut delay = self.model.base;
-        if self.model.stall_probability > 0.0 && self.next_unit() < self.model.stall_probability {
+        if self.model.stall_probability > 0.0 && self.rng.unit() < self.model.stall_probability {
             delay += self.model.stall;
         }
         let occupancy = match self.model.bytes_per_sec {

@@ -11,7 +11,12 @@
 //! * links meter bytes and message counts separately for data and
 //!   progress-protocol traffic (Figures 6a and 6c),
 //! * links can inject delivery latency, the hook used to emulate the
-//!   micro-stragglers of §3.5.
+//!   micro-stragglers of §3.5,
+//! * a deterministic seeded [`FaultPlan`] injects message drops, duplicate
+//!   deliveries, link partitions, and process crashes — the machinery
+//!   behind the fault-tolerance evaluation of §5 (Figure 7c). Failed
+//!   sends surface as typed [`SendError`]s rather than vanishing, and
+//!   every injected fault is counted in [`FabricMetrics`].
 //!
 //! # Examples
 //!
@@ -21,15 +26,17 @@
 //! let mut endpoints = Fabric::builder(2).build();
 //! let mut b = endpoints.pop().unwrap();
 //! let mut a = endpoints.pop().unwrap();
-//! a.send(1, 7, TrafficClass::Data, vec![1, 2, 3].into());
+//! a.send(1, 7, TrafficClass::Data, vec![1, 2, 3].into()).unwrap();
 //! let env = b.recv_blocking().unwrap();
 //! assert_eq!((env.src, env.channel, &env.payload[..]), (0, 7, &[1u8, 2, 3][..]));
 //! ```
 
 mod endpoint;
+mod fault;
 mod latency;
 mod metrics;
 
 pub use endpoint::{Endpoint, Envelope, Fabric, FabricBuilder, NetReceiver, NetSender, RecvError};
+pub use fault::{CrashPoint, FaultController, FaultPlan, LinkPartition, SendError};
 pub use latency::LatencyModel;
-pub use metrics::{ClassCounters, FabricMetrics, LinkCounters, TrafficClass};
+pub use metrics::{ClassCounters, FabricMetrics, FaultCounters, LinkCounters, TrafficClass};

@@ -68,19 +68,90 @@ pub struct LinkCounters {
     pub progress: ClassCounters,
 }
 
+/// A snapshot of the fabric's fault-injection counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Messages dropped in flight (sender observed `SendError::Dropped`).
+    pub dropped: u64,
+    /// Messages delivered twice by the fabric.
+    pub duplicated: u64,
+    /// Duplicate copies suppressed at a receiver.
+    pub duplicates_suppressed: u64,
+    /// Sends rejected because the link was partitioned.
+    pub partition_rejects: u64,
+    /// Sends rejected because an involved process had crashed.
+    pub crash_rejects: u64,
+    /// Processes ever marked crashed.
+    pub crashes: u64,
+}
+
+/// Internal atomics behind [`FaultCounters`].
+#[derive(Debug, Default)]
+struct FaultMeter {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    duplicates_suppressed: AtomicU64,
+    partition_rejects: AtomicU64,
+    crash_rejects: AtomicU64,
+    crashes: AtomicU64,
+}
+
 /// Fabric-wide traffic meters, shared by all endpoints.
 #[derive(Debug)]
 pub struct FabricMetrics {
     processes: usize,
     // Row-major `processes × processes` matrix of directed links.
     links: Vec<LinkMeter>,
+    faults: FaultMeter,
 }
 
 impl FabricMetrics {
     pub(crate) fn new(processes: usize) -> Self {
         let mut links = Vec::with_capacity(processes * processes);
         links.resize_with(processes * processes, LinkMeter::default);
-        FabricMetrics { processes, links }
+        FabricMetrics {
+            processes,
+            links,
+            faults: FaultMeter::default(),
+        }
+    }
+
+    pub(crate) fn record_dropped(&self) {
+        self.faults.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_duplicated(&self) {
+        self.faults.duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_duplicate_suppressed(&self) {
+        self.faults
+            .duplicates_suppressed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_partition_reject(&self) {
+        self.faults.partition_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_crash_reject(&self) {
+        self.faults.crash_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_crash(&self) {
+        self.faults.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the fault-injection counters.
+    pub fn faults(&self) -> FaultCounters {
+        FaultCounters {
+            dropped: self.faults.dropped.load(Ordering::Relaxed),
+            duplicated: self.faults.duplicated.load(Ordering::Relaxed),
+            duplicates_suppressed: self.faults.duplicates_suppressed.load(Ordering::Relaxed),
+            partition_rejects: self.faults.partition_rejects.load(Ordering::Relaxed),
+            crash_rejects: self.faults.crash_rejects.load(Ordering::Relaxed),
+            crashes: self.faults.crashes.load(Ordering::Relaxed),
+        }
     }
 
     pub(crate) fn link(&self, src: usize, dst: usize) -> &LinkMeter {
@@ -158,6 +229,30 @@ mod tests {
             }
         );
         assert_eq!(m.link_counters(1, 0), LinkCounters::default());
+    }
+
+    #[test]
+    fn fault_counters_start_zero_and_accumulate() {
+        let m = FabricMetrics::new(2);
+        assert_eq!(m.faults(), FaultCounters::default());
+        m.record_dropped();
+        m.record_dropped();
+        m.record_duplicated();
+        m.record_duplicate_suppressed();
+        m.record_partition_reject();
+        m.record_crash_reject();
+        m.record_crash();
+        assert_eq!(
+            m.faults(),
+            FaultCounters {
+                dropped: 2,
+                duplicated: 1,
+                duplicates_suppressed: 1,
+                partition_rejects: 1,
+                crash_rejects: 1,
+                crashes: 1,
+            }
+        );
     }
 
     #[test]

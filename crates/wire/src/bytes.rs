@@ -1,0 +1,115 @@
+//! A cheaply cloneable, immutable byte buffer.
+//!
+//! The fabric broadcasts the same serialized payload to many endpoints;
+//! reference counting makes that fan-out free. This is a minimal,
+//! dependency-free stand-in for the `bytes` crate's `Bytes`, covering
+//! exactly what the runtime uses: construction from a `Vec<u8>`, cheap
+//! clones, and read-only slice access.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Cloning is O(1): all clones share one allocation.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    /// A buffer copied from a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(bytes) }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.data.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_and_derefs() {
+        let b: Bytes = vec![1u8, 2, 3].into();
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b[0], 1);
+        let c = b.clone();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let b: Bytes = vec![0u8; 1024].into();
+        let c = b.clone();
+        assert!(std::ptr::eq(b.as_ref().as_ptr(), c.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn static_and_empty() {
+        let s = Bytes::from_static(&[9, 8]);
+        assert_eq!(&s[..], &[9, 8]);
+        assert!(Bytes::new().is_empty());
+        assert!(Bytes::default().is_empty());
+    }
+}

@@ -27,12 +27,14 @@
 //! assert_eq!(record, back);
 //! ```
 
+mod bytes;
 mod collections;
 mod error;
 mod primitives;
 mod tuples;
 pub mod varint;
 
+pub use bytes::Bytes;
 pub use error::WireError;
 
 /// A type with a deterministic binary encoding.

@@ -1,67 +1,160 @@
-//! Property tests: every `Wire` impl round-trips and reports exact lengths.
+//! Randomized tests: every `Wire` impl round-trips and reports exact
+//! lengths. Deterministic seeded generation (`naiad-rng`) replaces an
+//! external property-testing framework: each case fixes a seed, so a
+//! failure reproduces exactly.
 
+use naiad_rng::Xorshift;
 use naiad_wire::{decode_from_slice, encode_to_vec, Wire};
-use proptest::prelude::*;
+
+const CASES: usize = 512;
 
 fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
     let bytes = encode_to_vec(value);
-    assert_eq!(bytes.len(), value.encoded_len());
+    assert_eq!(bytes.len(), value.encoded_len(), "length of {value:?}");
     let back: T = decode_from_slice(&bytes).unwrap();
     assert_eq!(&back, value);
 }
 
-proptest! {
-    #[test]
-    fn u64_roundtrips(v: u64) { roundtrip(&v); }
-
-    #[test]
-    fn i64_roundtrips(v: i64) { roundtrip(&v); }
-
-    #[test]
-    fn u32_roundtrips(v: u32) { roundtrip(&v); }
-
-    #[test]
-    fn f64_roundtrips(v: f64) {
-        let bytes = encode_to_vec(&v);
-        let back: f64 = decode_from_slice(&bytes).unwrap();
-        prop_assert_eq!(v.to_bits(), back.to_bits());
+/// Integers spanning all varint widths: raw 64-bit draws masked to a
+/// random bit width, so short encodings are exercised as often as long.
+fn gen_u64(rng: &mut Xorshift) -> u64 {
+    let width = rng.below(65) as u32;
+    if width == 0 {
+        0
+    } else {
+        rng.next_u64() >> (64 - width)
     }
+}
 
-    #[test]
-    fn string_roundtrips(v: String) { roundtrip(&v); }
+fn gen_string(rng: &mut Xorshift) -> String {
+    let len = rng.below_usize(24);
+    (0..len)
+        .map(|_| {
+            // Mix ASCII with multi-byte code points.
+            match rng.below(4) {
+                0..=2 => char::from(b' ' + rng.below(95) as u8),
+                _ => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('λ'),
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn vec_u64_roundtrips(v: Vec<u64>) { roundtrip(&v); }
+fn gen_vec<T>(rng: &mut Xorshift, mut f: impl FnMut(&mut Xorshift) -> T) -> Vec<T> {
+    let len = rng.below_usize(12);
+    (0..len).map(|_| f(rng)).collect()
+}
 
-    #[test]
-    fn vec_string_roundtrips(v: Vec<String>) { roundtrip(&v); }
+#[test]
+fn unsigned_ints_roundtrip() {
+    let mut rng = Xorshift::new(0x11);
+    for _ in 0..CASES {
+        roundtrip(&gen_u64(&mut rng));
+        roundtrip(&(gen_u64(&mut rng) as u32));
+        roundtrip(&(gen_u64(&mut rng) as u16));
+        roundtrip(&(gen_u64(&mut rng) as u8));
+        roundtrip(&(gen_u64(&mut rng) as usize));
+    }
+    for v in [0u64, 1, 127, 128, u64::MAX] {
+        roundtrip(&v);
+    }
+}
 
-    #[test]
-    fn pair_roundtrips(v: (u64, String)) { roundtrip(&v); }
+#[test]
+fn signed_ints_roundtrip() {
+    let mut rng = Xorshift::new(0x22);
+    for _ in 0..CASES {
+        roundtrip(&(gen_u64(&mut rng) as i64));
+        roundtrip(&(gen_u64(&mut rng) as i32));
+    }
+    for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+        roundtrip(&v);
+    }
+}
 
-    #[test]
-    fn nested_roundtrips(v: Vec<(u32, Option<String>, Vec<i32>)>) { roundtrip(&v); }
+#[test]
+fn floats_roundtrip_bit_exactly() {
+    let mut rng = Xorshift::new(0x33);
+    for _ in 0..CASES {
+        // Raw bit patterns cover NaNs, infinities, and subnormals.
+        let v = f64::from_bits(rng.next_u64());
+        let bytes = encode_to_vec(&v);
+        assert_eq!(bytes.len(), v.encoded_len());
+        let back: f64 = decode_from_slice(&bytes).unwrap();
+        assert_eq!(v.to_bits(), back.to_bits());
+        let w = f32::from_bits(rng.next_u64() as u32);
+        let back: f32 = decode_from_slice(&encode_to_vec(&w)).unwrap();
+        assert_eq!(w.to_bits(), back.to_bits());
+    }
+}
 
-    #[test]
-    fn decoding_arbitrary_bytes_never_panics(bytes: Vec<u8>) {
-        // Decoding untrusted input must fail cleanly, not panic or OOM.
+#[test]
+fn strings_roundtrip() {
+    let mut rng = Xorshift::new(0x44);
+    for _ in 0..CASES {
+        roundtrip(&gen_string(&mut rng));
+    }
+    roundtrip(&String::new());
+}
+
+#[test]
+fn collections_roundtrip() {
+    let mut rng = Xorshift::new(0x55);
+    for _ in 0..CASES {
+        roundtrip(&gen_vec(&mut rng, gen_u64));
+        roundtrip(&gen_vec(&mut rng, gen_string));
+    }
+    roundtrip(&Vec::<u64>::new());
+}
+
+#[test]
+fn tuples_and_options_roundtrip() {
+    let mut rng = Xorshift::new(0x66);
+    for _ in 0..CASES {
+        roundtrip(&(gen_u64(&mut rng), gen_string(&mut rng)));
+        let nested: Vec<(u32, Option<String>, Vec<i32>)> = gen_vec(&mut rng, |rng| {
+            (
+                gen_u64(rng) as u32,
+                if rng.chance(0.5) {
+                    Some(gen_string(rng))
+                } else {
+                    None
+                },
+                gen_vec(rng, |rng| gen_u64(rng) as i32),
+            )
+        });
+        roundtrip(&nested);
+    }
+}
+
+#[test]
+fn decoding_arbitrary_bytes_never_panics() {
+    // Decoding untrusted input must fail cleanly, not panic or OOM.
+    let mut rng = Xorshift::new(0x77);
+    for _ in 0..CASES {
+        let bytes = gen_vec(&mut rng, |rng| rng.next_u64() as u8);
         let _ = decode_from_slice::<Vec<(u64, String)>>(&bytes);
         let _ = decode_from_slice::<String>(&bytes);
         let _ = decode_from_slice::<(u8, i64, bool)>(&bytes);
     }
+}
 
-    #[test]
-    fn values_concatenate(a: u64, b: String, c: Vec<i32>) {
-        // Encoding is prefix-free per value: sequential decodes recover
-        // sequentially encoded values.
+#[test]
+fn values_concatenate() {
+    // Encoding is prefix-free per value: sequential decodes recover
+    // sequentially encoded values.
+    let mut rng = Xorshift::new(0x88);
+    for _ in 0..CASES {
+        let a = gen_u64(&mut rng);
+        let b = gen_string(&mut rng);
+        let c = gen_vec(&mut rng, |rng| gen_u64(rng) as i32);
         let mut buf = Vec::new();
         a.encode(&mut buf);
         b.encode(&mut buf);
         c.encode(&mut buf);
         let mut slice = &buf[..];
-        prop_assert_eq!(u64::decode(&mut slice).unwrap(), a);
-        prop_assert_eq!(String::decode(&mut slice).unwrap(), b);
-        prop_assert_eq!(Vec::<i32>::decode(&mut slice).unwrap(), c);
-        prop_assert!(slice.is_empty());
+        assert_eq!(u64::decode(&mut slice).unwrap(), a);
+        assert_eq!(String::decode(&mut slice).unwrap(), b);
+        assert_eq!(Vec::<i32>::decode(&mut slice).unwrap(), c);
+        assert!(slice.is_empty());
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline verification: build the whole workspace warning-clean and run
+# every test (unit, doc, integration — including the fault-injection and
+# recovery suites). No network access is required: the workspace has no
+# external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "verify: OK"

@@ -3,7 +3,7 @@
 //! restore, and continue — the resumed run must match an uninterrupted
 //! one exactly.
 
-use naiad::{execute, Config};
+use naiad::{execute, execute_resilient, Config, ExecuteError, RecoveryOptions};
 use naiad_examples::my_share;
 use naiad_operators::prelude::*;
 use std::sync::Arc;
@@ -170,4 +170,139 @@ fn restore_rejects_mismatched_shape() {
     })
     .unwrap();
     assert!(result[0], "mismatched restore must panic");
+}
+
+/// Corrupt checkpoint bytes surface as typed errors, not decoding panics.
+#[test]
+fn try_restore_reports_corruption() {
+    use naiad::runtime::RestoreError;
+
+    let (_, snapshot) = run(0, 2, None);
+    let per_worker = restore_shape(&snapshot);
+    let blob = Arc::new(per_worker[0].clone());
+    let errors = execute(Config::single_process(1), move |worker| {
+        let (_input, _probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            (input, mins.probe())
+        });
+        // Not a checkpoint at all.
+        let garbage = worker.try_restore(b"definitely not a checkpoint");
+        // A flipped payload bit fails the checksum before any state moves.
+        let mut flipped = blob.as_ref().clone();
+        *flipped.last_mut().unwrap() ^= 1;
+        let corrupt = worker.try_restore(&flipped);
+        // The pristine blob restores cleanly afterwards.
+        let clean = worker.try_restore(&blob);
+        (garbage, corrupt, clean)
+    })
+    .unwrap();
+    let (garbage, corrupt, clean) = &errors[0];
+    assert_eq!(garbage, &Err(RestoreError::BadMagic));
+    assert!(matches!(corrupt, Err(RestoreError::ChecksumMismatch { .. })));
+    assert_eq!(clean, &Ok(()));
+}
+
+/// Coordinated rollback recovery (§3.4): crash a worker's process at
+/// *every* possible epoch in turn; the recovered run must produce output
+/// identical to the fault-free reference from its resume point onward.
+#[test]
+fn recovery_matches_fault_free_run_at_every_crash_epoch() {
+    let total_epochs = inputs().len() as u64;
+    let (reference, _) = run(0, total_epochs, None);
+    let reference_by_epoch: Vec<Vec<(u64, u64)>> = (0..total_epochs)
+        .map(|e| {
+            let mut v: Vec<(u64, u64)> = reference
+                .iter()
+                .filter(|(epoch, _)| *epoch == e)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+
+    for crash_epoch in 0..total_epochs {
+        let all = Arc::new(inputs());
+        let report = execute_resilient(
+            Config::single_process(2),
+            RecoveryOptions::default()
+                .max_attempts(3)
+                .checkpoint_every(2),
+            move |worker, recovery| {
+                let (mut input, probe, captured) = worker.dataflow(|scope| {
+                    let (input, stream) = scope.new_input::<(u64, u64)>();
+                    let mins = stream.min_monotonic();
+                    let captured = mins.capture();
+                    (input, mins.probe(), captured)
+                });
+                if let Some(blob) = recovery.snapshot(worker.index()) {
+                    worker.restore(&blob);
+                }
+                let resume = recovery.resume_epoch();
+                for (local, epoch) in (resume..total_epochs).enumerate() {
+                    if recovery.attempt() == 0 && epoch == crash_epoch && worker.index() == 1 {
+                        worker.inject_crash();
+                    }
+                    // Replay the input log where it exists; read (and log)
+                    // the source otherwise.
+                    let records = match recovery.logged_input::<(u64, u64)>(
+                        epoch,
+                        worker.index(),
+                        0,
+                    ) {
+                        Some(records) => records,
+                        None => {
+                            let records =
+                                my_share(&all[epoch as usize], worker.index(), worker.peers());
+                            recovery.log_input(epoch, worker.index(), 0, &records);
+                            records
+                        }
+                    };
+                    for r in records {
+                        input.send(r);
+                    }
+                    input.advance_to(local as u64 + 1);
+                    worker.step_while(|| !probe.done_through(local as u64));
+                    if recovery.should_checkpoint(epoch) {
+                        recovery.deposit_checkpoint(epoch, worker.index(), worker.checkpoint());
+                    }
+                }
+                input.close();
+                worker.step_until_done();
+                let result = (recovery.resume_epoch(), captured.borrow().clone());
+                result
+            },
+        )
+        .expect("recovery absorbs the injected crash");
+
+        assert_eq!(report.attempts, 2, "crash at epoch {crash_epoch}");
+        assert_eq!(
+            report.recovered_from,
+            vec![ExecuteError::ProcessCrashed { process: 0 }],
+            "crash at epoch {crash_epoch}"
+        );
+
+        let resume = report.results[0].0;
+        assert!(
+            resume <= crash_epoch,
+            "rolled back past the crash point: resume {resume}, crash {crash_epoch}"
+        );
+        let mut recovered: Out = report.results.into_iter().flat_map(|(_, cap)| cap).collect();
+        recovered.sort();
+        for local in 0..(total_epochs - resume) {
+            let mut got: Vec<(u64, u64)> = recovered
+                .iter()
+                .filter(|(epoch, _)| *epoch == local)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            got.sort();
+            assert_eq!(
+                got,
+                reference_by_epoch[(resume + local) as usize],
+                "crash at epoch {crash_epoch}: epoch {} diverged after recovery",
+                resume + local
+            );
+        }
+    }
 }

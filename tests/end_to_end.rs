@@ -191,3 +191,56 @@ fn pipelined_epochs_keep_loop_results_separate() {
     assert_eq!(by_epoch[&2], vec![160]);
     assert_eq!(by_epoch[&3], vec![192]);
 }
+
+/// A keyed aggregation across three processes survives 10% message drops
+/// and 5% duplicate deliveries: the runtime's retry layer masks the
+/// drops (as TCP retransmission would) and the fabric suppresses the
+/// duplicates, so results are exactly those of a clean run — while the
+/// fault counters prove the faults actually fired.
+#[test]
+fn lossy_links_preserve_results_under_ten_percent_drop() {
+    use naiad::execute_with_metrics;
+    use naiad_netsim::FaultPlan;
+
+    let records: Vec<u64> = (0..600).collect();
+    let plan = FaultPlan::seeded(0xD0_5E)
+        .drop_probability(0.10)
+        .duplicate_probability(0.05);
+    // Small batches force plenty of cross-process fabric messages.
+    let config = Config::processes_and_workers(3, 1)
+        .batch_size(8)
+        .faults(plan);
+    let all = Arc::new(records);
+    let (results, metrics) = execute_with_metrics(config, move |worker| {
+        let (mut input, captured) = worker.dataflow(|scope| {
+            let (input, s) = scope.new_input::<u64>();
+            (input, s.map(|x| (x % 30, x)).count().capture())
+        });
+        for r in my_share(&all, worker.index(), worker.peers()) {
+            input.send(r);
+        }
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+
+    let mut counts: Vec<(u64, u64)> = results
+        .into_iter()
+        .flatten()
+        .flat_map(|(_, d)| d)
+        .collect();
+    counts.sort_unstable();
+    let expected: Vec<(u64, u64)> = (0..30).map(|k| (k, 20)).collect();
+    assert_eq!(counts, expected, "lossy links corrupted the aggregation");
+
+    let faults = metrics.faults();
+    assert!(faults.dropped > 0, "no drops fired: {faults:?}");
+    assert!(faults.duplicated > 0, "no duplicates fired: {faults:?}");
+    assert!(
+        faults.duplicates_suppressed > 0,
+        "duplicates were never suppressed: {faults:?}"
+    );
+    assert_eq!(faults.crashes, 0);
+}

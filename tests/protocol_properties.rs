@@ -1,48 +1,53 @@
-//! Property-based tests over the progress machinery: the invariants of
-//! §2.3 must hold for arbitrary graphs, timestamps, and update sequences.
+//! Randomized tests over the progress machinery: the invariants of §2.3
+//! must hold for arbitrary graphs, timestamps, and update sequences.
+//! Deterministic seeded generation (`naiad-rng`) replaces an external
+//! property-testing framework — each case fixes its seed, so failures
+//! reproduce exactly.
 
 use std::sync::Arc;
 
 use naiad::graph::{ContextId, GraphBuilder, Location, LogicalGraph, StageId, StageKind};
 use naiad::progress::{Accumulator, Pointstamp, PointstampTable};
 use naiad::{PartialOrder, Timestamp};
-use proptest::prelude::*;
+use naiad_rng::Xorshift;
+
+const CASES: usize = 64;
 
 /// A random but *valid* timely graph: a chain of stages in the root
 /// context with one optional loop context spliced in.
-fn arb_graph() -> impl Strategy<Value = Arc<LogicalGraph>> {
-    (1usize..4, any::<bool>()).prop_map(|(chain, with_loop)| {
-        let mut g = GraphBuilder::new();
-        let input = g.add_stage("in", StageKind::Input, ContextId::ROOT, 0, 1);
-        let mut prev = input;
-        for i in 0..chain {
-            let s = g.add_stage(&format!("s{i}"), StageKind::Regular, ContextId::ROOT, 1, 1);
-            g.connect(prev, 0, s, 0);
-            prev = s;
-        }
-        if with_loop {
-            let ctx = g.add_context(ContextId::ROOT);
-            let ingress = g.add_ingress("I", ctx);
-            let feedback = g.add_feedback("F", ctx);
-            let body = g.add_stage("body", StageKind::Regular, ctx, 2, 1);
-            let egress = g.add_egress("E", ctx);
-            g.connect(prev, 0, ingress, 0);
-            g.connect(ingress, 0, body, 0);
-            g.connect(feedback, 0, body, 1);
-            g.connect(body, 0, feedback, 0);
-            g.connect(body, 0, egress, 0);
-            let tail = g.add_stage("tail", StageKind::Regular, ContextId::ROOT, 1, 0);
-            g.connect(egress, 0, tail, 0);
-        } else {
-            let tail = g.add_stage("tail", StageKind::Regular, ContextId::ROOT, 1, 0);
-            g.connect(prev, 0, tail, 0);
-        }
-        Arc::new(g.build().expect("constructed graphs are valid"))
-    })
+fn gen_graph(rng: &mut Xorshift) -> Arc<LogicalGraph> {
+    let chain = 1 + rng.below_usize(3);
+    let with_loop = rng.chance(0.5);
+    let mut g = GraphBuilder::new();
+    let input = g.add_stage("in", StageKind::Input, ContextId::ROOT, 0, 1);
+    let mut prev = input;
+    for i in 0..chain {
+        let s = g.add_stage(&format!("s{i}"), StageKind::Regular, ContextId::ROOT, 1, 1);
+        g.connect(prev, 0, s, 0);
+        prev = s;
+    }
+    if with_loop {
+        let ctx = g.add_context(ContextId::ROOT);
+        let ingress = g.add_ingress("I", ctx);
+        let feedback = g.add_feedback("F", ctx);
+        let body = g.add_stage("body", StageKind::Regular, ctx, 2, 1);
+        let egress = g.add_egress("E", ctx);
+        g.connect(prev, 0, ingress, 0);
+        g.connect(ingress, 0, body, 0);
+        g.connect(feedback, 0, body, 1);
+        g.connect(body, 0, feedback, 0);
+        g.connect(body, 0, egress, 0);
+        let tail = g.add_stage("tail", StageKind::Regular, ContextId::ROOT, 1, 0);
+        g.connect(egress, 0, tail, 0);
+    } else {
+        let tail = g.add_stage("tail", StageKind::Regular, ContextId::ROOT, 1, 0);
+        g.connect(prev, 0, tail, 0);
+    }
+    Arc::new(g.build().expect("constructed graphs are valid"))
 }
 
-/// A pointstamp at a random vertex of the graph with a depth-correct time.
-fn arb_pointstamp(graph: &Arc<LogicalGraph>, epoch: u64, counter: u64) -> Vec<Pointstamp> {
+/// A pointstamp at every vertex of the graph with a depth-correct time.
+fn all_pointstamps(graph: &Arc<LogicalGraph>, epoch: u64, counter: u64) -> Vec<Pointstamp> {
     (0..graph.stages().len())
         .map(|s| {
             let stage = StageId(s);
@@ -57,19 +62,15 @@ fn arb_pointstamp(graph: &Arc<LogicalGraph>, epoch: u64, counter: u64) -> Vec<Po
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// could-result-in is transitive: the foundation of frontier safety.
-    #[test]
-    fn could_result_in_is_transitive(
-        graph in arb_graph(),
-        e1 in 0u64..3, e2 in 0u64..3, e3 in 0u64..3,
-        c1 in 0u64..3, c2 in 0u64..3, c3 in 0u64..3,
-    ) {
-        let ps1 = arb_pointstamp(&graph, e1, c1);
-        let ps2 = arb_pointstamp(&graph, e2, c2);
-        let ps3 = arb_pointstamp(&graph, e3, c3);
+/// could-result-in is transitive: the foundation of frontier safety.
+#[test]
+fn could_result_in_is_transitive() {
+    let mut rng = Xorshift::new(0xB1);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
+        let ps1 = all_pointstamps(&graph, rng.below(3), rng.below(3));
+        let ps2 = all_pointstamps(&graph, rng.below(3), rng.below(3));
+        let ps3 = all_pointstamps(&graph, rng.below(3), rng.below(3));
         let m = graph.summaries();
         for a in &ps1 {
             for b in &ps2 {
@@ -77,7 +78,7 @@ proptest! {
                     let ab = m.could_result_in(&a.time, a.location, &b.time, b.location);
                     let bc = m.could_result_in(&b.time, b.location, &c.time, c.location);
                     if ab && bc {
-                        prop_assert!(
+                        assert!(
                             m.could_result_in(&a.time, a.location, &c.time, c.location),
                             "transitivity violated: {a:?} → {b:?} → {c:?}"
                         );
@@ -86,55 +87,67 @@ proptest! {
             }
         }
     }
+}
 
-    /// could-result-in is reflexive at any location (the identity path).
-    #[test]
-    fn could_result_in_is_reflexive(graph in arb_graph(), e in 0u64..3, c in 0u64..3) {
+/// could-result-in is reflexive at any location (the identity path).
+#[test]
+fn could_result_in_is_reflexive() {
+    let mut rng = Xorshift::new(0xB2);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
         let m = graph.summaries();
-        for p in arb_pointstamp(&graph, e, c) {
-            prop_assert!(m.could_result_in(&p.time, p.location, &p.time, p.location));
+        for p in all_pointstamps(&graph, rng.below(3), rng.below(3)) {
+            assert!(m.could_result_in(&p.time, p.location, &p.time, p.location));
         }
     }
+}
 
-    /// Later timestamps at the same location are always reachable, earlier
-    /// ones never (messages cannot flow backwards in time).
-    #[test]
-    fn time_moves_forward_only(graph in arb_graph(), e in 0u64..3, c in 0u64..3) {
+/// Later timestamps at the same location are always reachable, earlier
+/// ones never (messages cannot flow backwards in time).
+#[test]
+fn time_moves_forward_only() {
+    let mut rng = Xorshift::new(0xB3);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
+        let c = rng.below(3);
         let m = graph.summaries();
-        for p in arb_pointstamp(&graph, e, c) {
+        for p in all_pointstamps(&graph, rng.below(3), c) {
             let later = Timestamp::new(p.time.epoch + 1);
             // Same location, later epoch: reachable via identity.
-            prop_assert!(m.could_result_in(
-                &p.time, p.location,
-                &Timestamp::with_counters(later.epoch, &vec![0; p.time.depth()]),
-                p.location
-            ) || p.time.depth() > 0, "later epoch unreachable from {p:?}");
+            assert!(
+                m.could_result_in(
+                    &p.time,
+                    p.location,
+                    &Timestamp::with_counters(later.epoch, &vec![0; p.time.depth()]),
+                    p.location
+                ) || p.time.depth() > 0,
+                "later epoch unreachable from {p:?}"
+            );
             if p.time.epoch > 0 {
-                let earlier = Timestamp::with_counters(
-                    p.time.epoch - 1,
-                    &vec![c; p.time.depth()],
-                );
-                prop_assert!(
+                let earlier = Timestamp::with_counters(p.time.epoch - 1, &vec![c; p.time.depth()]);
+                assert!(
                     !m.could_result_in(&p.time, p.location, &earlier, p.location),
                     "earlier epoch reachable from {p:?}"
                 );
             }
         }
     }
+}
 
-    /// Applying and retracting arbitrary update sequences leaves the
-    /// tracker empty: counts are conserved.
-    #[test]
-    fn tracker_updates_conserve(
-        graph in arb_graph(),
-        updates in proptest::collection::vec((0u64..3, 0u64..3, 0usize..8, 1i64..4), 0..20),
-    ) {
+/// Applying and retracting arbitrary update sequences leaves the tracker
+/// empty: counts are conserved.
+#[test]
+fn tracker_updates_conserve() {
+    let mut rng = Xorshift::new(0xB4);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
         let mut table = PointstampTable::new(graph.clone());
         let mut applied = Vec::new();
-        for (epoch, counter, stage, delta) in updates {
-            let stage = StageId(stage % graph.stages().len());
+        for _ in 0..rng.below_usize(20) {
+            let stage = StageId(rng.below_usize(graph.stages().len()));
             let depth = graph.stage_input_depth(stage);
-            let time = Timestamp::with_counters(epoch, &vec![counter; depth]);
+            let time = Timestamp::with_counters(rng.below(3), &vec![rng.below(3); depth]);
+            let delta = 1 + rng.below(3) as i64;
             let p = Pointstamp::at_vertex(time, stage);
             table.update(p, delta);
             applied.push((p, delta));
@@ -143,27 +156,28 @@ proptest! {
         for (p, delta) in applied.into_iter().rev() {
             table.update(p, -delta);
         }
-        prop_assert!(table.is_empty(), "counts must conserve to empty");
+        assert!(table.is_empty(), "counts must conserve to empty");
     }
+}
 
-    /// Every frontier element is active, and no other active pointstamp
-    /// could-result-in it.
-    #[test]
-    fn frontier_elements_are_minimal(
-        graph in arb_graph(),
-        updates in proptest::collection::vec((0u64..3, 0u64..3, 0usize..8), 1..16),
-    ) {
+/// Every frontier element is active, and no other active pointstamp
+/// could-result-in it.
+#[test]
+fn frontier_elements_are_minimal() {
+    let mut rng = Xorshift::new(0xB5);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
         let mut table = PointstampTable::new(graph.clone());
-        for (epoch, counter, stage) in updates {
-            let stage = StageId(stage % graph.stages().len());
+        for _ in 0..(1 + rng.below_usize(15)) {
+            let stage = StageId(rng.below_usize(graph.stages().len()));
             let depth = graph.stage_input_depth(stage);
-            let time = Timestamp::with_counters(epoch, &vec![counter; depth]);
+            let time = Timestamp::with_counters(rng.below(3), &vec![rng.below(3); depth]);
             table.update(Pointstamp::at_vertex(time, stage), 1);
         }
         let frontier = table.frontier();
         let m = graph.summaries();
         for p in &frontier {
-            prop_assert!(table.is_active(p));
+            assert!(table.is_active(p));
             for q in &frontier {
                 if p != q {
                     // Frontier elements may relate only symmetrically via
@@ -171,29 +185,31 @@ proptest! {
                     // one-way could-result-in would contradict minimality.
                     let pq = m.could_result_in(&p.time, p.location, &q.time, q.location);
                     let qp = m.could_result_in(&q.time, q.location, &p.time, p.location);
-                    prop_assert!(!(pq ^ qp), "frontier not an antichain: {p:?} vs {q:?}");
+                    assert!(!(pq ^ qp), "frontier not an antichain: {p:?} vs {q:?}");
                 }
             }
         }
     }
+}
 
-    /// The accumulator conserves deltas: everything deposited is either
-    /// still buffered or has been flushed, with identical net sums.
-    #[test]
-    fn accumulator_conserves_deltas(
-        graph in arb_graph(),
-        deposits in proptest::collection::vec((0u64..3, 0usize..8, -2i64..3), 1..24),
-    ) {
+/// The accumulator conserves deltas: everything deposited is either still
+/// buffered or has been flushed, with identical net sums.
+#[test]
+fn accumulator_conserves_deltas() {
+    let mut rng = Xorshift::new(0xB6);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
         let mut acc = Accumulator::new(graph.clone(), 2);
         let mut deposited: std::collections::HashMap<Pointstamp, i64> = Default::default();
         let mut flushed: std::collections::HashMap<Pointstamp, i64> = Default::default();
-        for (epoch, stage, delta) in deposits {
+        for _ in 0..(1 + rng.below_usize(23)) {
+            let delta = rng.below(5) as i64 - 2;
             if delta == 0 {
                 continue;
             }
-            let stage = StageId(stage % graph.stages().len());
+            let stage = StageId(rng.below_usize(graph.stages().len()));
             let depth = graph.stage_input_depth(stage);
-            let time = Timestamp::with_counters(epoch, &vec![0; depth]);
+            let time = Timestamp::with_counters(rng.below(3), &vec![0; depth]);
             let p = Pointstamp::at_vertex(time, stage);
             *deposited.entry(p).or_insert(0) += delta;
             if let Some(out) = acc.deposit([(p, delta)]) {
@@ -207,40 +223,43 @@ proptest! {
         }
         deposited.retain(|_, d| *d != 0);
         flushed.retain(|_, d| *d != 0);
-        prop_assert_eq!(deposited, flushed, "deltas must be conserved");
+        assert_eq!(deposited, flushed, "deltas must be conserved");
     }
+}
 
-    /// Positive-before-negative flush ordering holds for arbitrary
-    /// buffered contents.
-    #[test]
-    fn flushes_order_positives_first(
-        graph in arb_graph(),
-        deposits in proptest::collection::vec((0u64..3, 0usize..8, -2i64..3), 1..24),
-    ) {
+/// Positive-before-negative flush ordering holds for arbitrary buffered
+/// contents.
+#[test]
+fn flushes_order_positives_first() {
+    let mut rng = Xorshift::new(0xB7);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
         let mut acc = Accumulator::new(graph.clone(), 2);
-        for (epoch, stage, delta) in deposits {
+        for _ in 0..(1 + rng.below_usize(23)) {
+            let delta = rng.below(5) as i64 - 2;
             if delta == 0 {
                 continue;
             }
-            let stage = StageId(stage % graph.stages().len());
+            let stage = StageId(rng.below_usize(graph.stages().len()));
             let depth = graph.stage_input_depth(stage);
-            let time = Timestamp::with_counters(epoch, &vec![0; depth]);
+            let time = Timestamp::with_counters(rng.below(3), &vec![0; depth]);
             let _ = acc.deposit([(Pointstamp::at_vertex(time, stage), delta)]);
         }
         let out = acc.flush();
         let first_negative = out.iter().position(|(_, d)| *d < 0).unwrap_or(out.len());
-        prop_assert!(out[first_negative..].iter().all(|(_, d)| *d < 0));
+        assert!(out[first_negative..].iter().all(|(_, d)| *d < 0));
     }
+}
 
-    /// done_through is monotone: once complete through t, also complete
-    /// through every earlier time.
-    #[test]
-    fn done_through_is_monotone(
-        graph in arb_graph(),
-        epoch in 1u64..4,
-        stage in 0usize..8,
-    ) {
-        let stage = StageId(stage % graph.stages().len());
+/// done_through is monotone: once complete through t, also complete
+/// through every earlier time.
+#[test]
+fn done_through_is_monotone() {
+    let mut rng = Xorshift::new(0xB8);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
+        let epoch = 1 + rng.below(3);
+        let stage = StageId(rng.below_usize(graph.stages().len()));
         let mut table = PointstampTable::initialized(graph.clone(), 1);
         // Retire the input's initial pointstamp so some times complete.
         let input = graph.input_stages().next().expect("has an input");
@@ -251,8 +270,8 @@ proptest! {
         if table.done_through(&t, loc) {
             for e in 0..epoch {
                 let earlier = Timestamp::with_counters(e, &vec![0; depth]);
-                prop_assert!(earlier.less_equal(&t));
-                prop_assert!(
+                assert!(earlier.less_equal(&t));
+                assert!(
                     table.done_through(&earlier, loc),
                     "done through {t:?} but not {earlier:?}"
                 );
