@@ -103,7 +103,8 @@ mod tests {
             result
         })
         .unwrap();
-        let all: Vec<(u64, ((u64, u64), u64))> = results
+        type Row = (u64, ((u64, u64), u64));
+        let all: Vec<Row> = results
             .into_iter()
             .flatten()
             .flat_map(|(e, d)| d.into_iter().map(move |x| (e, x)))

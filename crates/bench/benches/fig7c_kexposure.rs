@@ -88,11 +88,12 @@ fn run(
 }
 
 type Exposures = Vec<(u64, Vec<((u64, u64), u64)>)>;
+type EpochRows = HashMap<u64, Vec<((u64, u64), u64)>>;
 
 /// Merges per-worker captures into sorted per-epoch rows, shifting local
 /// epoch numbers by `offset` (resumed runs re-number epochs from zero).
-fn by_epoch(caps: Vec<Exposures>, offset: u64) -> HashMap<u64, Vec<((u64, u64), u64)>> {
-    let mut map: HashMap<u64, Vec<((u64, u64), u64)>> = HashMap::new();
+fn by_epoch(caps: Vec<Exposures>, offset: u64) -> EpochRows {
+    let mut map: EpochRows = HashMap::new();
     for (epoch, data) in caps.into_iter().flatten() {
         map.entry(epoch + offset).or_default().extend(data);
     }

@@ -28,9 +28,11 @@
 //! figure regenerates identically.
 
 mod model;
+mod telemetry;
 mod workloads;
 
 pub use model::{ClusterSim, ClusterSpec, FailureModel, PhaseStats, RecoveryStats, StragglerModel};
+pub use telemetry::{PhaseAgg, SimTelemetry};
 /// Re-export of the shared seeded generator (previously a private module
 /// here; now the workspace-wide randomness primitive).
 pub use naiad_rng::Xorshift;

@@ -2,6 +2,8 @@
 
 use naiad_rng::Xorshift;
 
+use crate::telemetry::SimTelemetry;
+
 /// Hardware description, defaulted to the paper's evaluation cluster
 /// (§5): two racks of 32 computers, two quad-core 2.1 GHz Opterons and a
 /// Gigabit NIC each, 40 Gbps uplinks.
@@ -168,6 +170,7 @@ pub struct ClusterSim {
     spec: ClusterSpec,
     rng: Xorshift,
     clock: f64,
+    telemetry: SimTelemetry,
 }
 
 impl ClusterSim {
@@ -177,6 +180,7 @@ impl ClusterSim {
             spec,
             rng: Xorshift::new(seed),
             clock: 0.0,
+            telemetry: SimTelemetry::default(),
         }
     }
 
@@ -188,6 +192,11 @@ impl ClusterSim {
     /// Simulated seconds elapsed.
     pub fn now(&self) -> f64 {
         self.clock
+    }
+
+    /// Phase-level breakdown of where simulated time went.
+    pub fn telemetry(&self) -> &SimTelemetry {
+        &self.telemetry
     }
 
     /// Samples the total straggler delay striking a phase with
@@ -228,10 +237,12 @@ impl ClusterSim {
         let straggler = self.sample_stragglers(self.spec.computers);
         let duration = cpu_seconds_per_worker + self.spec.wakeup_overhead + straggler;
         self.clock += duration;
-        PhaseStats {
+        let stats = PhaseStats {
             duration,
             straggler_delay: straggler,
-        }
+        };
+        self.telemetry.record_compute(stats);
+        stats
     }
 
     /// A communication phase: every computer sends `egress_bytes` spread
@@ -263,10 +274,12 @@ impl ClusterSim {
         let straggler = self.sample_stragglers(self.spec.computers);
         let duration = nic_time.max(uplink_time) + self.spec.hop_latency + straggler;
         self.clock += duration;
-        PhaseStats {
+        let stats = PhaseStats {
             duration,
             straggler_delay: straggler,
-        }
+        };
+        self.telemetry.record_exchange(stats);
+        stats
     }
 
     /// A progress-coordination round (§3.3): workers' updates accumulate
@@ -286,10 +299,12 @@ impl ClusterSim {
         let straggler = self.sample_stragglers(self.spec.computers);
         let duration = hops * self.spec.hop_latency + wakeups + fanout + jitter + straggler;
         self.clock += duration;
-        PhaseStats {
+        let stats = PhaseStats {
             duration,
             straggler_delay: straggler,
-        }
+        };
+        self.telemetry.record_coordination(stats);
+        stats
     }
 
     /// Simulates a checkpointed streaming job of `epochs` epochs, each
@@ -333,7 +348,7 @@ impl ClusterSim {
             }
             self.clock += epoch_seconds;
             completed += 1;
-            if completed % checkpoint_every == 0 {
+            if completed.is_multiple_of(checkpoint_every) {
                 self.clock += checkpoint_seconds;
                 last_checkpoint = completed;
             }

@@ -176,11 +176,9 @@ impl OperatorInfo {
 
 /// The type-erased vertex harness a worker schedules.
 pub(crate) trait OpCore {
-    /// The stage this vertex belongs to (diagnostic surface).
-    #[allow(dead_code)]
+    /// The stage this vertex belongs to (telemetry and diagnostics).
     fn stage(&self) -> StageId;
-    /// Debug name (diagnostic surface).
-    #[allow(dead_code)]
+    /// Debug name (telemetry and diagnostics).
     fn name(&self) -> &str;
     /// Drains queued input, runs `OnRecv` logic, flushes outputs.
     /// Returns whether any batch was processed.

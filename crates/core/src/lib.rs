@@ -12,7 +12,9 @@
 //!   counts, §2.3) and the distributed progress protocol with update
 //!   accumulation (§3.3),
 //! * [`runtime`] — workers, exchange channels, fault tolerance (§3),
-//! * [`dataflow`] — the typed graph-assembly interface (§4.3).
+//! * [`dataflow`] — the typed graph-assembly interface (§4.3),
+//! * [`telemetry`] — per-worker event logs, the unified metrics
+//!   registry, and frontier probes (§5–§6 measurement substrate).
 //!
 //! # Examples
 //!
@@ -66,11 +68,13 @@ pub mod order;
 pub mod progress;
 pub mod runtime;
 pub mod summary;
+pub mod telemetry;
 pub mod time;
 
 pub use dataflow::{InputHandle, ProbeHandle, Scope, Stream};
 pub use order::{Antichain, MutableAntichain, PartialOrder};
-pub use runtime::execute::{execute, execute_with_metrics, ExecuteError};
+pub use runtime::execute::{execute, execute_with_metrics, execute_with_telemetry, ExecuteError};
+pub use telemetry::TelemetrySnapshot;
 pub use runtime::recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
 pub use runtime::{Config, Pact, Worker};
 pub use time::Timestamp;

@@ -234,6 +234,33 @@ impl PointstampTable {
     pub fn active_count(&self) -> usize {
         self.entries.values().filter(|e| e.occurrence > 0).count()
     }
+
+    /// The minimum open input epoch: the smallest epoch among active
+    /// pointstamps held at input vertices, or `None` once every input
+    /// has closed. Per worker this value is monotone — `advance_to`
+    /// journals the new epoch's `+1` before the old epoch's `−1`, and
+    /// progress batches apply atomically — which is the §3.3 guarantee
+    /// that a local view never moves backwards. The telemetry frontier
+    /// probe samples exactly this quantity.
+    pub fn input_frontier_epoch(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        for (p, e) in &self.entries {
+            if e.occurrence <= 0 {
+                continue;
+            }
+            let Location::Vertex(stage) = p.location else {
+                continue;
+            };
+            if !self.graph.input_stages().any(|s| s == stage) {
+                continue;
+            }
+            min = Some(match min {
+                Some(m) => m.min(p.time.epoch),
+                None => p.time.epoch,
+            });
+        }
+        min
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +398,25 @@ mod tests {
         assert_eq!(t.occurrence(&a), 1);
         t.apply([(a, -1), (b, -1)]);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn input_frontier_epoch_tracks_open_inputs() {
+        let mut t = PointstampTable::initialized(loop_graph(), 2);
+        assert_eq!(t.input_frontier_epoch(), Some(0));
+        // One worker advances to epoch 1: +1 before −1, min stays 0 while
+        // the other worker's epoch-0 stamp is open.
+        t.update(Pointstamp::at_vertex(ts(1, &[]), INPUT), 1);
+        t.update(Pointstamp::at_vertex(ts(0, &[]), INPUT), -1);
+        assert_eq!(t.input_frontier_epoch(), Some(0));
+        t.update(Pointstamp::at_vertex(ts(1, &[]), INPUT), 1);
+        t.update(Pointstamp::at_vertex(ts(0, &[]), INPUT), -1);
+        assert_eq!(t.input_frontier_epoch(), Some(1));
+        // Non-input pointstamps never count.
+        t.update(Pointstamp::at_vertex(ts(0, &[]), OUT), 1);
+        assert_eq!(t.input_frontier_epoch(), Some(1));
+        t.update(Pointstamp::at_vertex(ts(1, &[]), INPUT), -2);
+        assert_eq!(t.input_frontier_epoch(), None, "all inputs closed");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use super::sync::Mutex;
 use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 use crate::graph::{ConnectorId, LogicalGraph};
 use crate::progress::{Pointstamp, ProgressUpdate};
+use crate::telemetry::{Recorder, TelemetryEvent};
 use crate::time::Timestamp;
 
 /// Channel tag carrying progress broadcasts to a process (fanned out to
@@ -224,6 +225,8 @@ pub(crate) struct Pusher<D> {
     journal: Journal,
     escalation: Arc<EscalationCell>,
     policy: RetryPolicy,
+    dataflow: u32,
+    recorder: Recorder,
     /// Batches emitted since creation (test and diagnostics surface).
     #[cfg_attr(not(test), allow(dead_code))]
     emitted: u64,
@@ -241,6 +244,7 @@ pub(crate) struct RoutingContext {
     pub net: Option<Arc<Mutex<NetSender>>>,
     pub escalation: Arc<EscalationCell>,
     pub policy: RetryPolicy,
+    pub recorder: Recorder,
 }
 
 impl RoutingContext {
@@ -283,6 +287,8 @@ impl<D: ExchangeData> Pusher<D> {
             journal,
             escalation: ctx.escalation.clone(),
             policy: ctx.policy,
+            dataflow: ctx.dataflow as u32,
+            recorder: ctx.recorder.clone(),
             emitted: 0,
         }
     }
@@ -334,23 +340,38 @@ impl<D: ExchangeData> Pusher<D> {
     fn emit(&mut self, dst: usize, time: Timestamp) {
         let data = std::mem::take(&mut self.buffers[dst]);
         debug_assert!(!data.is_empty());
+        let records = data.len() as u32;
         // §2.3: the occurrence count increments at the start of SendBy.
         journal_update(&self.journal, Pointstamp::on_edge(time, self.connector), 1);
         self.emitted += 1;
+        let mut payload_bytes = 0u32;
+        let mut remote = false;
         match &self.routes[dst] {
             Route::Local(tx) => {
                 let _ = tx.send(Message { time, data });
             }
             Route::Remote { process, tag } => {
                 let bytes: Bytes = encode_to_vec(&Message { time, data }).into();
+                payload_bytes = bytes.len() as u32;
+                remote = true;
                 let net = self.net.as_ref().expect("remote route requires a fabric");
                 if let Err(err) =
                     send_with_retry(net, self.policy, *process, *tag, TrafficClass::Data, bytes)
                 {
-                    escalate(&self.escalation, FaultKind::from_send_error(err));
+                    let kind = FaultKind::from_send_error(err);
+                    self.recorder.record(TelemetryEvent::FaultEscalated { kind });
+                    escalate(&self.escalation, kind);
                 }
             }
         }
+        self.recorder.record(TelemetryEvent::MessageSent {
+            dataflow: self.dataflow,
+            connector: self.connector.0 as u32,
+            target: dst as u32,
+            records,
+            bytes: payload_bytes,
+            remote,
+        });
     }
 
     /// Number of batches emitted so far (test and diagnostics surface).
@@ -371,6 +392,8 @@ pub(crate) struct Puller<D> {
     remote: Receiver<Bytes>,
     journal: Journal,
     unsettled: Option<Timestamp>,
+    dataflow: u32,
+    recorder: Recorder,
 }
 
 impl<D: ExchangeData> Puller<D> {
@@ -396,23 +419,31 @@ impl<D: ExchangeData> Puller<D> {
             remote: ctx.registry.receiver(remote_key),
             journal,
             unsettled: None,
+            dataflow: ctx.dataflow as u32,
+            recorder: ctx.recorder.clone(),
         }
     }
 
     /// Retires the previously pulled batch, then pulls the next one.
     pub(crate) fn pull(&mut self) -> Option<Message<D>> {
         self.settle();
-        let message = if let Ok(m) = self.local.try_recv() {
-            Some(m)
+        let (message, remote) = if let Ok(m) = self.local.try_recv() {
+            (Some(m), false)
         } else if let Ok(bytes) = self.remote.try_recv() {
             let m = naiad_wire::decode_from_slice::<Message<D>>(&bytes)
                 .expect("corrupt data batch on the wire");
-            Some(m)
+            (Some(m), true)
         } else {
-            None
+            (None, false)
         };
         if let Some(m) = &message {
             self.unsettled = Some(m.time);
+            self.recorder.record(TelemetryEvent::MessageReceived {
+                dataflow: self.dataflow,
+                connector: self.connector.0 as u32,
+                records: m.data.len() as u32,
+                remote,
+            });
         }
         message
     }
@@ -447,6 +478,7 @@ mod tests {
                 retries: 0,
                 backoff: std::time::Duration::ZERO,
             },
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -584,6 +616,28 @@ mod tests {
             assert_eq!(rx.try_recv().unwrap().data, vec![5]);
         }
         assert_eq!(pusher.emitted(), 2);
+    }
+
+    #[test]
+    fn pusher_and_puller_record_telemetry() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let mut rc = ctx(reg.clone());
+        rc.recorder = Recorder::with_capacity(16);
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(4), Pact::Pipeline, j.clone());
+        let mut puller = Puller::<u64>::new(&rc, 0, ConnectorId(4), j.clone());
+        pusher.give(Timestamp::new(0), 1u64);
+        pusher.give(Timestamp::new(0), 2u64);
+        pusher.flush();
+        assert!(puller.pull().is_some());
+        let t = rc.recorder.harvest(0).unwrap();
+        assert_eq!(t.counters.messages_sent, 1);
+        assert_eq!(t.counters.records_sent, 2);
+        assert_eq!(t.counters.messages_received, 1);
+        assert_eq!(t.counters.records_received, 2);
+        let ((df, conn), c) = t.connectors[0];
+        assert_eq!((df, conn), (0, 4));
+        assert_eq!(c.bytes_out, 0, "local batches never serialize");
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub struct Config {
     pub send_retries: u32,
     /// Base backoff between send retries; doubles per attempt.
     pub retry_backoff: Duration,
+    /// Whether workers record structured telemetry
+    /// ([`crate::telemetry`]). Off by default: no event buffer is
+    /// allocated and every record call is a single branch. The
+    /// `NAIAD_DEBUG` env var also enables recording (for the structured
+    /// state dump) regardless of this flag.
+    pub telemetry: bool,
+    /// Event-buffer capacity per worker when telemetry is enabled.
+    /// Aggregate counters stay exact even after the buffer fills.
+    pub telemetry_capacity: usize,
 }
 
 impl Config {
@@ -66,7 +75,26 @@ impl Config {
             faults: None,
             send_retries: 24,
             retry_backoff: Duration::from_micros(50),
+            telemetry: false,
+            telemetry_capacity: 65_536,
         }
+    }
+
+    /// Enables (or disables) structured telemetry recording.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Sets the per-worker event-buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is zero.
+    pub fn telemetry_capacity(mut self, events: usize) -> Self {
+        assert!(events > 0, "telemetry capacity must be positive");
+        self.telemetry_capacity = events;
+        self
     }
 
     /// Sets the progress-protocol mode.
@@ -135,6 +163,15 @@ mod tests {
         assert_eq!(c.total_workers(), 8);
         assert_eq!(c.progress_mode, ProgressMode::LocalGlobal);
         assert_eq!(c.batch_size, 64);
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_builders_compose() {
+        let c = Config::default();
+        assert!(!c.telemetry);
+        let c = Config::single_process(2).telemetry(true).telemetry_capacity(128);
+        assert!(c.telemetry);
+        assert_eq!(c.telemetry_capacity, 128);
     }
 
     #[test]

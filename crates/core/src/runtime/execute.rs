@@ -24,6 +24,7 @@ use super::progress_hub::{run_central_accumulator, run_router, ProcessAccumulato
 use super::retry::{EscalationCell, FaultKind, FaultPanic, RetryPolicy};
 use super::sync::Mutex;
 use super::worker::Worker;
+use crate::telemetry::{TelemetrySnapshot, WorkerTelemetry};
 
 /// Errors surfaced by [`execute`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +144,44 @@ where
     F: Fn(&mut Worker) -> T + Send + Sync + 'static,
     T: Send + 'static,
 {
+    execute_inner(config, worker_fn).map(|(results, metrics, _)| (results, metrics))
+}
+
+/// Like [`execute`], with telemetry forced on: returns the unified
+/// [`TelemetrySnapshot`] — per-worker event logs and counters,
+/// per-operator schedule time and record counts, frontier probes, and
+/// fabric traffic totals — assembled after the cluster joins.
+pub fn execute_with_telemetry<F, T>(
+    config: Config,
+    worker_fn: F,
+) -> Result<(Vec<T>, TelemetrySnapshot), ExecuteError>
+where
+    F: Fn(&mut Worker) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let config = config.telemetry(true);
+    execute_inner(config, worker_fn).map(|(results, _, snapshot)| {
+        (
+            results,
+            snapshot.expect("telemetry enabled yields a snapshot"),
+        )
+    })
+}
+
+/// Everything [`execute_inner`] produces: worker results, the fabric
+/// meters, and — when [`Config::telemetry`] is set — the assembled
+/// snapshot.
+pub(crate) type ExecuteOutput<T> = (Vec<T>, Arc<FabricMetrics>, Option<TelemetrySnapshot>);
+
+/// The shared bring-up/tear-down path behind every `execute` variant.
+pub(crate) fn execute_inner<F, T>(
+    config: Config,
+    worker_fn: F,
+) -> Result<ExecuteOutput<T>, ExecuteError>
+where
+    F: Fn(&mut Worker) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
     install_fault_panic_hook();
     let processes = config.processes;
     let endpoints = processes + usize::from(config.progress_mode.global());
@@ -159,6 +198,11 @@ where
     let escalation = Arc::new(EscalationCell::default());
     let policy = RetryPolicy::from_config(&config);
     let worker_fn = Arc::new(worker_fn);
+    // When telemetry is on, worker threads push their harvests here after
+    // the closure returns; the snapshot is assembled post-join.
+    let hub: Option<Arc<Mutex<Vec<WorkerTelemetry>>>> = config
+        .telemetry
+        .then(|| Arc::new(Mutex::new(Vec::with_capacity(config.total_workers()))));
 
     // The central accumulator (if any) owns the extra endpoint.
     let central_handle = if config.progress_mode.global() {
@@ -230,6 +274,7 @@ where
             let accumulator = accumulator.clone();
             let escalation = escalation.clone();
             let worker_fn = worker_fn.clone();
+            let hub = hub.clone();
             worker_handles.push(
                 thread::Builder::new()
                     .name(format!("naiad-worker-{index}"))
@@ -244,7 +289,13 @@ where
                             directory,
                             escalation,
                         );
-                        worker_fn(&mut worker)
+                        let result = worker_fn(&mut worker);
+                        if let Some(hub) = &hub {
+                            if let Some(telemetry) = worker.take_telemetry() {
+                                hub.lock().push(telemetry);
+                            }
+                        }
+                        result
                     })
                     .expect("spawn worker thread"),
             );
@@ -309,6 +360,12 @@ where
     }
     match error {
         Some(e) => Err(e),
-        None => Ok((results, metrics)),
+        None => {
+            let snapshot = hub.map(|hub| {
+                let logs = std::mem::take(&mut *hub.lock());
+                TelemetrySnapshot::assemble(logs, &metrics)
+            });
+            Ok((results, metrics, snapshot))
+        }
     }
 }

@@ -14,7 +14,7 @@ mod worker;
 pub use channels::{Message, Pact};
 pub use config::Config;
 pub use durability::{open_blob, seal_blob, RestoreError};
-pub use execute::{execute, ExecuteError};
+pub use execute::{execute, execute_with_metrics, execute_with_telemetry, ExecuteError};
 pub use recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
 pub use retry::FaultKind;
 pub use worker::Worker;

@@ -32,9 +32,10 @@ use naiad_netsim::FabricMetrics;
 use naiad_wire::Wire;
 
 use super::config::Config;
-use super::execute::{execute_with_metrics, ExecuteError};
+use super::execute::{execute_inner, ExecuteError};
 use super::sync::Mutex;
 use super::worker::Worker;
+use crate::telemetry::TelemetrySnapshot;
 
 /// Tuning for [`execute_resilient`].
 #[derive(Debug, Clone)]
@@ -198,6 +199,10 @@ pub struct ResilientReport<T> {
     pub recovered_from: Vec<ExecuteError>,
     /// Fabric meters of the final attempt (fault counters included).
     pub metrics: Arc<FabricMetrics>,
+    /// The final attempt's telemetry snapshot, when
+    /// [`Config::telemetry`](super::config::Config::telemetry) is
+    /// enabled.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Runs `worker_fn` with coordinated rollback recovery: on an injected
@@ -248,15 +253,15 @@ where
             stores: stores.clone(),
         };
         let f = worker_fn.clone();
-        let outcome =
-            execute_with_metrics(config.clone(), move |worker| f(worker, &recovery));
+        let outcome = execute_inner(config.clone(), move |worker| f(worker, &recovery));
         match outcome {
-            Ok((results, metrics)) => {
+            Ok((results, metrics, telemetry)) => {
                 return Ok(ResilientReport {
                     results,
                     attempts: attempt + 1,
                     recovered_from,
                     metrics,
+                    telemetry,
                 })
             }
             Err(err) => {

@@ -5,6 +5,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
 
 use std::sync::mpsc::Receiver;
 
@@ -15,6 +16,7 @@ use super::sync::Mutex;
 
 use crate::dataflow::{OpCore, Scope, StateRegistry, TrackerCell};
 use crate::progress::{PointstampTable, ProgressBatch, ProgressMode, ProgressUpdate};
+use crate::telemetry::{Recorder, TelemetryEvent, WorkerTelemetry};
 
 use super::channels::{
     ChannelKey, Journal, ProcessRegistry, RoutingContext, CENTRAL_TAG, PROGRESS_TAG,
@@ -32,6 +34,9 @@ struct DataflowRuntime {
     ops: Vec<Rc<RefCell<dyn OpCore>>>,
     states: StateRegistry,
     complete: bool,
+    /// Last frontier-probe sample `(active, input_epoch)`, so probes are
+    /// recorded only when the sampled values change.
+    last_probe: Option<(u32, Option<u64>)>,
 }
 
 /// A worker: owns one vertex per stage of each dataflow it participates in
@@ -68,6 +73,10 @@ pub struct Worker {
     escalation: Arc<EscalationCell>,
     /// Retry budget for sends over the faulting fabric.
     policy: RetryPolicy,
+    /// Structured telemetry ([`crate::telemetry`]); disabled (all calls
+    /// are single branches) unless `Config::telemetry` or `NAIAD_DEBUG`
+    /// asks for it.
+    recorder: Recorder,
 }
 
 impl Worker {
@@ -86,6 +95,13 @@ impl Worker {
         let process = index / config.workers_per_process;
         let progress_rx = registry.receiver::<Bytes>(ChannelKey::Progress(local_index));
         let policy = RetryPolicy::from_config(&config);
+        // `NAIAD_DEBUG` enables recording even when the config does not,
+        // so the structured state dump always has events to print.
+        let recorder = if config.telemetry || std::env::var_os("NAIAD_DEBUG").is_some() {
+            Recorder::with_capacity(config.telemetry_capacity)
+        } else {
+            Recorder::disabled()
+        };
         Worker {
             index,
             peers,
@@ -104,7 +120,14 @@ impl Worker {
             stashed: HashMap::new(),
             escalation,
             policy,
+            recorder,
         }
+    }
+
+    /// Drains this worker's telemetry into a harvest for the registry
+    /// (`None` when recording is disabled).
+    pub(crate) fn take_telemetry(&self) -> Option<WorkerTelemetry> {
+        self.recorder.harvest(self.index)
     }
 
     /// This worker's global index.
@@ -141,12 +164,11 @@ impl Worker {
     /// point in the input stream.
     pub fn inject_crash(&self) -> ! {
         self.fault_controller().crash(self.process);
-        escalate(
-            &self.escalation,
-            FaultKind::ProcessCrashed {
-                process: self.process,
-            },
-        )
+        let kind = FaultKind::ProcessCrashed {
+            process: self.process,
+        };
+        self.recorder.record(TelemetryEvent::FaultEscalated { kind });
+        escalate(&self.escalation, kind)
     }
 
     /// Builds a dataflow. Every worker must call `dataflow` the same
@@ -174,6 +196,7 @@ impl Worker {
             net: Some(self.net.clone()),
             escalation: self.escalation.clone(),
             policy: self.policy,
+            recorder: self.recorder.clone(),
         };
         let mut scope = Scope::new(routing, journal.clone(), tracker.clone());
         let result = construct(&mut scope);
@@ -182,6 +205,16 @@ impl Worker {
         let graph = Arc::new(graph);
         self.registry.register_dataflow(id, graph.clone());
         self.directory.register_dataflow(id, graph.clone());
+        if self.recorder.enabled() {
+            let operators = ops
+                .iter()
+                .map(|op| {
+                    let op = op.borrow();
+                    (op.stage(), op.name().to_string())
+                })
+                .collect();
+            self.recorder.register_dataflow(id, &graph, operators);
+        }
         *tracker.borrow_mut() = Some(PointstampTable::initialized(graph, self.peers));
         let runtime = DataflowRuntime {
             id,
@@ -190,13 +223,25 @@ impl Worker {
             ops,
             states,
             complete: false,
+            last_probe: None,
         };
         // Replay any progress batches that raced ahead of construction.
         for batch in self.stashed.remove(&id).unwrap_or_default() {
-            let mut t = runtime.tracker.borrow_mut();
-            t.as_mut()
-                .expect("tracker just installed")
-                .apply(batch.updates.iter().copied());
+            {
+                let mut t = runtime.tracker.borrow_mut();
+                t.as_mut()
+                    .expect("tracker just installed")
+                    .apply(batch.updates.iter().copied());
+            }
+            if self.recorder.enabled() {
+                self.recorder.record(TelemetryEvent::ProgressApplied {
+                    dataflow: batch.dataflow,
+                    sender: batch.sender,
+                    seq: batch.seq,
+                    updates: batch.updates.len() as u32,
+                    net: batch.updates.iter().map(|(_, d)| *d).sum(),
+                });
+            }
         }
         self.dataflows.push(runtime);
         result
@@ -223,7 +268,11 @@ impl Worker {
                 naiad_wire::Wire::encode(&blob, &mut out);
             }
         }
-        seal_blob(&out)
+        let sealed = seal_blob(&out);
+        self.recorder.record(TelemetryEvent::CheckpointTaken {
+            bytes: sealed.len() as u64,
+        });
+        sealed
     }
 
     /// Restores vertex states captured by [`Worker::checkpoint`] into the
@@ -273,6 +322,9 @@ impl Worker {
                 state.borrow_mut().restore(&mut &blob[..]);
             }
         }
+        self.recorder.record(TelemetryEvent::CheckpointRestored {
+            bytes: snapshot.len() as u64,
+        });
         Ok(())
     }
 
@@ -286,13 +338,45 @@ impl Worker {
         if let Some(kind) = self.escalation.check() {
             escalate(&self.escalation, kind);
         }
+        self.recorder.record_step();
         self.last_step_worked = false;
         self.drain_progress();
         for df in 0..self.dataflows.len() {
             self.step_dataflow(df);
         }
         self.drain_progress();
+        if self.recorder.enabled() {
+            self.probe_frontiers();
+        }
         self.dataflows.iter().any(|df| !df.complete)
+    }
+
+    /// Samples each dataflow's frontier (active pointstamps + minimum
+    /// open input epoch) and records a [`TelemetryEvent::FrontierProbe`]
+    /// whenever the sample changed since the last step. Per worker the
+    /// sampled input epoch is monotone (§3.3: local views never move
+    /// backwards).
+    fn probe_frontiers(&mut self) {
+        for runtime in &mut self.dataflows {
+            let sample = {
+                let tracker = runtime.tracker.borrow();
+                let Some(tracker) = tracker.as_ref() else {
+                    continue;
+                };
+                (
+                    tracker.active_count() as u32,
+                    tracker.input_frontier_epoch(),
+                )
+            };
+            if runtime.last_probe != Some(sample) {
+                runtime.last_probe = Some(sample);
+                self.recorder.record(TelemetryEvent::FrontierProbe {
+                    dataflow: runtime.id as u32,
+                    active: sample.0,
+                    input_epoch: sample.1,
+                });
+            }
+        }
     }
 
     /// Steps until every installed dataflow completes.
@@ -311,21 +395,43 @@ impl Worker {
         }
     }
 
-    /// Prints tracker state for hang diagnosis (`NAIAD_DEBUG`).
+    /// Prints a structured state dump for hang diagnosis (`NAIAD_DEBUG`):
+    /// one JSON line of tracker state per dataflow, followed by the tail
+    /// of the worker's event log (the same JSON-lines encoding as
+    /// [`TelemetrySnapshot::events_json_lines`](crate::telemetry::TelemetrySnapshot::events_json_lines)).
     fn dump_state(&self, steps: u64) {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         for df in &self.dataflows {
             let tracker = df.tracker.borrow();
             let tracker = tracker.as_ref().unwrap();
-            eprintln!(
-                "[worker {} step {steps}] dataflow {}: complete={} active={} frontier={:?} journal={}",
+            let _ = write!(
+                out,
+                "{{\"w\":{},\"ev\":\"state\",\"step\":{steps},\"df\":{},\"complete\":{},\"active\":{},\"journal\":{}",
                 self.index,
                 df.id,
                 df.complete,
                 tracker.active_count(),
-                tracker.frontier(),
                 df.journal.borrow().len(),
             );
+            match tracker.input_frontier_epoch() {
+                Some(e) => {
+                    let _ = write!(out, ",\"input_epoch\":{e}");
+                }
+                None => out.push_str(",\"input_epoch\":null"),
+            }
+            let frontier = tracker.frontier();
+            let _ = write!(out, ",\"frontier_len\":{}", frontier.len());
+            if let Some(p) = frontier.first() {
+                let _ = write!(out, ",\"frontier_min\":\"{p:?}\"");
+            }
+            out.push_str("}\n");
         }
+        for record in self.recorder.recent(16) {
+            out.push_str(&record.to_json(self.index));
+            out.push('\n');
+        }
+        eprint!("{out}");
     }
 
     /// Steps while `condition` holds and work remains.
@@ -355,10 +461,27 @@ impl Worker {
         }
         // Pump vertices until locally quiet (bounded to stay responsive to
         // progress traffic).
+        let telemetry = self.recorder.enabled();
+        let dataflow = self.dataflows[df].id as u32;
         for _round in 0..8 {
             let mut worked = false;
             for op in &self.dataflows[df].ops {
-                worked |= op.borrow_mut().pump();
+                if telemetry {
+                    let stage = op.borrow().stage().0 as u32;
+                    self.recorder
+                        .record(TelemetryEvent::ScheduleStart { dataflow, stage });
+                    let start = Instant::now();
+                    let w = op.borrow_mut().pump();
+                    self.recorder.record(TelemetryEvent::ScheduleStop {
+                        dataflow,
+                        stage,
+                        nanos: start.elapsed().as_nanos() as u64,
+                        worked: w,
+                    });
+                    worked |= w;
+                } else {
+                    worked |= op.borrow_mut().pump();
+                }
             }
             self.last_step_worked |= worked;
             if !worked {
@@ -382,6 +505,14 @@ impl Worker {
             };
             for (time, blocking) in ready {
                 op.borrow_mut().deliver(time);
+                if self.recorder.enabled() {
+                    self.recorder.record(TelemetryEvent::NotificationDelivered {
+                        dataflow: runtime.id as u32,
+                        stage: op.borrow().stage().0 as u32,
+                        epoch: time.epoch,
+                        blocking,
+                    });
+                }
                 if blocking {
                     // §2.3: the occurrence count decrements as OnNotify
                     // completes.
@@ -411,6 +542,11 @@ impl Worker {
                 let processes = self.config.processes;
                 for update in updates {
                     let batch = self.make_batch(dataflow, vec![update]);
+                    self.recorder.record(TelemetryEvent::ProgressBatchSent {
+                        dataflow: dataflow as u32,
+                        seq: batch.seq,
+                        updates: 1,
+                    });
                     let bytes: Bytes = encode_to_vec(&batch).into();
                     for dst in 0..processes {
                         self.send_progress(dst, PROGRESS_TAG, bytes.clone());
@@ -421,6 +557,11 @@ impl Worker {
                 // No local accumulation: per-step batches go straight to
                 // the central accumulator.
                 let batch = self.make_batch(dataflow, updates);
+                self.recorder.record(TelemetryEvent::ProgressBatchSent {
+                    dataflow: dataflow as u32,
+                    seq: batch.seq,
+                    updates: batch.updates.len() as u32,
+                });
                 let bytes: Bytes = encode_to_vec(&batch).into();
                 let central = self.central_endpoint();
                 self.send_progress(central, CENTRAL_TAG, bytes);
@@ -431,6 +572,10 @@ impl Worker {
                     .as_ref()
                     .expect("local modes allocate a process accumulator")
                     .clone();
+                self.recorder.record(TelemetryEvent::ProgressDeposited {
+                    dataflow: dataflow as u32,
+                    updates: updates.len() as u32,
+                });
                 acc.lock().deposit(dataflow, updates);
             }
         }
@@ -442,7 +587,9 @@ impl Worker {
         if let Err(err) =
             send_with_retry(&self.net, self.policy, dst, tag, TrafficClass::Progress, bytes)
         {
-            escalate(&self.escalation, FaultKind::from_send_error(err));
+            let kind = FaultKind::from_send_error(err);
+            self.recorder.record(TelemetryEvent::FaultEscalated { kind });
+            escalate(&self.escalation, kind);
         }
     }
 
@@ -487,11 +634,22 @@ impl Worker {
         }
         let dataflow = batch.dataflow as usize;
         if let Some(runtime) = self.dataflows.iter_mut().find(|d| d.id == dataflow) {
-            let mut tracker = runtime.tracker.borrow_mut();
-            tracker
-                .as_mut()
-                .expect("registered dataflows have trackers")
-                .apply(batch.updates.iter().copied());
+            {
+                let mut tracker = runtime.tracker.borrow_mut();
+                tracker
+                    .as_mut()
+                    .expect("registered dataflows have trackers")
+                    .apply(batch.updates.iter().copied());
+            }
+            if self.recorder.enabled() {
+                self.recorder.record(TelemetryEvent::ProgressApplied {
+                    dataflow: batch.dataflow,
+                    sender: batch.sender,
+                    seq: batch.seq,
+                    updates: batch.updates.len() as u32,
+                    net: batch.updates.iter().map(|(_, d)| *d).sum(),
+                });
+            }
         } else {
             self.stashed.entry(dataflow).or_default().push(batch);
         }

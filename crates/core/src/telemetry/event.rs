@@ -1,0 +1,343 @@
+//! Typed telemetry events and their JSON-lines encoding.
+
+use crate::runtime::FaultKind;
+
+/// One telemetry event, as recorded by a worker.
+///
+/// Events are `Copy` and fixed-size so recording is an append into a
+/// preallocated buffer — no per-event allocation on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryEvent {
+    /// An operator's `pump` (OnRecv scheduling slice) is about to run.
+    ScheduleStart {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Stage id of the scheduled operator.
+        stage: u32,
+    },
+    /// The matching end of a [`TelemetryEvent::ScheduleStart`].
+    ScheduleStop {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Stage id of the scheduled operator.
+        stage: u32,
+        /// Wall-clock nanoseconds the slice took.
+        nanos: u64,
+        /// Whether the operator processed any batch.
+        worked: bool,
+    },
+    /// A data batch was emitted on a connector.
+    MessageSent {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Connector the batch travels on.
+        connector: u32,
+        /// Destination worker (global index).
+        target: u32,
+        /// Records in the batch.
+        records: u32,
+        /// Serialized payload bytes (0 for intra-process typed batches,
+        /// which never touch the wire).
+        bytes: u32,
+        /// Whether the batch crossed the fabric.
+        remote: bool,
+    },
+    /// A data batch was pulled by the receiving vertex.
+    MessageReceived {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Connector the batch arrived on.
+        connector: u32,
+        /// Records in the batch.
+        records: u32,
+        /// Whether the batch arrived serialized over the fabric.
+        remote: bool,
+    },
+    /// A progress batch left this worker (broadcast or to the central
+    /// accumulator).
+    ProgressBatchSent {
+        /// Dataflow id.
+        dataflow: u32,
+        /// This worker's batch sequence number.
+        seq: u64,
+        /// Updates in the batch.
+        updates: u32,
+    },
+    /// Progress updates were deposited into the process-local accumulator
+    /// (`Local` / `LocalGlobal` modes).
+    ProgressDeposited {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Updates deposited.
+        updates: u32,
+    },
+    /// A progress batch was applied to this worker's tracker.
+    ProgressApplied {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Sending worker or accumulator id.
+        sender: u32,
+        /// The sender's sequence number.
+        seq: u64,
+        /// Updates in the batch.
+        updates: u32,
+        /// Net occurrence-count delta of the batch (Σ deltas).
+        net: i64,
+    },
+    /// A notification was delivered to an operator.
+    NotificationDelivered {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Stage id.
+        stage: u32,
+        /// Epoch component of the delivered timestamp.
+        epoch: u64,
+        /// `true` for blocking (§2.3 counted) notifications, `false` for
+        /// purge notifications.
+        blocking: bool,
+    },
+    /// A frontier-probe sample (recorded when the sampled values change).
+    FrontierProbe {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Active pointstamps in the worker's tracker.
+        active: u32,
+        /// Minimum open input epoch; `None` once every input has closed.
+        input_epoch: Option<u64>,
+    },
+    /// A checkpoint blob was produced ([`Worker::checkpoint`](crate::runtime::Worker::checkpoint)).
+    CheckpointTaken {
+        /// Sealed blob size in bytes.
+        bytes: u64,
+    },
+    /// A checkpoint blob was restored ([`Worker::try_restore`](crate::runtime::Worker::try_restore)).
+    CheckpointRestored {
+        /// Sealed blob size in bytes.
+        bytes: u64,
+    },
+    /// A fault escaped the retry budget and escalated, unwinding the
+    /// cluster (§3.4).
+    FaultEscalated {
+        /// The classified fault.
+        kind: FaultKind,
+    },
+}
+
+impl TelemetryEvent {
+    /// Short machine-readable event name (the `"ev"` JSON field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::ScheduleStart { .. } => "schedule_start",
+            TelemetryEvent::ScheduleStop { .. } => "schedule_stop",
+            TelemetryEvent::MessageSent { .. } => "message_sent",
+            TelemetryEvent::MessageReceived { .. } => "message_received",
+            TelemetryEvent::ProgressBatchSent { .. } => "progress_sent",
+            TelemetryEvent::ProgressDeposited { .. } => "progress_deposited",
+            TelemetryEvent::ProgressApplied { .. } => "progress_applied",
+            TelemetryEvent::NotificationDelivered { .. } => "notification",
+            TelemetryEvent::FrontierProbe { .. } => "frontier",
+            TelemetryEvent::CheckpointTaken { .. } => "checkpoint",
+            TelemetryEvent::CheckpointRestored { .. } => "restore",
+            TelemetryEvent::FaultEscalated { .. } => "fault",
+        }
+    }
+}
+
+/// A recorded event: nanoseconds since the worker's recorder was created,
+/// plus the typed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Nanoseconds since recorder creation (per-worker clock).
+    pub nanos: u64,
+    /// The event.
+    pub event: TelemetryEvent,
+}
+
+impl EventRecord {
+    /// Encodes the record as one JSON object (no trailing newline), with
+    /// the owning worker's index in the `"w"` field.
+    pub fn to_json(&self, worker: usize) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"w\":{worker},\"t\":{},\"ev\":\"{}\"",
+            self.nanos,
+            self.event.name()
+        );
+        match self.event {
+            TelemetryEvent::ScheduleStart { dataflow, stage } => {
+                let _ = write!(s, ",\"df\":{dataflow},\"stage\":{stage}");
+            }
+            TelemetryEvent::ScheduleStop {
+                dataflow,
+                stage,
+                nanos,
+                worked,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"stage\":{stage},\"nanos\":{nanos},\"worked\":{worked}"
+                );
+            }
+            TelemetryEvent::MessageSent {
+                dataflow,
+                connector,
+                target,
+                records,
+                bytes,
+                remote,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"conn\":{connector},\"target\":{target},\"records\":{records},\"bytes\":{bytes},\"remote\":{remote}"
+                );
+            }
+            TelemetryEvent::MessageReceived {
+                dataflow,
+                connector,
+                records,
+                remote,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"conn\":{connector},\"records\":{records},\"remote\":{remote}"
+                );
+            }
+            TelemetryEvent::ProgressBatchSent {
+                dataflow,
+                seq,
+                updates,
+            } => {
+                let _ = write!(s, ",\"df\":{dataflow},\"seq\":{seq},\"updates\":{updates}");
+            }
+            TelemetryEvent::ProgressDeposited { dataflow, updates } => {
+                let _ = write!(s, ",\"df\":{dataflow},\"updates\":{updates}");
+            }
+            TelemetryEvent::ProgressApplied {
+                dataflow,
+                sender,
+                seq,
+                updates,
+                net,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"sender\":{sender},\"seq\":{seq},\"updates\":{updates},\"net\":{net}"
+                );
+            }
+            TelemetryEvent::NotificationDelivered {
+                dataflow,
+                stage,
+                epoch,
+                blocking,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"stage\":{stage},\"epoch\":{epoch},\"blocking\":{blocking}"
+                );
+            }
+            TelemetryEvent::FrontierProbe {
+                dataflow,
+                active,
+                input_epoch,
+            } => {
+                let _ = write!(s, ",\"df\":{dataflow},\"active\":{active}");
+                match input_epoch {
+                    Some(e) => {
+                        let _ = write!(s, ",\"input_epoch\":{e}");
+                    }
+                    None => s.push_str(",\"input_epoch\":null"),
+                }
+            }
+            TelemetryEvent::CheckpointTaken { bytes }
+            | TelemetryEvent::CheckpointRestored { bytes } => {
+                let _ = write!(s, ",\"bytes\":{bytes}");
+            }
+            TelemetryEvent::FaultEscalated { kind } => match kind {
+                FaultKind::LinkFailed { src, dst } => {
+                    let _ = write!(s, ",\"kind\":\"link_failed\",\"src\":{src},\"dst\":{dst}");
+                }
+                FaultKind::ProcessCrashed { process } => {
+                    let _ = write!(s, ",\"kind\":\"process_crashed\",\"process\":{process}");
+                }
+            },
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let records = [
+            EventRecord {
+                nanos: 5,
+                event: TelemetryEvent::ScheduleStart {
+                    dataflow: 0,
+                    stage: 3,
+                },
+            },
+            EventRecord {
+                nanos: 9,
+                event: TelemetryEvent::ScheduleStop {
+                    dataflow: 0,
+                    stage: 3,
+                    nanos: 4,
+                    worked: true,
+                },
+            },
+            EventRecord {
+                nanos: 11,
+                event: TelemetryEvent::FrontierProbe {
+                    dataflow: 0,
+                    active: 2,
+                    input_epoch: None,
+                },
+            },
+            EventRecord {
+                nanos: 12,
+                event: TelemetryEvent::FaultEscalated {
+                    kind: FaultKind::ProcessCrashed { process: 1 },
+                },
+            },
+        ];
+        for r in records {
+            let json = r.to_json(7);
+            assert!(json.starts_with("{\"w\":7,\"t\":"), "{json}");
+            assert!(json.ends_with('}'), "{json}");
+            // Balanced braces and quotes (a cheap well-formedness check:
+            // no nested objects, so exactly one pair of braces).
+            assert_eq!(json.matches('{').count(), 1, "{json}");
+            assert_eq!(json.matches('}').count(), 1, "{json}");
+            assert_eq!(json.matches('"').count() % 2, 0, "{json}");
+            assert!(json.contains(&format!("\"ev\":\"{}\"", r.event.name())));
+        }
+    }
+
+    #[test]
+    fn frontier_probe_encodes_closed_inputs_as_null() {
+        let r = EventRecord {
+            nanos: 1,
+            event: TelemetryEvent::FrontierProbe {
+                dataflow: 2,
+                active: 0,
+                input_epoch: Some(4),
+            },
+        };
+        assert!(r.to_json(0).contains("\"input_epoch\":4"));
+        let r = EventRecord {
+            nanos: 1,
+            event: TelemetryEvent::FrontierProbe {
+                dataflow: 2,
+                active: 0,
+                input_epoch: None,
+            },
+        };
+        assert!(r.to_json(0).contains("\"input_epoch\":null"));
+    }
+}

@@ -132,14 +132,17 @@ fn loops_survive_stalls() {
     assert_eq!(finals, vec![32, 40, 48]);
 }
 
+/// Per-epoch captured output, as returned by `Stream::capture`.
+type Captured = std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u64>)>>>;
+
 /// Helper: the loop test just captures everything; this keeps the
 /// builder chain readable above.
 trait FilterFinal {
-    fn filter_final(&self) -> std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u64>)>>>;
+    fn filter_final(&self) -> Captured;
 }
 
 impl FilterFinal for naiad::Stream<u64> {
-    fn filter_final(&self) -> std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u64>)>>> {
+    fn filter_final(&self) -> Captured {
         self.capture()
     }
 }

@@ -39,4 +39,6 @@ mod metrics;
 pub use endpoint::{Endpoint, Envelope, Fabric, FabricBuilder, NetReceiver, NetSender, RecvError};
 pub use fault::{CrashPoint, FaultController, FaultPlan, LinkPartition, SendError};
 pub use latency::LatencyModel;
-pub use metrics::{ClassCounters, FabricMetrics, FaultCounters, LinkCounters, TrafficClass};
+pub use metrics::{
+    ClassCounters, FabricMetrics, FaultCounters, LinkCounters, TrafficClass, TrafficTotals,
+};

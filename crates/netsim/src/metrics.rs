@@ -96,6 +96,16 @@ struct FaultMeter {
     crashes: AtomicU64,
 }
 
+/// Per-class traffic totals summed over every directed link — the
+/// aggregation the telemetry registry reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficTotals {
+    /// Application-data totals.
+    pub data: ClassCounters,
+    /// Progress-protocol totals.
+    pub progress: ClassCounters,
+}
+
 /// Fabric-wide traffic meters, shared by all endpoints.
 #[derive(Debug)]
 pub struct FabricMetrics {
@@ -199,6 +209,15 @@ impl FabricMetrics {
     pub fn network_bytes(&self, class: TrafficClass) -> u64 {
         self.total(class, false).bytes
     }
+
+    /// Sum over all links for **every** traffic class at once, optionally
+    /// excluding loopback — one call instead of one per class.
+    pub fn totals(&self, include_loopback: bool) -> TrafficTotals {
+        TrafficTotals {
+            data: self.total(TrafficClass::Data, include_loopback),
+            progress: self.total(TrafficClass::Progress, include_loopback),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +272,62 @@ mod tests {
                 crashes: 1,
             }
         );
+    }
+
+    #[test]
+    fn totals_sums_every_class_at_once() {
+        let m = FabricMetrics::new(2);
+        m.link(0, 0).record(TrafficClass::Data, 10);
+        m.link(0, 1).record(TrafficClass::Data, 20);
+        m.link(1, 0).record(TrafficClass::Progress, 5);
+        m.link(1, 1).record(TrafficClass::Progress, 3);
+
+        for include_loopback in [true, false] {
+            let t = m.totals(include_loopback);
+            assert_eq!(t.data, m.total(TrafficClass::Data, include_loopback));
+            assert_eq!(
+                t.progress,
+                m.total(TrafficClass::Progress, include_loopback)
+            );
+        }
+        assert_eq!(
+            m.totals(true),
+            TrafficTotals {
+                data: ClassCounters {
+                    bytes: 30,
+                    messages: 2
+                },
+                progress: ClassCounters {
+                    bytes: 8,
+                    messages: 2
+                },
+            }
+        );
+        assert_eq!(m.totals(false).data.bytes, 20);
+        assert_eq!(m.totals(false).progress.bytes, 5);
+    }
+
+    #[test]
+    fn duplicate_suppression_accounting_balances() {
+        let m = FabricMetrics::new(2);
+        // The fabric delivered three duplicate copies; receivers suppressed
+        // two of them (one slipped through before dedup state existed).
+        m.record_duplicated();
+        m.record_duplicated();
+        m.record_duplicated();
+        m.record_duplicate_suppressed();
+        m.record_duplicate_suppressed();
+
+        let f = m.faults();
+        assert_eq!(f.duplicated, 3);
+        assert_eq!(f.duplicates_suppressed, 2);
+        // Suppression can never exceed the duplicates actually injected.
+        assert!(f.duplicates_suppressed <= f.duplicated);
+        // No unrelated counters moved.
+        assert_eq!(f.dropped, 0);
+        assert_eq!(f.partition_rejects, 0);
+        assert_eq!(f.crash_rejects, 0);
+        assert_eq!(f.crashes, 0);
     }
 
     #[test]

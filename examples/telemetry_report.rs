@@ -1,0 +1,72 @@
+//! Structured telemetry over a multi-worker workload.
+//!
+//! Runs a word-count dataflow on two simulated processes of two workers
+//! each with the event recorder enabled, then prints the unified
+//! registry's summary tables — per-worker scheduler counters,
+//! per-operator schedule time and record counts, per-class fabric
+//! traffic, and the frontier probes — followed by a short excerpt of
+//! the SnailTrail-style JSON-lines event log.
+//!
+//! Run with: `cargo run --example telemetry_report`
+
+use naiad::{execute_with_telemetry, Config};
+use naiad_operators::prelude::*;
+
+fn main() {
+    let config = Config::processes_and_workers(2, 2).telemetry(true);
+
+    let (_, snapshot) = execute_with_telemetry(config, |worker| {
+        let (mut input, probe) = worker.dataflow(|scope| {
+            let (input, lines) = scope.new_input::<String>();
+            let counts = lines
+                .flat_map(|line: String| {
+                    line.split_whitespace()
+                        .map(|w| (w.to_string(), ()))
+                        .collect::<Vec<_>>()
+                })
+                .count();
+            let probe = counts.probe();
+            (input, probe)
+        });
+
+        let epochs = [
+            "the quick brown fox jumps over the lazy dog",
+            "the dog barks and the fox runs",
+            "no dog and no fox only words",
+        ];
+        for (e, text) in epochs.iter().enumerate() {
+            if worker.index() == 0 {
+                // Repeat each line so the exchange carries real volume.
+                for _ in 0..50 {
+                    input.send(text.to_string());
+                }
+            }
+            input.advance_to(e as u64 + 1);
+            worker.step_while(|| !probe.done_through(e as u64));
+        }
+        input.close();
+        worker.step_until_done();
+    })
+    .unwrap();
+
+    // The unified registry: workers, operators, traffic, frontier.
+    println!("{}", snapshot.summary_table());
+
+    println!(
+        "totals: {} steps, {} notifications, {} data bytes on the network, \
+         {} progress bytes on the network",
+        snapshot.total_steps(),
+        snapshot.total_notifications(),
+        snapshot.data_bytes(false),
+        snapshot.progress_bytes(false),
+    );
+
+    // A taste of the raw event stream (one JSON object per line; pipe
+    // the full dump to a file for SnailTrail-style offline analysis).
+    let jsonl = snapshot.events_json_lines();
+    let total = jsonl.lines().count();
+    println!("\n== event log ({total} events; first 10) ==");
+    for line in jsonl.lines().take(10) {
+        println!("{line}");
+    }
+}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Offline verification: build the whole workspace warning-clean and run
-# every test (unit, doc, integration — including the fault-injection and
-# recovery suites). No network access is required: the workspace has no
-# external dependencies.
+# Offline verification: build the whole workspace warning-clean, lint it
+# with clippy, and run every test (unit, doc, integration — including the
+# fault-injection, recovery, and telemetry suites). No network access is
+# required: the workspace has no external dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +10,13 @@ export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
 echo "== build (release, workspace) =="
 cargo build --release --workspace
+
+echo "== clippy (workspace, all targets) =="
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "clippy not installed; skipping lint gate"
+fi
 
 echo "== tests (workspace) =="
 cargo test -q --workspace
