@@ -31,7 +31,10 @@ mod model;
 mod telemetry;
 mod workloads;
 
-pub use model::{ClusterSim, ClusterSpec, FailureModel, PhaseStats, RecoveryStats, StragglerModel};
+pub use model::{
+    ClusterSim, ClusterSpec, FailureModel, HeartbeatModel, PhaseStats, RecoveryStats,
+    StragglerModel,
+};
 pub use telemetry::{PhaseAgg, SimTelemetry};
 /// Re-export of the shared seeded generator (previously a private module
 /// here; now the workspace-wide randomness primitive).

@@ -34,6 +34,10 @@ pub struct ClusterSpec {
     pub packet_overhead: f64,
     /// Micro-straggler behaviour (§3.5).
     pub straggler: StragglerModel,
+    /// Heartbeat failure detection (`None` = detection leans on progress
+    /// traffic and the [`FailureModel`]'s pessimistic timeout, the
+    /// pre-heartbeat runtime behaviour).
+    pub heartbeat: Option<HeartbeatModel>,
 }
 
 /// The micro-straggler model of §3.5: per participant and phase, a small
@@ -71,6 +75,44 @@ impl StragglerModel {
             pause_probability: 0.0004,
             mean_pause: 0.030,
         }
+    }
+}
+
+/// The analytical counterpart of the runtime's heartbeat failure
+/// detector (`Config::heartbeats`): each process emits a small control
+/// message every `interval` seconds over the latency-exempt control
+/// channel, and a peer silent for `fail_after_intervals` intervals is
+/// declared failed. Detection latency then depends on the heartbeat
+/// cadence instead of the [`FailureModel`]'s pessimistic
+/// progress-traffic timeout.
+#[derive(Debug, Clone)]
+pub struct HeartbeatModel {
+    /// Heartbeat emission interval, seconds.
+    pub interval: f64,
+    /// Silence threshold before declaring a peer failed, in intervals
+    /// (the runtime's `heartbeat_fail_after / heartbeat_interval`).
+    pub fail_after_intervals: f64,
+    /// Heartbeat payload size, bytes — bookkeeping for the (tiny)
+    /// control-plane bandwidth tax.
+    pub payload_bytes: f64,
+}
+
+impl HeartbeatModel {
+    /// A runtime-plausible default: 25 ms beats, failure after 8 silent
+    /// intervals (200 ms), 32-byte payloads.
+    pub fn paper_default() -> Self {
+        HeartbeatModel {
+            interval: 0.025,
+            fail_after_intervals: 8.0,
+            payload_bytes: 32.0,
+        }
+    }
+
+    /// Expected detection latency for a silent failure: the victim dies
+    /// mid-interval on average, then the full silence threshold must
+    /// elapse before a peer's detector declares it.
+    pub fn detection_latency(&self) -> f64 {
+        self.interval * (0.5 + self.fail_after_intervals)
     }
 }
 
@@ -141,6 +183,7 @@ impl ClusterSpec {
             wakeup_overhead: 25.0e-6,
             packet_overhead: 4.0e-6,
             straggler: StragglerModel::paper_default(),
+            heartbeat: None,
         }
     }
 
@@ -297,7 +340,17 @@ impl ClusterSim {
             self.spec.hop_latency * 0.3 * (self.spec.computers as f64).log2().max(1.0),
         );
         let straggler = self.sample_stragglers(self.spec.computers);
-        let duration = hops * self.spec.hop_latency + wakeups + fanout + jitter + straggler;
+        // Heartbeat control traffic rides the same endpoints: each round a
+        // computer handles roughly one incoming and one outgoing beat's
+        // worth of packet processing. Tiny by construction — the detector
+        // must not tax the barrier it protects.
+        let heartbeat_tax = if self.spec.heartbeat.is_some() {
+            2.0 * self.spec.packet_overhead
+        } else {
+            0.0
+        };
+        let duration =
+            hops * self.spec.hop_latency + wakeups + fanout + jitter + straggler + heartbeat_tax;
         self.clock += duration;
         let stats = PhaseStats {
             duration,
@@ -335,12 +388,20 @@ impl ClusterSim {
             let p = failures.crash_probability_per_epoch;
             1.0 - (1.0 - p).powi(self.spec.computers as i32)
         };
+        // With heartbeats, detection latency is bounded by the beat
+        // cadence; without, the run pays the model's pessimistic
+        // progress-traffic timeout (EXPERIMENTS.md plots this trade).
+        let detection = self
+            .spec
+            .heartbeat
+            .as_ref()
+            .map_or(failures.detection_timeout, HeartbeatModel::detection_latency);
         while completed < epochs {
             // Run the epoch; a crash strikes at a uniform point within it.
             if p_epoch > 0.0 && self.rng.unit() < p_epoch {
                 crashes += 1;
                 self.clock += self.rng.unit() * epoch_seconds; // wasted partial epoch
-                self.clock += failures.detection_timeout;
+                self.clock += detection;
                 self.clock += failures.restore_seconds_per_computer; // parallel restore
                 replayed += completed - last_checkpoint;
                 completed = last_checkpoint;
@@ -494,6 +555,52 @@ mod tests {
             tight < loose,
             "checkpointing every 2 epochs must replay less than every 50: {tight} vs {loose}"
         );
+    }
+
+    #[test]
+    fn heartbeats_cut_detection_latency() {
+        let failures = FailureModel {
+            crash_probability_per_epoch: 0.002,
+            detection_timeout: 1.0,
+            restore_seconds_per_computer: 0.2,
+        };
+        let run = |heartbeat: Option<HeartbeatModel>| {
+            let mut spec = ClusterSpec::paper_cluster(64);
+            spec.straggler = StragglerModel::none();
+            spec.heartbeat = heartbeat;
+            let mut sim = ClusterSim::new(spec, 11);
+            sim.recovery_run(200, 0.1, 10, 0.2, &failures)
+        };
+        let slow = run(None);
+        let fast = run(Some(HeartbeatModel::paper_default()));
+        // Same seed, same RNG draw order: identical crash pattern.
+        assert_eq!(slow.crashes, fast.crashes);
+        assert!(slow.crashes > 0, "64 computers × 200 epochs must crash");
+        assert_eq!(slow.replayed_epochs, fast.replayed_epochs);
+        let saved = slow.duration - fast.duration;
+        let expected = slow.crashes as f64
+            * (failures.detection_timeout - HeartbeatModel::paper_default().detection_latency());
+        assert!(
+            (saved - expected).abs() < 1e-9,
+            "heartbeats save exactly the detection gap: saved {saved}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn heartbeat_tax_on_coordination_is_tiny() {
+        let round = |heartbeat: Option<HeartbeatModel>| {
+            let mut spec = ClusterSpec::paper_cluster(64);
+            spec.straggler = StragglerModel::none();
+            spec.heartbeat = heartbeat;
+            let mut sim = ClusterSim::new(spec, 5);
+            sim.coordination_round().duration
+        };
+        let plain = round(None);
+        let beating = round(Some(HeartbeatModel::paper_default()));
+        let tax = beating - plain;
+        let expected = 2.0 * ClusterSpec::paper_cluster(64).packet_overhead;
+        assert!((tax - expected).abs() < 1e-12, "tax {tax}");
+        assert!(tax < plain * 0.1, "detector must not tax the barrier");
     }
 
     #[test]

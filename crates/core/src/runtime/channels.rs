@@ -38,6 +38,8 @@ use crate::time::Timestamp;
 pub(crate) const PROGRESS_TAG: u32 = 0xFFFF_FFFF;
 /// Channel tag carrying progress batches to the central accumulator.
 pub(crate) const CENTRAL_TAG: u32 = 0xFFFF_FFFE;
+/// Channel tag carrying liveness heartbeats on the control plane.
+pub(crate) const HEARTBEAT_TAG: u32 = 0xFFFF_FFFD;
 
 const DATAFLOW_BITS: u32 = 10;
 const CHANNEL_BITS: u32 = 14;
@@ -430,8 +432,15 @@ impl<D: ExchangeData> Puller<D> {
         let (message, remote) = if let Ok(m) = self.local.try_recv() {
             (Some(m), false)
         } else if let Ok(bytes) = self.remote.try_recv() {
-            let m = naiad_wire::decode_from_slice::<Message<D>>(&bytes)
-                .expect("corrupt data batch on the wire");
+            let m = naiad_wire::decode_from_slice::<Message<D>>(&bytes).unwrap_or_else(|e| {
+                panic!(
+                    "dataflow {} connector {}: undecodable data batch ({} bytes) — \
+                     wire corruption or a mismatched channel type: {e:?}",
+                    self.dataflow,
+                    self.connector.0,
+                    bytes.len()
+                )
+            });
             (Some(m), true)
         } else {
             (None, false)

@@ -49,6 +49,27 @@ pub struct Config {
     /// Event-buffer capacity per worker when telemetry is enabled.
     /// Aggregate counters stay exact even after the buffer fills.
     pub telemetry_capacity: usize,
+    /// Whether processes exchange heartbeats and run the peer failure
+    /// detector (§3.4/§3.5 liveness machinery). Off by default: with no
+    /// detector, a crashed or partitioned peer that never faults a send
+    /// is only caught by the stall watchdog.
+    pub heartbeats: bool,
+    /// Cadence of standalone heartbeats when no traffic is flowing
+    /// (progress traffic implicitly refreshes liveness, so heartbeats
+    /// piggyback on it and only fire standalone when a link goes quiet).
+    pub heartbeat_interval: Duration,
+    /// Silence after which a peer is marked *suspected* (telemetry only;
+    /// nothing unwinds yet).
+    pub heartbeat_suspect_after: Duration,
+    /// Silence after which a peer is declared *failed*, escalating into
+    /// the typed-error → coordinated-rollback path. Detection latency is
+    /// bounded by this threshold plus one detector tick.
+    pub heartbeat_fail_after: Duration,
+    /// Wall-clock bound on frontier inactivity while pointstamps are
+    /// outstanding: when exceeded, the worker declares a global stall
+    /// (typed [`ExecuteError::Stalled`](crate::runtime::ExecuteError))
+    /// instead of idling forever. `None` disables the watchdog.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Config {
@@ -77,6 +98,11 @@ impl Config {
             retry_backoff: Duration::from_micros(50),
             telemetry: false,
             telemetry_capacity: 65_536,
+            heartbeats: false,
+            heartbeat_interval: Duration::from_millis(10),
+            heartbeat_suspect_after: Duration::from_millis(50),
+            heartbeat_fail_after: Duration::from_millis(200),
+            stall_timeout: Some(Duration::from_secs(30)),
         }
     }
 
@@ -138,6 +164,67 @@ impl Config {
         self
     }
 
+    /// Enables (or disables) heartbeat emission and the peer failure
+    /// detector.
+    pub fn heartbeats(mut self, enabled: bool) -> Self {
+        self.heartbeats = enabled;
+        self
+    }
+
+    /// Sets the heartbeat cadence and derives proportional detection
+    /// thresholds: suspect after 5 intervals of silence, fail after 20.
+    /// Use [`heartbeat_timeouts`](Self::heartbeat_timeouts) afterwards to
+    /// override the thresholds independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "heartbeat interval must be positive");
+        self.heartbeat_interval = interval;
+        self.heartbeat_suspect_after = interval * 5;
+        self.heartbeat_fail_after = interval * 20;
+        self
+    }
+
+    /// Sets the suspicion and failure thresholds directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suspect_after > fail_after` or either is zero.
+    pub fn heartbeat_timeouts(mut self, suspect_after: Duration, fail_after: Duration) -> Self {
+        assert!(
+            !suspect_after.is_zero() && !fail_after.is_zero(),
+            "heartbeat timeouts must be positive"
+        );
+        assert!(
+            suspect_after <= fail_after,
+            "suspicion threshold must not exceed the failure threshold"
+        );
+        self.heartbeat_suspect_after = suspect_after;
+        self.heartbeat_fail_after = fail_after;
+        self
+    }
+
+    /// Sets the stall-watchdog timeout. The default is 30 s; see
+    /// [`stall_timeout`](Self::stall_timeout) the field for semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "stall timeout must be positive");
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Disables the stall watchdog entirely (a genuinely stuck cluster
+    /// will hang — only sensible under an external deadline).
+    pub fn no_stall_timeout(mut self) -> Self {
+        self.stall_timeout = None;
+        self
+    }
+
     /// Total number of workers across all processes.
     pub fn total_workers(&self) -> usize {
         self.processes * self.workers_per_process
@@ -190,5 +277,35 @@ mod tests {
         assert_eq!(c.send_retries, 3);
         assert_eq!(c.retry_backoff, Duration::from_micros(10));
         assert!(Config::default().faults.is_none());
+    }
+
+    #[test]
+    fn heartbeat_defaults_and_builders() {
+        let c = Config::default();
+        assert!(!c.heartbeats, "heartbeats default off");
+        assert_eq!(c.stall_timeout, Some(Duration::from_secs(30)));
+
+        let c = Config::processes_and_workers(2, 1)
+            .heartbeats(true)
+            .heartbeat_interval(Duration::from_millis(4));
+        assert!(c.heartbeats);
+        assert_eq!(c.heartbeat_interval, Duration::from_millis(4));
+        assert_eq!(c.heartbeat_suspect_after, Duration::from_millis(20));
+        assert_eq!(c.heartbeat_fail_after, Duration::from_millis(80));
+
+        let c = c.heartbeat_timeouts(Duration::from_millis(10), Duration::from_millis(30));
+        assert_eq!(c.heartbeat_suspect_after, Duration::from_millis(10));
+        assert_eq!(c.heartbeat_fail_after, Duration::from_millis(30));
+
+        let c = c.stall_timeout(Duration::from_secs(2));
+        assert_eq!(c.stall_timeout, Some(Duration::from_secs(2)));
+        assert_eq!(c.no_stall_timeout().stall_timeout, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "suspicion threshold")]
+    fn inverted_heartbeat_timeouts_rejected() {
+        let _ = Config::default()
+            .heartbeat_timeouts(Duration::from_millis(50), Duration::from_millis(10));
     }
 }

@@ -150,7 +150,14 @@ impl<T: naiad_wire::Wire> Checkpoint for T {
         self.encode(buf);
     }
     fn restore(&mut self, input: &mut &[u8]) {
-        *self = T::decode(input).expect("corrupt checkpoint blob");
+        *self = T::decode(input).unwrap_or_else(|e| {
+            panic!(
+                "checkpoint state failed to decode as {} — the blob passed its \
+                 checksum, so this is a shape mismatch (dataflow built \
+                 differently than when the checkpoint was taken): {e:?}",
+                std::any::type_name::<T>()
+            )
+        });
     }
 }
 
@@ -219,16 +226,20 @@ impl FileSink {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)
-            .expect("create durability file");
+            .open(&path)
+            .unwrap_or_else(|e| panic!("create durability file {}: {e}", path.display()));
         FileSink { file, bytes: 0 }
     }
 }
 
 impl DurabilitySink for FileSink {
     fn persist(&mut self, bytes: &[u8]) {
-        self.file.write_all(bytes).expect("write checkpoint blob");
-        self.file.sync_data().expect("fsync checkpoint blob");
+        self.file
+            .write_all(bytes)
+            .unwrap_or_else(|e| panic!("write checkpoint blob ({} bytes): {e}", bytes.len()));
+        self.file
+            .sync_data()
+            .unwrap_or_else(|e| panic!("fsync checkpoint blob: {e}"));
         self.bytes += bytes.len() as u64;
     }
     fn bytes_written(&self) -> u64 {

@@ -20,11 +20,12 @@ use naiad_netsim::{Fabric, FabricMetrics};
 
 use super::channels::ProcessRegistry;
 use super::config::Config;
-use super::progress_hub::{run_central_accumulator, run_router, ProcessAccumulator};
+use super::liveness::Liveness;
+use super::progress_hub::{run_central_accumulator, run_router, HubStats, ProcessAccumulator};
 use super::retry::{EscalationCell, FaultKind, FaultPanic, RetryPolicy};
 use super::sync::Mutex;
 use super::worker::Worker;
-use crate::telemetry::{TelemetrySnapshot, WorkerTelemetry};
+use crate::telemetry::{HubCounters, TelemetrySnapshot, WorkerTelemetry};
 
 /// Errors surfaced by [`execute`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +44,19 @@ pub enum ExecuteError {
     ProcessCrashed {
         /// The crashed process.
         process: usize,
+    },
+    /// The stall watchdog fired: pointstamps were outstanding but no
+    /// frontier or occurrence change happened within the configured
+    /// [`stall_timeout`](super::config::Config::stall_timeout). Carries
+    /// the structured `NAIAD_DEBUG`-style state dump captured at
+    /// declaration time, so a wedged cluster reports *what* it was
+    /// waiting on instead of hanging.
+    Stalled {
+        /// The worker whose watchdog fired first.
+        worker: usize,
+        /// Structured state dump (frontier, outstanding pointstamps,
+        /// step counters, recent telemetry).
+        dump: String,
     },
     /// Coordinated recovery gave up (see
     /// [`execute_resilient`](super::recovery::execute_resilient)).
@@ -64,6 +78,13 @@ impl std::fmt::Display for ExecuteError {
             ExecuteError::ProcessCrashed { process } => {
                 write!(f, "process {process} crashed")
             }
+            ExecuteError::Stalled { worker, dump } => {
+                write!(f, "global stall declared by worker {worker}")?;
+                if !dump.is_empty() {
+                    write!(f, "\n{dump}")?;
+                }
+                Ok(())
+            }
             ExecuteError::RecoveryFailed { attempts, last } => {
                 write!(f, "recovery failed after {attempts} attempts: {last}")
             }
@@ -74,20 +95,29 @@ impl std::fmt::Display for ExecuteError {
 impl std::error::Error for ExecuteError {}
 
 impl ExecuteError {
-    fn from_fault(kind: FaultKind) -> Self {
+    /// Classifies a raised fault; `detail` (the escalation cell's
+    /// diagnostic) becomes the stall dump when the fault is a stall.
+    fn from_fault(kind: FaultKind, detail: Option<String>) -> Self {
         match kind {
             FaultKind::LinkFailed { src, dst } => ExecuteError::LinkFailed { src, dst },
             FaultKind::ProcessCrashed { process } => ExecuteError::ProcessCrashed { process },
+            FaultKind::Stalled { worker } => ExecuteError::Stalled {
+                worker,
+                dump: detail.unwrap_or_default(),
+            },
         }
     }
 
-    /// Ranking for reporting: a process crash explains link failures and
-    /// secondary panics, so it wins; link failures beat generic panics.
+    /// Ranking for reporting: a process crash explains link failures,
+    /// stalls, and secondary panics, so it wins; link failures beat
+    /// stalls (the broken link explains the stuck frontier), which beat
+    /// generic panics.
     fn severity(&self) -> u8 {
         match self {
-            ExecuteError::RecoveryFailed { .. } => 3,
-            ExecuteError::ProcessCrashed { .. } => 2,
-            ExecuteError::LinkFailed { .. } => 1,
+            ExecuteError::RecoveryFailed { .. } => 4,
+            ExecuteError::ProcessCrashed { .. } => 3,
+            ExecuteError::LinkFailed { .. } => 2,
+            ExecuteError::Stalled { .. } => 1,
             ExecuteError::WorkerPanic(_) => 0,
         }
     }
@@ -194,8 +224,14 @@ where
     }
     let mut fabric = builder.build();
     let metrics = fabric[0].metrics().clone();
+    let clock = fabric[0].clock().clone();
     let shutdown = Arc::new(AtomicBool::new(false));
     let escalation = Arc::new(EscalationCell::default());
+    let hub_stats = Arc::new(HubStats::default());
+    // One liveness detector per process (when heartbeats are on), driven by
+    // that process's router thread; kept here so the snapshot can sum the
+    // per-process counters after the join.
+    let mut liveness_handles: Vec<Arc<Liveness>> = Vec::new();
     let policy = RetryPolicy::from_config(&config);
     let worker_fn = Arc::new(worker_fn);
     // When telemetry is on, worker threads push their harvests here after
@@ -251,15 +287,38 @@ where
             None
         };
 
+        let liveness = config
+            .heartbeats
+            .then(|| Arc::new(Liveness::new(process, processes, &config, clock.clone())));
+        if let Some(live) = &liveness {
+            liveness_handles.push(live.clone());
+        }
+
         {
             let registry = registry.clone();
             let accumulator = accumulator.clone();
             let shutdown = shutdown.clone();
             let wpp = config.workers_per_process;
+            let net = net.clone();
+            let liveness = liveness.clone();
+            let escalation = escalation.clone();
+            let stats = hub_stats.clone();
             router_handles.push(
                 thread::Builder::new()
                     .name(format!("naiad-router-{process}"))
-                    .spawn(move || run_router(rx, registry, wpp, accumulator, shutdown))
+                    .spawn(move || {
+                        run_router(
+                            rx,
+                            registry,
+                            wpp,
+                            accumulator,
+                            shutdown,
+                            net,
+                            liveness,
+                            escalation,
+                            stats,
+                        )
+                    })
                     .expect("spawn router thread"),
             );
         }
@@ -275,6 +334,7 @@ where
             let escalation = escalation.clone();
             let worker_fn = worker_fn.clone();
             let hub = hub.clone();
+            let liveness = liveness.clone();
             worker_handles.push(
                 thread::Builder::new()
                     .name(format!("naiad-worker-{index}"))
@@ -288,6 +348,7 @@ where
                             accumulator,
                             directory,
                             escalation,
+                            liveness,
                         );
                         let result = worker_fn(&mut worker);
                         if let Some(hub) = &hub {
@@ -307,6 +368,7 @@ where
         let shutdown = shutdown.clone();
         let escalation = escalation.clone();
         let total_workers = config.total_workers();
+        let stats = hub_stats.clone();
         thread::Builder::new()
             .name("naiad-central-accumulator".to_string())
             .spawn(move || {
@@ -319,6 +381,7 @@ where
                     shutdown,
                     policy,
                     escalation,
+                    stats,
                 )
             })
             .expect("spawn central accumulator thread")
@@ -337,7 +400,9 @@ where
             Ok(result) => results.push(result),
             Err(payload) => {
                 let e = match payload.downcast_ref::<FaultPanic>() {
-                    Some(FaultPanic(kind)) => ExecuteError::from_fault(*kind),
+                    Some(FaultPanic(kind)) => {
+                        ExecuteError::from_fault(*kind, escalation.take_detail())
+                    }
                     None => ExecuteError::WorkerPanic(index),
                 };
                 observe(&mut error, e);
@@ -348,7 +413,7 @@ where
     // happened to exit before polling the cell.
     if error.is_some() {
         if let Some(kind) = escalation.check() {
-            observe(&mut error, ExecuteError::from_fault(kind));
+            observe(&mut error, ExecuteError::from_fault(kind, escalation.take_detail()));
         }
     }
     shutdown.store(true, Ordering::Release);
@@ -363,7 +428,15 @@ where
         None => {
             let snapshot = hub.map(|hub| {
                 let logs = std::mem::take(&mut *hub.lock());
-                TelemetrySnapshot::assemble(logs, &metrics)
+                let mut snap = TelemetrySnapshot::assemble(logs, &metrics);
+                snap.hub = HubCounters {
+                    router_idle_ticks: hub_stats.router_idle_ticks.load(Ordering::Relaxed),
+                    central_idle_ticks: hub_stats.central_idle_ticks.load(Ordering::Relaxed),
+                    heartbeats_sent: liveness_handles.iter().map(|l| l.beats_sent()).sum(),
+                    suspicions: liveness_handles.iter().map(|l| l.suspicions()).sum(),
+                    peer_failures: liveness_handles.iter().map(|l| l.failures()).sum(),
+                };
+                snap
             });
             Ok((results, metrics, snapshot))
         }

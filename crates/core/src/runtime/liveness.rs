@@ -1,0 +1,362 @@
+//! Heartbeat-based failure detection (§3.4/§3.5).
+//!
+//! PR 1's coordinated rollback only fires when a *send* returns a typed
+//! fault: a process that crashes or is partitioned while its peers are
+//! idle or receive-only is never noticed, and the cluster hangs with the
+//! frontier silently stuck. Naiad pairs rollback with active liveness
+//! machinery — ping/pong failure detection and lease-based membership —
+//! and this module is that half of the loop.
+//!
+//! One [`Liveness`] detector exists per *process* and is driven from the
+//! process's router thread, which ticks every few milliseconds even when
+//! all workers are busy or parked:
+//!
+//! * **Emission** — [`Liveness::maybe_beat`] sends a standalone
+//!   heartbeat to every peer once per configured interval, over the
+//!   fabric's latency-exempt control channel. Any *data or progress*
+//!   traffic refreshes liveness too (the router calls
+//!   [`Liveness::note_heard`] on every arrival), so heartbeats
+//!   effectively piggyback on progress traffic while it flows and only
+//!   go standalone when a link falls quiet.
+//! * **Detection** — [`Liveness::scan`] compares each peer's
+//!   last-heard timestamp (from the fabric's shared [`ClusterClock`])
+//!   against the suspicion and failure thresholds. Crossing the
+//!   suspicion threshold is recorded but benign; crossing the failure
+//!   threshold returns [`FaultKind::ProcessCrashed`], which the router
+//!   escalates into the regular typed-error → coordinated-rollback path.
+//! * **Send-side detection** — a heartbeat that bounces with a crash
+//!   error is itself a detection: the peer is gone, no timeout needed.
+//!   Partition rejections are *not* treated as failures on the send
+//!   side (the receive-side timeout owns that, keeping the error
+//!   attribution on the unreachable peer rather than the link).
+//!
+//! Detection latency is bounded by `heartbeat_fail_after` plus one
+//! router tick; chaos tests assert the bound. All state is atomic so the
+//! router thread scans while worker telemetry drains transitions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use naiad_netsim::{ClusterClock, NetSender, SendError};
+
+use super::channels::HEARTBEAT_TAG;
+use super::config::Config;
+use super::retry::FaultKind;
+use super::sync::Mutex;
+
+/// A state change in the failure detector, drained into worker telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LivenessTransition {
+    /// `peer` crossed the suspicion threshold after `silent_ns` of silence.
+    Suspected { peer: usize, silent_ns: u64 },
+    /// A suspected `peer` was heard from again.
+    Cleared { peer: usize },
+    /// `peer` crossed the failure threshold after `silent_ns` of silence.
+    Failed { peer: usize, silent_ns: u64 },
+}
+
+/// Per-process heartbeat emitter and peer failure detector.
+#[derive(Debug)]
+pub(crate) struct Liveness {
+    process: usize,
+    interval_ns: u64,
+    suspect_ns: u64,
+    fail_ns: u64,
+    clock: Arc<ClusterClock>,
+    /// Per-peer last-heard timestamps (ns on the cluster clock).
+    last_heard: Vec<AtomicU64>,
+    suspected: Vec<AtomicBool>,
+    failed: Vec<AtomicBool>,
+    /// Cluster-clock instant of the next standalone heartbeat.
+    next_beat: AtomicU64,
+    beats_sent: AtomicU64,
+    suspicions: AtomicU64,
+    failures: AtomicU64,
+    transitions: Mutex<Vec<LivenessTransition>>,
+    /// Cheap flag so workers can skip the transition lock when idle.
+    dirty: AtomicBool,
+}
+
+impl Liveness {
+    /// Builds a detector for `process` among `processes` peers, reading
+    /// cadence and thresholds from `config`. All peers start "heard now":
+    /// the grace period before the first suspicion equals the threshold.
+    pub(crate) fn new(
+        process: usize,
+        processes: usize,
+        config: &Config,
+        clock: Arc<ClusterClock>,
+    ) -> Self {
+        let as_ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let now = clock.now_ns();
+        let mut last_heard = Vec::with_capacity(processes);
+        last_heard.resize_with(processes, || AtomicU64::new(now));
+        let mut suspected = Vec::with_capacity(processes);
+        suspected.resize_with(processes, || AtomicBool::new(false));
+        let mut failed = Vec::with_capacity(processes);
+        failed.resize_with(processes, || AtomicBool::new(false));
+        Liveness {
+            process,
+            interval_ns: as_ns(config.heartbeat_interval).max(1),
+            suspect_ns: as_ns(config.heartbeat_suspect_after).max(1),
+            fail_ns: as_ns(config.heartbeat_fail_after).max(1),
+            clock,
+            last_heard,
+            suspected,
+            failed,
+            next_beat: AtomicU64::new(now),
+            beats_sent: AtomicU64::new(0),
+            suspicions: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            transitions: Mutex::default(),
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured heartbeat interval (used to cap the router's idle
+    /// backoff so detector ticks stay timely).
+    pub(crate) fn interval(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.interval_ns)
+    }
+
+    fn push_transition(&self, t: LivenessTransition) {
+        self.transitions.lock().push(t);
+        self.dirty.store(true, Ordering::Release);
+    }
+
+    /// Records that traffic arrived from `peer`. Out-of-range sources
+    /// (the central accumulator's extra endpoint) are ignored. Clears any
+    /// standing suspicion.
+    pub(crate) fn note_heard(&self, peer: usize) {
+        let Some(slot) = self.last_heard.get(peer) else {
+            return;
+        };
+        slot.store(self.clock.now_ns(), Ordering::Release);
+        if self.suspected[peer].swap(false, Ordering::AcqRel) {
+            self.push_transition(LivenessTransition::Cleared { peer });
+        }
+    }
+
+    /// Emits standalone heartbeats if the interval elapsed. Transient
+    /// failures (drops, partitions) and vanished endpoints are ignored —
+    /// the receive-side timeout owns those — but a crash error is an
+    /// immediate detection and is returned for escalation.
+    pub(crate) fn maybe_beat(&self, net: &Arc<Mutex<NetSender>>) -> Option<FaultKind> {
+        let now = self.clock.now_ns();
+        // Single consumer (the router thread), so a plain load-check-store
+        // is race-free; atomics are only for the workers' reads.
+        if now < self.next_beat.load(Ordering::Acquire) {
+            return None;
+        }
+        self.next_beat
+            .store(now.saturating_add(self.interval_ns), Ordering::Release);
+
+        let payload: naiad_wire::Bytes = now.to_le_bytes().to_vec().into();
+        let mut detected = None;
+        {
+            let mut net = net.lock();
+            for dst in 0..self.last_heard.len() {
+                if dst == self.process {
+                    continue;
+                }
+                match net.send_control(dst, HEARTBEAT_TAG, payload.clone()) {
+                    Ok(()) => {
+                        self.beats_sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Receive-side timeout owns partition detection; a
+                    // vanished endpoint means orderly teardown.
+                    Err(SendError::Dropped { .. })
+                    | Err(SendError::Partitioned { .. })
+                    | Err(SendError::Disconnected { .. }) => {}
+                    Err(SendError::PeerCrashed { dst }) => {
+                        if !self.failed[dst].swap(true, Ordering::AcqRel) {
+                            self.failures.fetch_add(1, Ordering::Relaxed);
+                            let silent_ns =
+                                now.saturating_sub(self.last_heard[dst].load(Ordering::Acquire));
+                            self.push_transition(LivenessTransition::Failed {
+                                peer: dst,
+                                silent_ns,
+                            });
+                        }
+                        detected.get_or_insert(FaultKind::ProcessCrashed { process: dst });
+                    }
+                    Err(SendError::SelfCrashed { src }) => {
+                        detected.get_or_insert(FaultKind::ProcessCrashed { process: src });
+                    }
+                }
+            }
+        }
+        detected
+    }
+
+    /// Sweeps the peer table: raises suspicions past `suspect_ns` of
+    /// silence and returns a failure once a peer passes `fail_ns`.
+    pub(crate) fn scan(&self) -> Option<FaultKind> {
+        let now = self.clock.now_ns();
+        let mut detected = None;
+        for peer in 0..self.last_heard.len() {
+            if peer == self.process {
+                continue;
+            }
+            let silent_ns = now.saturating_sub(self.last_heard[peer].load(Ordering::Acquire));
+            if silent_ns >= self.fail_ns {
+                if !self.failed[peer].swap(true, Ordering::AcqRel) {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.push_transition(LivenessTransition::Failed { peer, silent_ns });
+                }
+                detected.get_or_insert(FaultKind::ProcessCrashed { process: peer });
+            } else if silent_ns >= self.suspect_ns
+                && !self.suspected[peer].swap(true, Ordering::AcqRel)
+            {
+                self.suspicions.fetch_add(1, Ordering::Relaxed);
+                self.push_transition(LivenessTransition::Suspected { peer, silent_ns });
+            }
+        }
+        detected
+    }
+
+    /// Drains accumulated detector transitions (for worker telemetry).
+    /// Cheap when nothing happened: one relaxed load, no lock.
+    pub(crate) fn drain_transitions(&self) -> Vec<LivenessTransition> {
+        if !self.dirty.swap(false, Ordering::AcqRel) {
+            return Vec::new();
+        }
+        std::mem::take(&mut *self.transitions.lock())
+    }
+
+    /// Standalone heartbeats successfully emitted.
+    pub(crate) fn beats_sent(&self) -> u64 {
+        self.beats_sent.load(Ordering::Relaxed)
+    }
+
+    /// Peer-suspected transitions raised.
+    pub(crate) fn suspicions(&self) -> u64 {
+        self.suspicions.load(Ordering::Relaxed)
+    }
+
+    /// Peer-failed declarations raised.
+    pub(crate) fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use naiad_netsim::Fabric;
+    use std::time::Duration;
+
+    fn config(interval_ms: u64, suspect_ms: u64, fail_ms: u64) -> Config {
+        Config::processes_and_workers(2, 1)
+            .heartbeats(true)
+            .heartbeat_interval(Duration::from_millis(interval_ms))
+            .heartbeat_timeouts(
+                Duration::from_millis(suspect_ms),
+                Duration::from_millis(fail_ms),
+            )
+    }
+
+    fn two_process_fixture(
+        cfg: &Config,
+    ) -> (
+        Arc<Mutex<NetSender>>,
+        naiad_netsim::NetReceiver,
+        naiad_netsim::FaultController,
+        Liveness,
+    ) {
+        let mut eps = Fabric::builder(2).build();
+        let ctl = eps[0].fault_controller();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let clock = a.clock().clone();
+        let (a_tx, _a_rx) = a.split();
+        let (_b_tx, b_rx) = b.split();
+        let live = Liveness::new(0, 2, cfg, clock);
+        (Arc::new(Mutex::new(a_tx)), b_rx, ctl, live)
+    }
+
+    #[test]
+    fn beats_are_interval_gated_and_reach_peers() {
+        let cfg = config(5, 50, 200);
+        let (net, mut b_rx, _ctl, live) = two_process_fixture(&cfg);
+        assert!(live.maybe_beat(&net).is_none());
+        assert_eq!(live.beats_sent(), 1, "first beat fires immediately");
+        // Immediately again: gated by the interval.
+        assert!(live.maybe_beat(&net).is_none());
+        assert_eq!(live.beats_sent(), 1);
+        let env = b_rx.try_recv().expect("heartbeat delivered");
+        assert_eq!(env.channel, HEARTBEAT_TAG);
+        assert_eq!(env.src, 0);
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(live.maybe_beat(&net).is_none());
+        assert_eq!(live.beats_sent(), 2, "interval elapsed, beat again");
+    }
+
+    #[test]
+    fn silence_escalates_suspected_then_failed() {
+        let cfg = config(1, 5, 20);
+        let (_net, _b_rx, _ctl, live) = two_process_fixture(&cfg);
+        assert!(live.scan().is_none(), "fresh table: everyone live");
+        std::thread::sleep(Duration::from_millis(7));
+        assert!(live.scan().is_none(), "suspected is not yet failed");
+        assert_eq!(live.suspicions(), 1);
+        let ts = live.drain_transitions();
+        assert!(matches!(
+            ts.as_slice(),
+            [LivenessTransition::Suspected { peer: 1, .. }]
+        ));
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(
+            live.scan(),
+            Some(FaultKind::ProcessCrashed { process: 1 })
+        );
+        assert_eq!(live.failures(), 1);
+        // Idempotent: a second scan re-detects but records one failure.
+        assert!(live.scan().is_some());
+        assert_eq!(live.failures(), 1);
+        assert!(matches!(
+            live.drain_transitions().as_slice(),
+            [LivenessTransition::Failed { peer: 1, .. }]
+        ));
+        assert!(live.drain_transitions().is_empty(), "drain empties");
+    }
+
+    #[test]
+    fn traffic_clears_suspicion() {
+        let cfg = config(1, 5, 60_000);
+        let (_net, _b_rx, _ctl, live) = two_process_fixture(&cfg);
+        std::thread::sleep(Duration::from_millis(7));
+        assert!(live.scan().is_none());
+        assert_eq!(live.suspicions(), 1);
+        live.note_heard(1);
+        let ts = live.drain_transitions();
+        assert!(ts.contains(&LivenessTransition::Cleared { peer: 1 }));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(live.scan().is_none());
+        assert_eq!(live.suspicions(), 1, "cleared peer is not re-suspected");
+        // The central accumulator's out-of-range endpoint id is ignored.
+        live.note_heard(99);
+    }
+
+    #[test]
+    fn crashed_peer_is_detected_on_send() {
+        let cfg = config(1, 50, 200);
+        let (net, _b_rx, ctl, live) = two_process_fixture(&cfg);
+        ctl.crash(1);
+        assert_eq!(
+            live.maybe_beat(&net),
+            Some(FaultKind::ProcessCrashed { process: 1 })
+        );
+        assert_eq!(live.failures(), 1);
+        assert_eq!(live.beats_sent(), 0);
+    }
+
+    #[test]
+    fn partitioned_link_is_not_a_send_side_failure() {
+        let cfg = config(1, 50, 200);
+        let (net, _b_rx, ctl, live) = two_process_fixture(&cfg);
+        ctl.sever(0, 1);
+        assert!(live.maybe_beat(&net).is_none(), "timeout owns partitions");
+        assert_eq!(live.failures(), 0);
+    }
+}

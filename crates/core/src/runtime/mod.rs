@@ -5,6 +5,7 @@ pub mod channels;
 pub mod config;
 pub mod durability;
 pub mod execute;
+mod liveness;
 mod progress_hub;
 pub mod recovery;
 mod retry;

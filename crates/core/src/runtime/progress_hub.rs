@@ -10,8 +10,9 @@
 //! endpoint.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use naiad_netsim::{NetReceiver, NetSender, RecvError, TrafficClass};
 use naiad_wire::{encode_to_vec, Bytes};
@@ -20,13 +21,35 @@ use super::sync::Mutex;
 
 use crate::progress::{Accumulator, ProgressBatch, ProgressMode, ProgressUpdate};
 
-use super::channels::{parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, PROGRESS_TAG};
+use super::channels::{
+    parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, HEARTBEAT_TAG, PROGRESS_TAG,
+};
+use super::liveness::Liveness;
 use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 
 /// Sender-id base for process accumulators (workers use their own index).
 pub(crate) const PROC_ACC_SENDER_BASE: u32 = 1 << 24;
 /// Sender id of the cluster-level accumulator.
 pub(crate) const CENTRAL_SENDER: u32 = 1 << 25;
+
+/// Idle-tick counters for the hub threads (routers + central
+/// accumulator), surfaced through
+/// [`HubCounters`](crate::telemetry::HubCounters). Each tick is one
+/// *bounded-backoff* receive timeout: the loops double their wait from
+/// [`IDLE_WAIT_BASE`] up to [`IDLE_WAIT_MAX`] while quiet and snap back
+/// on traffic, so an idle cluster costs a handful of wakeups per second
+/// instead of a tight 5 ms re-loop.
+#[derive(Debug, Default)]
+pub(crate) struct HubStats {
+    pub(crate) router_idle_ticks: AtomicU64,
+    pub(crate) central_idle_ticks: AtomicU64,
+}
+
+/// First idle wait after traffic.
+const IDLE_WAIT_BASE: Duration = Duration::from_millis(5);
+/// Backoff ceiling; also bounds shutdown-observation latency (the loops
+/// only check the shutdown flag on the timeout arm).
+const IDLE_WAIT_MAX: Duration = Duration::from_millis(20);
 
 /// A per-dataflow set of accumulators serving one group of senders.
 struct AccumulatorSet {
@@ -201,15 +224,26 @@ pub(crate) fn run_central_accumulator(
     shutdown: Arc<AtomicBool>,
     policy: RetryPolicy,
     escalation: Arc<EscalationCell>,
+    stats: Arc<HubStats>,
 ) {
     let mut set = AccumulatorSet::new(registry, true, total_workers);
     let mut seq = 0u64;
+    let mut wait = IDLE_WAIT_BASE;
     loop {
-        match rx.recv_deadline(Some(std::time::Duration::from_millis(5))) {
+        match rx.recv_deadline(Some(wait)) {
             Ok(env) => {
+                wait = IDLE_WAIT_BASE;
                 debug_assert_eq!(env.channel, CENTRAL_TAG);
-                let batch: ProgressBatch =
-                    naiad_wire::decode_from_slice(&env.payload).expect("corrupt central batch");
+                let batch: ProgressBatch = naiad_wire::decode_from_slice(&env.payload)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "central accumulator: undecodable progress batch from \
+                             endpoint {} ({} bytes) — wire corruption or protocol \
+                             mismatch: {e:?}",
+                            env.src,
+                            env.payload.len()
+                        )
+                    });
                 let dataflow = batch.dataflow as usize;
                 if let Some(flushed) = set.acc(dataflow).deposit(batch.updates) {
                     let out = ProgressBatch {
@@ -235,9 +269,13 @@ pub(crate) fn run_central_accumulator(
                 }
             }
             Err(RecvError::Timeout) => {
+                stats.central_idle_ticks.fetch_add(1, Ordering::Relaxed);
                 if shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // Bounded backoff: quiet periods cost progressively fewer
+                // wakeups instead of a tight re-loop.
+                wait = (wait * 2).min(IDLE_WAIT_MAX);
             }
             Err(RecvError::Disconnected) => return,
         }
@@ -247,52 +285,99 @@ pub(crate) fn run_central_accumulator(
 /// The per-process router thread body: dispatches incoming fabric traffic
 /// to worker queues, fanning progress broadcasts out to every local worker
 /// and teeing them into the process accumulator where the mode requires.
+///
+/// The router also *is* the process's liveness driver: it ticks the
+/// failure detector every loop iteration (it wakes at least every
+/// `heartbeat_interval / 2` when a detector is installed, even with all
+/// workers parked), refreshes peer liveness on every arrival, and raises
+/// detected failures on the escalation cell — without panicking itself,
+/// so routing continues while the workers unwind.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_router(
     mut rx: NetReceiver,
     registry: Arc<ProcessRegistry>,
     workers_per_process: usize,
     accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
     shutdown: Arc<AtomicBool>,
+    net: Arc<Mutex<NetSender>>,
+    liveness: Option<Arc<Liveness>>,
+    escalation: Arc<EscalationCell>,
+    stats: Arc<HubStats>,
 ) {
     // Lazily resolved progress-inbox senders, one per local worker.
     let progress_txs: Vec<_> = (0..workers_per_process)
         .map(|w| registry.sender::<Bytes>(ChannelKey::Progress(w)))
         .collect();
+    // With a detector installed the idle wait is additionally capped so
+    // heartbeat emission and suspicion scans stay timely.
+    let wait_cap = match &liveness {
+        Some(live) => (live.interval() / 2).clamp(Duration::from_millis(1), IDLE_WAIT_MAX),
+        None => IDLE_WAIT_MAX,
+    };
+    let mut wait = IDLE_WAIT_BASE.min(wait_cap);
     loop {
-        match rx.recv_deadline(Some(std::time::Duration::from_millis(5))) {
-            Ok(env) => match env.channel {
-                PROGRESS_TAG => {
-                    for tx in &progress_txs {
-                        let _ = tx.send(env.payload.clone());
-                    }
-                    if let Some(acc) = &accumulator {
-                        let batch: ProgressBatch = naiad_wire::decode_from_slice(&env.payload)
-                            .expect("corrupt progress batch");
-                        let mut acc = acc.lock();
-                        // Do not observe our own flushes coming back (they
-                        // were folded at flush time in Local mode; in
-                        // Local+Global everything arrives via the central
-                        // accumulator and must be observed, own updates
-                        // included, because flushes were not folded).
-                        if batch.sender != acc.sender_id() {
-                            acc.observe(batch.dataflow as usize, &batch.updates);
+        if let Some(live) = &liveness {
+            // Emission and detection both ride the router tick: `maybe_beat`
+            // is interval-gated internally (one atomic load when not due).
+            let detected = live.maybe_beat(&net).or_else(|| live.scan());
+            if let Some(kind) = detected {
+                escalation.raise(kind);
+            }
+        }
+        match rx.recv_deadline(Some(wait)) {
+            Ok(env) => {
+                wait = IDLE_WAIT_BASE.min(wait_cap);
+                if let Some(live) = &liveness {
+                    // Any traffic proves the sender alive; heartbeats carry
+                    // no other content.
+                    live.note_heard(env.src);
+                }
+                match env.channel {
+                    HEARTBEAT_TAG => {}
+                    PROGRESS_TAG => {
+                        for tx in &progress_txs {
+                            let _ = tx.send(env.payload.clone());
+                        }
+                        if let Some(acc) = &accumulator {
+                            let batch: ProgressBatch =
+                                naiad_wire::decode_from_slice(&env.payload).unwrap_or_else(|e| {
+                                    panic!(
+                                        "router: undecodable progress batch from endpoint {} \
+                                         ({} bytes) — wire corruption or protocol mismatch: {e:?}",
+                                        env.src,
+                                        env.payload.len()
+                                    )
+                                });
+                            let mut acc = acc.lock();
+                            // Do not observe our own flushes coming back (they
+                            // were folded at flush time in Local mode; in
+                            // Local+Global everything arrives via the central
+                            // accumulator and must be observed, own updates
+                            // included, because flushes were not folded).
+                            if batch.sender != acc.sender_id() {
+                                acc.observe(batch.dataflow as usize, &batch.updates);
+                            }
                         }
                     }
+                    CENTRAL_TAG => {
+                        unreachable!("central traffic is addressed to the central endpoint")
+                    }
+                    tag => {
+                        let (dataflow, channel, dst_local) = parse_data_tag(tag);
+                        let tx = registry
+                            .sender::<Bytes>(ChannelKey::RemoteData(dataflow, channel, dst_local));
+                        let _ = tx.send(env.payload);
+                    }
                 }
-                CENTRAL_TAG => {
-                    unreachable!("central traffic is addressed to the central endpoint")
-                }
-                tag => {
-                    let (dataflow, channel, dst_local) = parse_data_tag(tag);
-                    let tx = registry
-                        .sender::<Bytes>(ChannelKey::RemoteData(dataflow, channel, dst_local));
-                    let _ = tx.send(env.payload);
-                }
-            },
+            }
             Err(RecvError::Timeout) => {
+                stats.router_idle_ticks.fetch_add(1, Ordering::Relaxed);
                 if shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // Bounded backoff between idle ticks (capped tighter when a
+                // detector needs timely scans).
+                wait = (wait * 2).min(wait_cap);
             }
             Err(RecvError::Disconnected) => return,
         }

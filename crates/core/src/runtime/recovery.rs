@@ -12,10 +12,11 @@
 //!   replay exactly the records the lost attempt consumed;
 //! * [`execute_resilient`] runs [`execute`](super::execute::execute) in a
 //!   loop — when an attempt dies with an injected fault
-//!   ([`ExecuteError::ProcessCrashed`] or [`ExecuteError::LinkFailed`]),
-//!   it tears the cluster back to the latest *consistent* checkpoint
-//!   (one deposited by **every** worker for the same epoch), absorbs the
-//!   scheduled crash from the fault plan (a restarted process does not
+//!   ([`ExecuteError::ProcessCrashed`], [`ExecuteError::LinkFailed`], or
+//!   a declared [`ExecuteError::Stalled`]), it tears the cluster back to
+//!   the latest *consistent* checkpoint (one deposited by **every**
+//!   worker for the same epoch), absorbs the scheduled crashes and
+//!   partitions from the fault plan (a restarted process does not
 //!   re-crash, though lossy links stay lossy), and re-runs the worker
 //!   closure from the resume epoch.
 //!
@@ -220,10 +221,19 @@ pub struct ResilientReport<T> {
 /// 3. deposit a checkpoint via [`Recovery::deposit_checkpoint`] whenever
 ///    [`Recovery::should_checkpoint`] says so and the epoch is complete.
 ///
-/// Scheduled crashes are absorbed after the first failure
-/// ([`FaultPlan::without_crashes`](naiad_netsim::FaultPlan::without_crashes)):
-/// the restarted cluster keeps its lossy links but the lost process does
-/// not re-crash, mirroring a failed machine replaced by a healthy one.
+/// Scheduled crashes and partitions are absorbed after the first failure
+/// ([`FaultPlan::without_schedules`](naiad_netsim::FaultPlan::without_schedules)):
+/// the restarted cluster keeps its probabilistic lossy links, but the
+/// lost process does not re-crash and the severed link does not re-sever
+/// — a fresh fabric resets the per-link attempt counters, so a scheduled
+/// window left in place would re-fire on every attempt and recovery could
+/// never terminate. This mirrors a failed machine (or flapping switch)
+/// replaced by a healthy one.
+///
+/// Stall declarations ([`ExecuteError::Stalled`]) are recoverable too:
+/// a stall is the liveness detector's residual signal (e.g. a partition
+/// with heartbeats disabled), and rollback gives the computation a fresh
+/// fabric to make progress on.
 pub fn execute_resilient<F, T>(
     config: Config,
     options: RecoveryOptions,
@@ -267,7 +277,9 @@ where
             Err(err) => {
                 let recoverable = matches!(
                     err,
-                    ExecuteError::ProcessCrashed { .. } | ExecuteError::LinkFailed { .. }
+                    ExecuteError::ProcessCrashed { .. }
+                        | ExecuteError::LinkFailed { .. }
+                        | ExecuteError::Stalled { .. }
                 );
                 if !recoverable {
                     // A plain panic is a bug, not an injected fault:
@@ -281,9 +293,12 @@ where
                         last: Box::new(err),
                     });
                 }
-                // Absorb scheduled crashes: the replacement process is
-                // healthy. Lossy links and partitions stay in force.
-                config.faults = config.faults.map(|plan| plan.without_crashes());
+                // Absorb scheduled crashes and partitions: the
+                // replacement process/link is healthy, and the fresh
+                // fabric's reset attempt counters would otherwise re-fire
+                // the same schedule forever. Probabilistic losses stay in
+                // force.
+                config.faults = config.faults.map(|plan| plan.without_schedules());
             }
         }
     }

@@ -42,6 +42,16 @@ pub enum FaultKind {
         /// The crashed process.
         process: usize,
     },
+    /// The stall watchdog declared a global stall: pointstamps were
+    /// outstanding but no frontier or occurrence change happened within
+    /// the configured timeout. The structured diagnostic dump travels
+    /// alongside in the [`EscalationCell`] detail slot (the kind itself
+    /// stays `Copy` so it can ride in telemetry events and panic
+    /// payloads).
+    Stalled {
+        /// The worker whose watchdog fired.
+        worker: usize,
+    },
 }
 
 impl FaultKind {
@@ -71,6 +81,9 @@ pub(crate) struct FaultPanic(pub(crate) FaultKind);
 #[derive(Debug, Default)]
 pub(crate) struct EscalationCell {
     slot: Mutex<Option<FaultKind>>,
+    /// Free-form diagnostic attached to the *winning* fault (e.g. the
+    /// stall watchdog's structured state dump).
+    detail: Mutex<Option<String>>,
 }
 
 impl EscalationCell {
@@ -81,9 +94,26 @@ impl EscalationCell {
         *slot.get_or_insert(kind)
     }
 
+    /// Like [`raise`](Self::raise), but attaches `detail` when this call
+    /// is the one that installed the fault (losing racers' details are
+    /// discarded along with their faults).
+    pub(crate) fn raise_with_detail(&self, kind: FaultKind, detail: String) -> FaultKind {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(kind);
+            *self.detail.lock() = Some(detail);
+        }
+        slot.unwrap_or(kind)
+    }
+
     /// The raised fault, if any.
     pub(crate) fn check(&self) -> Option<FaultKind> {
         *self.slot.lock()
+    }
+
+    /// Takes the diagnostic attached to the winning fault, if any.
+    pub(crate) fn take_detail(&self) -> Option<String> {
+        self.detail.lock().take()
     }
 }
 
@@ -219,5 +249,18 @@ mod tests {
         assert_eq!(cell.raise(a), a);
         assert_eq!(cell.raise(b), a, "later faults do not displace the first");
         assert_eq!(cell.check(), Some(a));
+    }
+
+    #[test]
+    fn detail_sticks_only_to_the_winning_fault() {
+        let cell = EscalationCell::default();
+        let stall = FaultKind::Stalled { worker: 1 };
+        let crash = FaultKind::ProcessCrashed { process: 0 };
+        assert_eq!(cell.raise_with_detail(stall, "dump A".into()), stall);
+        // A losing racer's detail is discarded with its fault.
+        assert_eq!(cell.raise_with_detail(crash, "dump B".into()), stall);
+        assert_eq!(cell.check(), Some(stall));
+        assert_eq!(cell.take_detail().as_deref(), Some("dump A"));
+        assert_eq!(cell.take_detail(), None, "detail is taken once");
     }
 }

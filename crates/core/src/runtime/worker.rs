@@ -23,8 +23,11 @@ use super::channels::{
 };
 use super::config::Config;
 use super::durability::{open_blob, seal_blob, RestoreError};
+use super::liveness::{Liveness, LivenessTransition};
 use super::progress_hub::ProcessAccumulator;
-use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
+use super::retry::{
+    escalate, send_with_retry, EscalationCell, FaultKind, FaultPanic, RetryPolicy,
+};
 
 /// One dataflow installed at this worker.
 struct DataflowRuntime {
@@ -71,6 +74,15 @@ pub struct Worker {
     /// Cluster-global fault slot, polled each step so this worker unwinds
     /// when any thread escalates an injected fault.
     escalation: Arc<EscalationCell>,
+    /// This process's heartbeat failure detector (when
+    /// [`Config::heartbeats`] is on); workers drain its transitions into
+    /// telemetry.
+    liveness: Option<Arc<Liveness>>,
+    /// When the current idle spell began, for the stall watchdog. `None`
+    /// whenever the last step worked or every dataflow is complete.
+    stall_since: Option<Instant>,
+    /// Scheduling rounds completed, reported in stall dumps.
+    steps: u64,
     /// Retry budget for sends over the faulting fabric.
     policy: RetryPolicy,
     /// Structured telemetry ([`crate::telemetry`]); disabled (all calls
@@ -90,6 +102,7 @@ impl Worker {
         accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
         directory: Arc<ProcessRegistry>,
         escalation: Arc<EscalationCell>,
+        liveness: Option<Arc<Liveness>>,
     ) -> Self {
         let local_index = index % config.workers_per_process;
         let process = index / config.workers_per_process;
@@ -119,6 +132,9 @@ impl Worker {
             last_step_worked: true,
             stashed: HashMap::new(),
             escalation,
+            liveness,
+            stall_since: None,
+            steps: 0,
             policy,
             recorder,
         }
@@ -339,6 +355,8 @@ impl Worker {
             escalate(&self.escalation, kind);
         }
         self.recorder.record_step();
+        self.steps += 1;
+        self.drain_liveness_transitions();
         self.last_step_worked = false;
         self.drain_progress();
         for df in 0..self.dataflows.len() {
@@ -349,6 +367,36 @@ impl Worker {
             self.probe_frontiers();
         }
         self.dataflows.iter().any(|df| !df.complete)
+    }
+
+    /// Surfaces failure-detector state changes (raised by this process's
+    /// router thread) as telemetry events in this worker's log.
+    fn drain_liveness_transitions(&mut self) {
+        let Some(live) = &self.liveness else {
+            return;
+        };
+        if !self.recorder.enabled() {
+            live.drain_transitions();
+            return;
+        }
+        for transition in live.drain_transitions() {
+            let event = match transition {
+                LivenessTransition::Suspected { peer, silent_ns } => {
+                    TelemetryEvent::PeerSuspected {
+                        peer: peer as u32,
+                        silent_ms: silent_ns / 1_000_000,
+                    }
+                }
+                LivenessTransition::Cleared { peer } => {
+                    TelemetryEvent::PeerCleared { peer: peer as u32 }
+                }
+                LivenessTransition::Failed { peer, silent_ns } => TelemetryEvent::PeerFailed {
+                    peer: peer as u32,
+                    silent_ms: silent_ns / 1_000_000,
+                },
+            };
+            self.recorder.record(event);
+        }
     }
 
     /// Samples each dataflow's frontier (active pointstamps + minimum
@@ -385,26 +433,31 @@ impl Worker {
     /// [`InputHandle`](crate::dataflow::InputHandle) closes it).
     pub fn step_until_done(&mut self) {
         let debug = std::env::var_os("NAIAD_DEBUG").is_some();
-        let mut steps = 0u64;
         while self.step() {
             self.idle_wait();
-            steps += 1;
-            if debug && steps.is_multiple_of(5_000) {
-                self.dump_state(steps);
+            if debug && self.steps.is_multiple_of(5_000) {
+                eprint!("{}", self.state_dump());
             }
         }
     }
 
-    /// Prints a structured state dump for hang diagnosis (`NAIAD_DEBUG`):
+    /// Builds the structured state dump used for hang diagnosis
+    /// (`NAIAD_DEBUG` prints it periodically; the stall watchdog attaches
+    /// it to [`ExecuteError::Stalled`](super::execute::ExecuteError::Stalled)):
     /// one JSON line of tracker state per dataflow, followed by the tail
     /// of the worker's event log (the same JSON-lines encoding as
     /// [`TelemetrySnapshot::events_json_lines`](crate::telemetry::TelemetrySnapshot::events_json_lines)).
-    fn dump_state(&self, steps: u64) {
+    fn state_dump(&self) -> String {
         use std::fmt::Write as _;
+        let steps = self.steps;
         let mut out = String::new();
         for df in &self.dataflows {
             let tracker = df.tracker.borrow();
-            let tracker = tracker.as_ref().unwrap();
+            // A dataflow whose tracker was never installed has no state
+            // worth dumping (construction raced the dump).
+            let Some(tracker) = tracker.as_ref() else {
+                continue;
+            };
             let _ = write!(
                 out,
                 "{{\"w\":{},\"ev\":\"state\",\"step\":{steps},\"df\":{},\"complete\":{},\"active\":{},\"journal\":{}",
@@ -431,7 +484,7 @@ impl Worker {
             out.push_str(&record.to_json(self.index));
             out.push('\n');
         }
-        eprint!("{out}");
+        out
     }
 
     /// Steps while `condition` holds and work remains.
@@ -442,17 +495,67 @@ impl Worker {
     }
 
     /// Blocks briefly on the progress inbox so idle workers do not spin.
+    /// Consecutive fruitless waits while pointstamps are outstanding feed
+    /// the stall watchdog.
     fn idle_wait(&mut self) {
         if self.last_step_worked {
+            self.stall_since = None;
             return;
         }
         if let Ok(bytes) = self.progress_rx.try_recv() {
             self.apply_progress_bytes(&bytes);
+            self.stall_since = None;
             return;
         }
         if let Ok(bytes) = self.progress_rx.recv_timeout(self.config.idle_wait) {
             self.apply_progress_bytes(&bytes);
+            self.stall_since = None;
+            return;
         }
+        self.check_stall();
+    }
+
+    /// The stall watchdog (§3.3's progress invariant, operationalized):
+    /// if pointstamps are outstanding but nothing — no vertex work, no
+    /// progress traffic — has happened for
+    /// [`Config::stall_timeout`], the computation can never complete on
+    /// its own. Rather than hang, declare a global stall: capture the
+    /// structured state dump, park it on the escalation cell, and unwind
+    /// every worker into
+    /// [`ExecuteError::Stalled`](super::execute::ExecuteError::Stalled).
+    fn check_stall(&mut self) {
+        let Some(timeout) = self.config.stall_timeout else {
+            return;
+        };
+        // Only armed while a dataflow is incomplete: an idle worker whose
+        // dataflows all finished is just waiting for the closure to move
+        // on, not stuck.
+        if self.dataflows.iter().all(|df| df.complete) {
+            self.stall_since = None;
+            return;
+        }
+        let since = *self.stall_since.get_or_insert_with(Instant::now);
+        if since.elapsed() < timeout {
+            return;
+        }
+        let active: u32 = self
+            .dataflows
+            .iter()
+            .map(|df| {
+                df.tracker
+                    .borrow()
+                    .as_ref()
+                    .map_or(0, |t| t.active_count() as u32)
+            })
+            .sum();
+        let idle_ms = since.elapsed().as_millis() as u64;
+        self.recorder
+            .record(TelemetryEvent::Stalled { idle_ms, active });
+        let dump = self.state_dump();
+        let first = self
+            .escalation
+            .raise_with_detail(FaultKind::Stalled { worker: self.index }, dump);
+        std::panic::panic_any(FaultPanic(first));
     }
 
     fn step_dataflow(&mut self, df: usize) {
@@ -618,8 +721,14 @@ impl Worker {
     }
 
     fn apply_progress_bytes(&mut self, bytes: &Bytes) {
-        let batch: ProgressBatch =
-            naiad_wire::decode_from_slice(bytes).expect("corrupt progress batch");
+        let batch: ProgressBatch = naiad_wire::decode_from_slice(bytes).unwrap_or_else(|e| {
+            panic!(
+                "worker {}: undecodable progress batch ({} bytes) — wire corruption \
+                 or a sender running a different protocol version: {e:?}",
+                self.index,
+                bytes.len()
+            )
+        });
         // FIFO check per sender (the fabric guarantees it; broken FIFO
         // would silently corrupt frontiers, so fail loudly).
         let last = self.last_seqs.insert(batch.sender, batch.seq);

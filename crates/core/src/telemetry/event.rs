@@ -121,6 +121,36 @@ pub enum TelemetryEvent {
         /// The classified fault.
         kind: FaultKind,
     },
+    /// The failure detector marked a peer *suspected*: no heartbeat or
+    /// traffic for longer than the suspicion threshold (§3.4/§3.5).
+    PeerSuspected {
+        /// The suspected peer process.
+        peer: u32,
+        /// Milliseconds of silence when the suspicion was raised.
+        silent_ms: u64,
+    },
+    /// A previously suspected peer was heard from again.
+    PeerCleared {
+        /// The exonerated peer process.
+        peer: u32,
+    },
+    /// The failure detector declared a peer *failed*: silence exceeded
+    /// the failure threshold, escalating into coordinated rollback.
+    PeerFailed {
+        /// The failed peer process.
+        peer: u32,
+        /// Milliseconds of silence when the failure was declared.
+        silent_ms: u64,
+    },
+    /// The stall watchdog declared a global stall: pointstamps were
+    /// outstanding but no frontier or occurrence change happened for the
+    /// configured timeout.
+    Stalled {
+        /// Milliseconds of frontier inactivity when the stall fired.
+        idle_ms: u64,
+        /// Active pointstamps outstanding at the time.
+        active: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -139,6 +169,10 @@ impl TelemetryEvent {
             TelemetryEvent::CheckpointTaken { .. } => "checkpoint",
             TelemetryEvent::CheckpointRestored { .. } => "restore",
             TelemetryEvent::FaultEscalated { .. } => "fault",
+            TelemetryEvent::PeerSuspected { .. } => "peer_suspected",
+            TelemetryEvent::PeerCleared { .. } => "peer_cleared",
+            TelemetryEvent::PeerFailed { .. } => "peer_failed",
+            TelemetryEvent::Stalled { .. } => "stalled",
         }
     }
 }
@@ -261,7 +295,20 @@ impl EventRecord {
                 FaultKind::ProcessCrashed { process } => {
                     let _ = write!(s, ",\"kind\":\"process_crashed\",\"process\":{process}");
                 }
+                FaultKind::Stalled { worker } => {
+                    let _ = write!(s, ",\"kind\":\"stalled\",\"worker\":{worker}");
+                }
             },
+            TelemetryEvent::PeerSuspected { peer, silent_ms }
+            | TelemetryEvent::PeerFailed { peer, silent_ms } => {
+                let _ = write!(s, ",\"peer\":{peer},\"silent_ms\":{silent_ms}");
+            }
+            TelemetryEvent::PeerCleared { peer } => {
+                let _ = write!(s, ",\"peer\":{peer}");
+            }
+            TelemetryEvent::Stalled { idle_ms, active } => {
+                let _ = write!(s, ",\"idle_ms\":{idle_ms},\"active\":{active}");
+            }
         }
         s.push('}');
         s
@@ -303,6 +350,37 @@ mod tests {
                 nanos: 12,
                 event: TelemetryEvent::FaultEscalated {
                     kind: FaultKind::ProcessCrashed { process: 1 },
+                },
+            },
+            EventRecord {
+                nanos: 13,
+                event: TelemetryEvent::FaultEscalated {
+                    kind: FaultKind::Stalled { worker: 2 },
+                },
+            },
+            EventRecord {
+                nanos: 14,
+                event: TelemetryEvent::PeerSuspected {
+                    peer: 1,
+                    silent_ms: 60,
+                },
+            },
+            EventRecord {
+                nanos: 15,
+                event: TelemetryEvent::PeerCleared { peer: 1 },
+            },
+            EventRecord {
+                nanos: 16,
+                event: TelemetryEvent::PeerFailed {
+                    peer: 1,
+                    silent_ms: 220,
+                },
+            },
+            EventRecord {
+                nanos: 17,
+                event: TelemetryEvent::Stalled {
+                    idle_ms: 30_000,
+                    active: 4,
                 },
             },
         ];

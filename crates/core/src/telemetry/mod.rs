@@ -46,5 +46,5 @@ pub use recorder::{
     ConnectorCounters, DataflowDirectory, OpCounters, Recorder, WorkerCounters, WorkerTelemetry,
 };
 pub use snapshot::{
-    FrontierSample, OperatorSummary, TelemetrySnapshot, TrafficSummary, WorkerSummary,
+    FrontierSample, HubCounters, OperatorSummary, TelemetrySnapshot, TrafficSummary, WorkerSummary,
 };

@@ -60,6 +60,12 @@ pub struct WorkerCounters {
     pub restores: u64,
     /// Faults escalated from this worker's thread.
     pub faults: u64,
+    /// Peer-suspected transitions observed by this worker.
+    pub suspicions: u64,
+    /// Peer-failed declarations observed by this worker.
+    pub peer_failures: u64,
+    /// Global stalls declared by this worker's watchdog.
+    pub stalls: u64,
 }
 
 /// Per-operator (dataflow, stage) scheduling aggregates.
@@ -227,6 +233,10 @@ impl EventLog {
             TelemetryEvent::CheckpointTaken { .. } => c.checkpoints += 1,
             TelemetryEvent::CheckpointRestored { .. } => c.restores += 1,
             TelemetryEvent::FaultEscalated { .. } => c.faults += 1,
+            TelemetryEvent::PeerSuspected { .. } => c.suspicions += 1,
+            TelemetryEvent::PeerCleared { .. } => {}
+            TelemetryEvent::PeerFailed { .. } => c.peer_failures += 1,
+            TelemetryEvent::Stalled { .. } => c.stalls += 1,
         }
     }
 }

@@ -91,8 +91,29 @@ pub struct TrafficSummary {
     pub data_network: ClassCounters,
     /// Progress-class totals excluding loopback (the Fig 6c quantity).
     pub progress_network: ClassCounters,
+    /// Control-class (heartbeat/liveness) totals, loopback included.
+    pub control_total: ClassCounters,
+    /// Control-class totals excluding loopback.
+    pub control_network: ClassCounters,
     /// Fault-injection counters.
     pub faults: FaultCounters,
+}
+
+/// Liveness-layer counters gathered outside the worker threads: router
+/// and central-accumulator idle ticks plus failure-detector activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubCounters {
+    /// Idle receive timeouts observed by router threads (each one a
+    /// bounded-backoff wait, not a spin).
+    pub router_idle_ticks: u64,
+    /// Idle receive timeouts observed by the central accumulator.
+    pub central_idle_ticks: u64,
+    /// Standalone heartbeats emitted by the liveness layer.
+    pub heartbeats_sent: u64,
+    /// Peer-suspected transitions raised by the detectors.
+    pub suspicions: u64,
+    /// Peer-failed declarations raised by the detectors.
+    pub peer_failures: u64,
 }
 
 /// The unified registry: everything the paper's measurement sections
@@ -108,6 +129,9 @@ pub struct TelemetrySnapshot {
     pub frontier: Vec<FrontierSample>,
     /// Fabric traffic totals and fault counters.
     pub traffic: TrafficSummary,
+    /// Liveness-layer counters (router/central idle ticks, heartbeats,
+    /// detector transitions). Populated by the runtime after assembly.
+    pub hub: HubCounters,
     /// The raw per-worker harvests (event logs included), sorted by
     /// worker index.
     pub logs: Vec<WorkerTelemetry>,
@@ -209,6 +233,8 @@ impl TelemetrySnapshot {
             progress_total: metrics.total(TrafficClass::Progress, true),
             data_network: metrics.total(TrafficClass::Data, false),
             progress_network: metrics.total(TrafficClass::Progress, false),
+            control_total: metrics.total(TrafficClass::Control, true),
+            control_network: metrics.total(TrafficClass::Control, false),
             faults: metrics.faults(),
         };
 
@@ -217,6 +243,7 @@ impl TelemetrySnapshot {
             operators,
             frontier,
             traffic,
+            hub: HubCounters::default(),
             logs,
         }
     }
@@ -348,6 +375,7 @@ impl TelemetrySnapshot {
         for (name, total, network) in [
             ("data", t.data_total, t.data_network),
             ("progress", t.progress_total, t.progress_network),
+            ("control", t.control_total, t.control_network),
         ] {
             let _ = writeln!(
                 s,
@@ -366,6 +394,18 @@ impl TelemetrySnapshot {
                 f.partition_rejects,
                 f.crash_rejects,
                 f.crashes
+            );
+        }
+        let h = &self.hub;
+        if *h != HubCounters::default() {
+            let _ = writeln!(
+                s,
+                "liveness: heartbeats={} suspicions={} peer_failures={} router_idle={} central_idle={}",
+                h.heartbeats_sent,
+                h.suspicions,
+                h.peer_failures,
+                h.router_idle_ticks,
+                h.central_idle_ticks
             );
         }
 

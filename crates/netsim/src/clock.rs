@@ -1,0 +1,63 @@
+//! A cluster-wide monotonic clock shared by every endpoint of a fabric.
+//!
+//! Failure detection (heartbeats, suspicion timeouts) needs a single time
+//! base that all processes agree on. In a real deployment each machine has
+//! its own clock and the detector must tolerate skew; in the simulated
+//! fabric we can do better and hand every endpoint an `Arc` of the same
+//! origin instant, so "the cluster's opinion of now" is exact and
+//! timestamps embedded in heartbeat payloads are directly comparable.
+//!
+//! The clock is monotonic (backed by [`Instant`]) and reports nanoseconds
+//! since fabric construction, which keeps payloads small (a single `u64`)
+//! and makes zero a meaningful "never heard from" sentinel.
+
+use std::time::{Duration, Instant};
+
+/// Monotonic nanosecond clock shared by all endpoints of one fabric.
+#[derive(Debug)]
+pub struct ClusterClock {
+    origin: Instant,
+}
+
+impl ClusterClock {
+    /// Create a clock whose epoch is "now". Called once per fabric by
+    /// [`FabricBuilder::build`](crate::FabricBuilder::build).
+    pub(crate) fn new() -> Self {
+        ClusterClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the fabric was built. Saturates at
+    /// `u64::MAX` (after ~584 years, which outlives any test run).
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed time since the fabric was built, as a [`Duration`].
+    pub fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = ClusterClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn duration_and_ns_agree() {
+        let clock = ClusterClock::new();
+        let d = clock.now();
+        let ns = clock.now_ns();
+        // `now_ns` was sampled after `now`, so it can only be larger.
+        assert!(ns >= u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+}

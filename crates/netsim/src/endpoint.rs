@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use naiad_rng::Xorshift;
 use naiad_wire::Bytes;
 
+use crate::clock::ClusterClock;
 use crate::fault::{FaultController, FaultState};
 use crate::latency::LatencySampler;
 use crate::metrics::{FabricMetrics, TrafficClass};
@@ -98,6 +99,7 @@ impl FabricBuilder {
     pub fn build(self) -> Vec<Endpoint> {
         let n = self.processes;
         let metrics = Arc::new(FabricMetrics::new(n));
+        let clock = Arc::new(ClusterClock::new());
         let plan = self.faults.unwrap_or_default();
         let fault_seed = plan.seed;
         let faults = Arc::new(FaultState::new(plan, n, metrics.clone()));
@@ -131,11 +133,13 @@ impl FabricBuilder {
                         index,
                         senders: senders.clone(),
                         metrics: metrics.clone(),
+                        clock: clock.clone(),
                         samplers,
                         last_delivery: vec![None; n],
                         faults: faults.clone(),
                         fault_rng,
                         next_seq: vec![0; n],
+                        next_ctl_seq: vec![0; n],
                         link_attempts: vec![0; n],
                         total_attempts: 0,
                     },
@@ -174,6 +178,8 @@ pub struct NetSender {
     index: usize,
     senders: Vec<Sender<Timed>>,
     metrics: Arc<FabricMetrics>,
+    /// Fabric-wide monotonic clock, shared by all endpoints.
+    clock: Arc<ClusterClock>,
     samplers: Option<Vec<LatencySampler>>,
     /// Last scheduled delivery instant per destination, used to keep each
     /// link FIFO under randomized delays.
@@ -184,6 +190,12 @@ pub struct NetSender {
     fault_rng: Vec<Xorshift>,
     /// Next per-link delivery sequence number, per destination.
     next_seq: Vec<u64>,
+    /// Next control-channel sequence number, per destination. Control
+    /// envelopes live in their own sequence space: they bypass latency
+    /// injection, so threading them through the data sequence would make
+    /// a prompt heartbeat look "newer" than a delayed data message and
+    /// trip the receiver's duplicate suppression.
+    next_ctl_seq: Vec<u64>,
     /// Send attempts per destination link (partition windows count these).
     link_attempts: Vec<u64>,
     /// Total send attempts by this endpoint (crash schedules count these).
@@ -239,6 +251,11 @@ impl NetSender {
     /// Shared traffic meters.
     pub fn metrics(&self) -> &Arc<FabricMetrics> {
         &self.metrics
+    }
+
+    /// The fabric-wide monotonic clock shared by all endpoints.
+    pub fn clock(&self) -> &Arc<ClusterClock> {
+        &self.clock
     }
 
     /// A handle for injecting faults at runtime.
@@ -387,6 +404,87 @@ impl NetSender {
         }
     }
 
+    /// Sends a liveness control message to endpoint `dst` on `channel`.
+    ///
+    /// The control channel models a tiny ping/heartbeat datagram riding a
+    /// dedicated QoS class: it still respects the physical failure state —
+    /// a crashed process can neither send nor be reached, and a
+    /// partitioned link rejects it — but it is exempt from latency
+    /// injection and from probabilistic drop/duplication, and it does
+    /// **not** advance any fault-schedule counter. That last property is
+    /// what makes fault schedules heartbeat-invariant: enabling
+    /// heartbeats never shifts *when* a scheduled crash or partition
+    /// window fires relative to data traffic, so a seeded run is
+    /// bit-identical with detection on or off. Metered under
+    /// [`TrafficClass::Control`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::SelfCrashed`] / [`SendError::PeerCrashed`] if
+    /// either end is crashed, [`SendError::Partitioned`] if the link is
+    /// severed (scheduled window or dynamic), or
+    /// [`SendError::Disconnected`] if the destination endpoint is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub fn send_control(
+        &mut self,
+        dst: usize,
+        channel: u32,
+        payload: Bytes,
+    ) -> Result<(), SendError> {
+        assert!(dst < self.senders.len(), "destination {dst} out of range");
+        let src = self.index;
+
+        // Respect the physical failure state, but never *advance* it:
+        // no attempt counters move and no crash schedule can fire here.
+        if self.faults.is_crashed(src) {
+            self.metrics.record_crash_reject();
+            return Err(SendError::SelfCrashed { src });
+        }
+        if self.faults.is_crashed(dst) {
+            self.metrics.record_crash_reject();
+            return Err(SendError::PeerCrashed { dst });
+        }
+        // Scheduled windows are evaluated against the link's *current*
+        // data-attempt position without consuming an attempt.
+        let link_attempt = self.link_attempts[dst];
+        let scheduled = self
+            .faults
+            .plan
+            .partitions
+            .iter()
+            .any(|p| p.src == src && p.dst == dst && (p.from..p.until).contains(&link_attempt));
+        if scheduled || self.faults.is_dynamically_partitioned(src, dst) {
+            self.metrics.record_partition_reject();
+            return Err(SendError::Partitioned { src, dst });
+        }
+
+        self.metrics
+            .link(src, dst)
+            .record(TrafficClass::Control, payload.len());
+
+        let seq = self.next_ctl_seq[dst];
+        self.next_ctl_seq[dst] += 1;
+        let timed = Timed {
+            // Control skips latency injection: detection latency is
+            // governed by the detector's timeouts, not the link model.
+            deliver_at: None,
+            envelope: Envelope {
+                src,
+                channel,
+                class: TrafficClass::Control,
+                seq,
+                payload,
+            },
+        };
+        if self.senders[dst].send(timed).is_err() {
+            return Err(SendError::Disconnected { dst });
+        }
+        Ok(())
+    }
+
     fn schedule(&mut self, dst: usize, payload_len: usize) -> Option<Instant> {
         let samplers = self.samplers.as_mut()?;
         let (delay, occupancy) = samplers[dst].sample(payload_len);
@@ -408,7 +506,15 @@ impl NetReceiver {
         // Per-link duplicate suppression: arrival order equals send order
         // per source (mpsc preserves per-sender FIFO), so a non-increasing
         // sequence number can only be a fabric-injected duplicate.
+        //
+        // Control envelopes are exempt: they live in their own sequence
+        // space (the fabric never duplicates them) and must not perturb
+        // the data-space high-water mark.
         let env = &timed.envelope;
+        if env.class == TrafficClass::Control {
+            debug_assert!(timed.deliver_at.is_none());
+            return Some(timed.envelope);
+        }
         if let Some(&last) = self.last_seen.get(&env.src) {
             if env.seq <= last {
                 self.metrics.record_duplicate_suppressed();
@@ -517,6 +623,11 @@ impl Endpoint {
         self.sender.metrics()
     }
 
+    /// The fabric-wide monotonic clock shared by all endpoints.
+    pub fn clock(&self) -> &Arc<ClusterClock> {
+        self.sender.clock()
+    }
+
     /// A handle for injecting faults at runtime.
     pub fn fault_controller(&self) -> FaultController {
         self.sender.fault_controller()
@@ -535,6 +646,20 @@ impl Endpoint {
         payload: Bytes,
     ) -> Result<(), SendError> {
         self.sender.send(dst, channel, class, payload)
+    }
+
+    /// Sends a liveness control message; see [`NetSender::send_control`].
+    ///
+    /// # Errors
+    ///
+    /// See [`NetSender::send_control`].
+    pub fn send_control(
+        &mut self,
+        dst: usize,
+        channel: u32,
+        payload: Bytes,
+    ) -> Result<(), SendError> {
+        self.sender.send_control(dst, channel, payload)
     }
 
     /// Broadcasts to every endpoint; see [`NetSender::broadcast`].
@@ -847,6 +972,139 @@ mod fault_tests {
         ctl.revive(1);
         a.send(1, 0, TrafficClass::Data, vec![2].into()).unwrap();
         assert_eq!(ctl.crashes(), 1, "revive does not erase the count");
+    }
+
+    #[test]
+    fn control_bypasses_latency_and_probabilistic_faults() {
+        let plan = FaultPlan::seeded(13)
+            .drop_probability(0.9)
+            .duplicate_probability(0.9);
+        let model = LatencyModel::lossy(
+            Duration::from_millis(50),
+            0.0,
+            Duration::from_millis(50),
+            3,
+        );
+        let mut eps = Fabric::builder(2).faults(plan).latency(model).build();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for _ in 0..20 {
+            a.send_control(1, 7, vec![1, 2, 3, 4].into()).unwrap();
+        }
+        // All 20 deliver immediately despite 90% drop/dup and 50ms latency.
+        for _ in 0..20 {
+            let env = b.try_recv().expect("control message delayed or lost");
+            assert_eq!(env.class, TrafficClass::Control);
+            assert_eq!(env.channel, 7);
+        }
+        let faults = a.metrics().faults();
+        assert_eq!(faults.dropped, 0);
+        assert_eq!(faults.duplicated, 0);
+        assert_eq!(a.metrics().link_counters(0, 1).control.messages, 20);
+        assert_eq!(a.metrics().link_counters(0, 1).data.messages, 0);
+    }
+
+    #[test]
+    fn control_does_not_perturb_data_fault_determinism() {
+        // The same seeded drop sequence must hit the same data sends
+        // whether or not heartbeats are interleaved.
+        let outcome = |heartbeats: bool| -> Vec<bool> {
+            let plan = FaultPlan::seeded(21).drop_probability(0.5).crash(0, 40);
+            let mut eps = Fabric::builder(2).faults(plan).build();
+            let mut a = eps.swap_remove(0);
+            (0..48u8)
+                .map(|i| {
+                    if heartbeats {
+                        let _ = a.send_control(1, 7, vec![0].into());
+                    }
+                    a.send(1, 0, TrafficClass::Data, vec![i].into()).is_ok()
+                })
+                .collect()
+        };
+        assert_eq!(outcome(false), outcome(true));
+    }
+
+    #[test]
+    fn control_respects_crash_and_partition_state() {
+        let mut eps = Fabric::builder(2).build();
+        let ctl = eps[0].fault_controller();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+
+        ctl.sever(0, 1);
+        assert_eq!(
+            a.send_control(1, 7, vec![0].into()),
+            Err(SendError::Partitioned { src: 0, dst: 1 })
+        );
+        ctl.heal(0, 1);
+        a.send_control(1, 7, vec![0].into()).unwrap();
+
+        ctl.crash(1);
+        assert_eq!(
+            a.send_control(1, 7, vec![0].into()),
+            Err(SendError::PeerCrashed { dst: 1 })
+        );
+        ctl.crash(0);
+        assert_eq!(
+            a.send_control(1, 7, vec![0].into()),
+            Err(SendError::SelfCrashed { src: 0 })
+        );
+        ctl.revive(0);
+        ctl.revive(1);
+        // Exactly the two successful heartbeats arrived.
+        assert!(b.try_recv().is_some());
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn control_inside_scheduled_partition_window_is_rejected() {
+        // Window covers link attempts 0..5; no data has flowed, so the
+        // link sits at attempt 0 and control sends must be rejected —
+        // this is how a partition is *detectable before any data moves*.
+        let plan = FaultPlan::seeded(1).partition(0, 1, 0, 5);
+        let mut eps = Fabric::builder(2).faults(plan).build();
+        let mut a = eps.swap_remove(0);
+        for _ in 0..3 {
+            assert_eq!(
+                a.send_control(1, 7, vec![0].into()),
+                Err(SendError::Partitioned { src: 0, dst: 1 })
+            );
+        }
+        // Control attempts never consume window positions: data still
+        // sees the full 5-attempt window.
+        let mut outcomes = Vec::new();
+        for i in 0..6u8 {
+            outcomes.push(a.send(1, 0, TrafficClass::Data, vec![i].into()).is_ok());
+        }
+        assert_eq!(outcomes, vec![false, false, false, false, false, true]);
+    }
+
+    #[test]
+    fn control_is_not_suppressed_ahead_of_delayed_data() {
+        // A heartbeat racing past delayed data must not make the data
+        // message look like a stale duplicate.
+        let model = LatencyModel::constant(Duration::from_millis(20));
+        let mut eps = Fabric::builder(2).latency(model).build();
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.send(1, 0, TrafficClass::Data, vec![42].into()).unwrap();
+        a.send_control(1, 7, vec![0].into()).unwrap();
+        // Heartbeat arrives first (latency-exempt).
+        let first = b.recv_blocking().unwrap();
+        assert_eq!(first.class, TrafficClass::Control);
+        // The delayed data message must still be delivered.
+        let second = b.recv_blocking().unwrap();
+        assert_eq!(second.class, TrafficClass::Data);
+        assert_eq!(second.payload[0], 42);
+    }
+
+    #[test]
+    fn shared_clock_is_fabric_wide() {
+        let eps = Fabric::builder(2).build();
+        assert!(Arc::ptr_eq(eps[0].clock(), eps[1].clock()));
+        let t0 = eps[0].clock().now_ns();
+        let t1 = eps[1].clock().now_ns();
+        assert!(t1 >= t0);
     }
 
     #[test]

@@ -158,6 +158,20 @@ impl FaultPlan {
         plan.crashes.clear();
         plan
     }
+
+    /// A copy of the plan with **every** schedule removed — crashes *and*
+    /// partitions — keeping only the probabilistic losses. A restarted
+    /// fabric resets its per-link attempt counters, so scheduled
+    /// partition windows would re-fire from attempt zero on every
+    /// recovery attempt (forever, for open-ended windows); the recovery
+    /// coordinator therefore absorbs schedules wholesale once a fatal
+    /// fault has been observed.
+    pub fn without_schedules(&self) -> Self {
+        let mut plan = self.clone();
+        plan.crashes.clear();
+        plan.partitions.clear();
+        plan
+    }
 }
 
 /// Error returned by a faulting [`send`](crate::NetSender::send).
@@ -343,6 +357,22 @@ mod tests {
         assert!(plan.without_crashes().crashes.is_empty());
         assert_eq!(plan.without_crashes().partitions.len(), 1);
         assert!(FaultPlan::default().is_inert());
+    }
+
+    #[test]
+    fn without_schedules_keeps_probabilistic_losses() {
+        let plan = FaultPlan::seeded(9)
+            .drop_probability(0.1)
+            .duplicate_probability(0.05)
+            .partition(0, 1, 0, u64::MAX)
+            .crash(1, 50);
+        let absorbed = plan.without_schedules();
+        assert!(absorbed.crashes.is_empty());
+        assert!(absorbed.partitions.is_empty());
+        assert_eq!(absorbed.drop_probability, 0.1);
+        assert_eq!(absorbed.duplicate_probability, 0.05);
+        assert_eq!(absorbed.seed, plan.seed);
+        assert!(!absorbed.is_inert());
     }
 
     #[test]

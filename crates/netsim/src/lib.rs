@@ -16,7 +16,12 @@
 //!   deliveries, link partitions, and process crashes — the machinery
 //!   behind the fault-tolerance evaluation of §5 (Figure 7c). Failed
 //!   sends surface as typed [`SendError`]s rather than vanishing, and
-//!   every injected fault is counted in [`FabricMetrics`].
+//!   every injected fault is counted in [`FabricMetrics`],
+//! * a latency-exempt **control channel**
+//!   ([`send_control`](Endpoint::send_control)) carries heartbeats and
+//!   failure-detection pings (§3.4/§3.5) without perturbing data-path
+//!   fault schedules, and a fabric-wide [`ClusterClock`] gives every
+//!   endpoint the same monotonic time base for suspicion timeouts.
 //!
 //! # Examples
 //!
@@ -31,11 +36,13 @@
 //! assert_eq!((env.src, env.channel, &env.payload[..]), (0, 7, &[1u8, 2, 3][..]));
 //! ```
 
+mod clock;
 mod endpoint;
 mod fault;
 mod latency;
 mod metrics;
 
+pub use clock::ClusterClock;
 pub use endpoint::{Endpoint, Envelope, Fabric, FabricBuilder, NetReceiver, NetSender, RecvError};
 pub use fault::{CrashPoint, FaultController, FaultPlan, LinkPartition, SendError};
 pub use latency::LatencyModel;

@@ -14,15 +14,20 @@ pub enum TrafficClass {
     Data,
     /// Progress-protocol updates (§3.3).
     Progress,
+    /// Liveness control traffic: heartbeats and failure-detection pings
+    /// (§3.4/§3.5). Cheap, latency-exempt, and metered separately so the
+    /// paper's data/progress byte figures stay unperturbed.
+    Control,
 }
 
 impl TrafficClass {
-    const COUNT: usize = 2;
+    const COUNT: usize = 3;
 
     fn index(self) -> usize {
         match self {
             TrafficClass::Data => 0,
             TrafficClass::Progress => 1,
+            TrafficClass::Control => 2,
         }
     }
 }
@@ -66,6 +71,8 @@ pub struct LinkCounters {
     pub data: ClassCounters,
     /// Progress-protocol counters.
     pub progress: ClassCounters,
+    /// Liveness control-channel counters.
+    pub control: ClassCounters,
 }
 
 /// A snapshot of the fabric's fault-injection counters.
@@ -104,6 +111,8 @@ pub struct TrafficTotals {
     pub data: ClassCounters,
     /// Progress-protocol totals.
     pub progress: ClassCounters,
+    /// Liveness control-channel totals.
+    pub control: ClassCounters,
 }
 
 /// Fabric-wide traffic meters, shared by all endpoints.
@@ -184,6 +193,7 @@ impl FabricMetrics {
         LinkCounters {
             data: meter.read(TrafficClass::Data),
             progress: meter.read(TrafficClass::Progress),
+            control: meter.read(TrafficClass::Control),
         }
     }
 
@@ -216,6 +226,7 @@ impl FabricMetrics {
         TrafficTotals {
             data: self.total(TrafficClass::Data, include_loopback),
             progress: self.total(TrafficClass::Progress, include_loopback),
+            control: self.total(TrafficClass::Control, include_loopback),
         }
     }
 }
@@ -301,10 +312,32 @@ mod tests {
                     bytes: 8,
                     messages: 2
                 },
+                control: ClassCounters::default(),
             }
         );
         assert_eq!(m.totals(false).data.bytes, 20);
         assert_eq!(m.totals(false).progress.bytes, 5);
+    }
+
+    #[test]
+    fn control_class_is_metered_separately() {
+        let m = FabricMetrics::new(2);
+        m.link(0, 1).record(TrafficClass::Control, 16);
+        m.link(0, 1).record(TrafficClass::Data, 100);
+        let c = m.link_counters(0, 1);
+        assert_eq!(
+            c.control,
+            ClassCounters {
+                bytes: 16,
+                messages: 1
+            }
+        );
+        assert_eq!(c.data.bytes, 100);
+        // Control bytes never leak into the paper's data/progress figures.
+        assert_eq!(m.network_bytes(TrafficClass::Data), 100);
+        assert_eq!(m.network_bytes(TrafficClass::Progress), 0);
+        assert_eq!(m.network_bytes(TrafficClass::Control), 16);
+        assert_eq!(m.totals(false).control.messages, 1);
     }
 
     #[test]

@@ -21,4 +21,13 @@ fi
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
+# Extended chaos soak: CHAOS_SOAK_SEEDS=n runs n extra seeded composite
+# fault schedules past the 32 the workspace tests always cover. The CI
+# chaos-soak job sets it; local runs may too (e.g. CHAOS_SOAK_SEEDS=96).
+if [[ "${CHAOS_SOAK_SEEDS:-0}" != "0" ]]; then
+  echo "== chaos soak (+${CHAOS_SOAK_SEEDS} seeds) =="
+  timeout "${CHAOS_SOAK_DEADLINE:-1800}" \
+    cargo test -q --test chaos_soak -- extended_soak_honours_env
+fi
+
 echo "verify: OK"
