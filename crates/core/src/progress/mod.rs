@@ -12,10 +12,14 @@
 //! [`protocol`] module implements the update encoding and the buffering
 //! accumulators whose traffic Figure 6c measures.
 
+pub mod modelcheck;
 pub mod protocol;
 pub mod tracker;
 
-pub use protocol::{Accumulator, ProgressBatch, ProgressMode};
+pub use protocol::{
+    Accumulator, BatchEmitter, FifoChecker, FifoViolation, GroupCore, ProgressBatch, ProgressMode,
+    WorkerCore,
+};
 pub use tracker::PointstampTable;
 
 use naiad_wire::{Wire, WireError};

@@ -37,7 +37,14 @@ use naiad_wire::{Wire, WireError};
 
 use crate::graph::LogicalGraph;
 
+use super::tracker::PointstampTable;
 use super::{Pointstamp, ProgressUpdate};
+
+/// Sender-id base for process-level accumulators (workers use their own
+/// worker index as sender id).
+pub const PROC_ACC_SENDER_BASE: u32 = 1 << 24;
+/// Sender id of the cluster-level accumulator.
+pub const CENTRAL_SENDER: u32 = 1 << 25;
 
 /// Which accumulation topology the runtime uses (Figure 6c's four lines).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -287,6 +294,255 @@ impl Accumulator {
     }
 }
 
+/// Monotone per-sender sequence numbering for outgoing progress batches.
+///
+/// Every protocol participant (worker, process accumulator, central
+/// accumulator) stamps its batches from its own counter; receivers use
+/// [`FifoChecker`] to assert the fabric preserved the order. Pure state —
+/// no transport.
+#[derive(Debug, Clone)]
+pub struct BatchEmitter {
+    sender: u32,
+    seq: u64,
+}
+
+impl BatchEmitter {
+    /// An emitter for the given sender identity, starting at sequence 0.
+    pub fn new(sender: u32) -> Self {
+        BatchEmitter { sender, seq: 0 }
+    }
+
+    /// This emitter's sender id.
+    pub fn sender(&self) -> u32 {
+        self.sender
+    }
+
+    /// Wraps `updates` in the next batch for `dataflow`.
+    pub fn batch(&mut self, dataflow: u32, updates: Vec<ProgressUpdate>) -> ProgressBatch {
+        let seq = self.seq;
+        self.seq += 1;
+        ProgressBatch {
+            sender: self.sender,
+            seq,
+            dataflow,
+            updates,
+        }
+    }
+}
+
+/// A violated per-sender FIFO expectation on incoming progress batches.
+///
+/// The §3.3 protocol is only sound over per-sender FIFO links: a batch
+/// applied out of order can retire a pointstamp before its consequences
+/// are known, silently corrupting frontiers. The runtime asserts on this;
+/// the model-checker reports it as a first-class oracle failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoViolation {
+    /// The offending sender.
+    pub sender: u32,
+    /// The sequence number that arrived.
+    pub seq: u64,
+    /// The highest sequence number previously admitted from `sender`.
+    pub last: u64,
+}
+
+impl std::fmt::Display for FifoViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "progress batches from sender {} out of order: seq {} after {}",
+            self.sender, self.seq, self.last
+        )
+    }
+}
+
+/// Per-sender FIFO admission check for incoming progress batches.
+///
+/// Duplicate or reordered batches are reported as [`FifoViolation`]s;
+/// gaps are legal (an accumulated batch may supersede several smaller
+/// ones upstream, and senders share no sequence space).
+#[derive(Debug, Clone, Default)]
+pub struct FifoChecker {
+    last: HashMap<u32, u64>,
+}
+
+impl FifoChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits `(sender, seq)`, recording it as the sender's high-water
+    /// mark; errors if the sequence does not strictly increase.
+    pub fn admit(&mut self, sender: u32, seq: u64) -> Result<(), FifoViolation> {
+        match self.last.insert(sender, seq) {
+            Some(last) if seq <= last => Err(FifoViolation { sender, seq, last }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The pure core of an accumulation group (§3.3): a process-level or
+/// cluster-level [`Accumulator`] per dataflow behind one sender identity
+/// and one outgoing sequence.
+///
+/// Deltas go in via [`GroupCore::deposit`] (this group's own senders) or
+/// [`GroupCore::observe`] (broadcasts from other groups); when the
+/// buffering rule forces a flush the drained updates come back out as a
+/// ready-to-send [`ProgressBatch`]. The struct is side-effect-free — the
+/// runtime's progress hub is a transport shell around it, and the
+/// model-checker drives it over virtual links.
+#[derive(Debug)]
+pub struct GroupCore {
+    emitter: BatchEmitter,
+    fold_on_flush: bool,
+    total_workers: usize,
+    /// Per-dataflow accumulators, created on registration.
+    accs: HashMap<u32, Accumulator>,
+    /// Observations that arrived before the dataflow's graph was known
+    /// (a peer group can broadcast first); replayed in arrival order on
+    /// registration.
+    stashed: HashMap<u32, Vec<ProgressUpdate>>,
+}
+
+impl GroupCore {
+    /// A group core for `sender`, serving `total_workers` workers
+    /// cluster-wide. `fold_on_flush` is false only when an upstream
+    /// accumulator echoes this group's own flushes back (the
+    /// Local+Global topology), where folding would double count.
+    pub fn new(sender: u32, fold_on_flush: bool, total_workers: usize) -> Self {
+        GroupCore {
+            emitter: BatchEmitter::new(sender),
+            fold_on_flush,
+            total_workers,
+            accs: HashMap::new(),
+            stashed: HashMap::new(),
+        }
+    }
+
+    /// This group's sender id.
+    pub fn sender(&self) -> u32 {
+        self.emitter.sender()
+    }
+
+    /// Whether `dataflow`'s accumulator exists yet.
+    pub fn is_registered(&self, dataflow: u32) -> bool {
+        self.accs.contains_key(&dataflow)
+    }
+
+    /// Registers `dataflow`'s graph, creating its accumulator and
+    /// replaying any stashed pre-registration observations (view
+    /// refinements only: the buffer is empty, so nothing can flush).
+    pub fn register(&mut self, dataflow: u32, graph: Arc<LogicalGraph>) {
+        if self.accs.contains_key(&dataflow) {
+            return;
+        }
+        let mut acc = Accumulator::new(graph, self.total_workers);
+        acc.set_fold_on_flush(self.fold_on_flush);
+        if let Some(stashed) = self.stashed.remove(&dataflow) {
+            let flushed = acc.observe(stashed.iter());
+            debug_assert!(flushed.is_none(), "empty buffer cannot flush");
+        }
+        self.accs.insert(dataflow, acc);
+    }
+
+    /// Deposits updates from this group's own senders; returns the
+    /// batch to broadcast if the §3.3 condition forces a flush.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dataflow` was never [`register`](GroupCore::register)ed
+    /// — local deposits always follow construction.
+    pub fn deposit(
+        &mut self,
+        dataflow: u32,
+        updates: Vec<ProgressUpdate>,
+    ) -> Option<ProgressBatch> {
+        let acc = self
+            .accs
+            .get_mut(&dataflow)
+            .expect("local deposits follow dataflow registration");
+        let flushed = acc.deposit(updates)?;
+        Some(self.emitter.batch(dataflow, flushed))
+    }
+
+    /// Observes an external broadcast, stashing it if the dataflow is
+    /// not registered yet; returns the batch to broadcast if the
+    /// buffered updates are no longer safe to hold.
+    pub fn observe(&mut self, dataflow: u32, updates: &[ProgressUpdate]) -> Option<ProgressBatch> {
+        match self.accs.get_mut(&dataflow) {
+            Some(acc) => {
+                let flushed = acc.observe(updates.iter())?;
+                Some(self.emitter.batch(dataflow, flushed))
+            }
+            None => {
+                self.stashed
+                    .entry(dataflow)
+                    .or_default()
+                    .extend_from_slice(updates);
+                None
+            }
+        }
+    }
+
+    /// Whether any registered dataflow still holds buffered updates
+    /// (the liveness oracle's quiescence test).
+    pub fn has_buffered(&self) -> bool {
+        self.accs.values().any(|a| a.has_buffered())
+    }
+}
+
+/// The pure per-worker protocol core for one dataflow: pointstamp deltas
+/// in (local journal), broadcast batches out, received batches applied to
+/// a local [`PointstampTable`] fed *exclusively* by the protocol (§3.3).
+///
+/// No transport, no clock, no threads: a driver — the runtime worker or
+/// the deterministic model-checker — steps it explicitly.
+#[derive(Debug)]
+pub struct WorkerCore {
+    dataflow: u32,
+    emitter: BatchEmitter,
+    fifo: FifoChecker,
+    table: PointstampTable,
+}
+
+impl WorkerCore {
+    /// A core for worker `index` of `total_workers`, with the table
+    /// initialized to §2.3's a-priori state.
+    pub fn new(graph: Arc<LogicalGraph>, dataflow: u32, index: u32, total_workers: usize) -> Self {
+        WorkerCore {
+            dataflow,
+            emitter: BatchEmitter::new(index),
+            fifo: FifoChecker::new(),
+            table: PointstampTable::initialized(graph, total_workers),
+        }
+    }
+
+    /// This worker's index (its sender id).
+    pub fn index(&self) -> u32 {
+        self.emitter.sender()
+    }
+
+    /// Wraps a journal flush in the next outgoing batch. Workers never
+    /// buffer — accumulation happens at the group level, per the mode.
+    pub fn emit(&mut self, updates: Vec<ProgressUpdate>) -> ProgressBatch {
+        self.emitter.batch(self.dataflow, updates)
+    }
+
+    /// Applies a received batch atomically, enforcing per-sender FIFO.
+    pub fn apply(&mut self, batch: &ProgressBatch) -> Result<(), FifoViolation> {
+        self.fifo.admit(batch.sender, batch.seq)?;
+        self.table.apply(batch.updates.iter().copied());
+        Ok(())
+    }
+
+    /// The local view (read-only; all mutation flows through
+    /// [`WorkerCore::apply`]).
+    pub fn table(&self) -> &PointstampTable {
+        &self.table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +735,74 @@ mod tests {
         // re-test on receipt).
         let flushed = acc.observe(&[(Pointstamp::at_vertex(ts(0), INPUT), -1)]);
         assert_eq!(flushed, Some(vec![(Pointstamp::at_vertex(ts(0), B), -1)]));
+    }
+
+    #[test]
+    fn emitter_sequences_and_fifo_checker_agree() {
+        let mut em = BatchEmitter::new(7);
+        let b0 = em.batch(0, vec![(Pointstamp::at_vertex(ts(0), INPUT), 1)]);
+        let b1 = em.batch(0, vec![(Pointstamp::at_vertex(ts(0), INPUT), -1)]);
+        assert_eq!((b0.sender, b0.seq), (7, 0));
+        assert_eq!((b1.sender, b1.seq), (7, 1));
+        let mut fifo = FifoChecker::new();
+        assert!(fifo.admit(b0.sender, b0.seq).is_ok());
+        assert!(fifo.admit(b1.sender, b1.seq).is_ok());
+        // Replays and reorders are rejected; other senders are independent.
+        assert_eq!(
+            fifo.admit(7, 1),
+            Err(FifoViolation {
+                sender: 7,
+                seq: 1,
+                last: 1
+            })
+        );
+        assert!(fifo.admit(8, 0).is_ok());
+    }
+
+    #[test]
+    fn group_core_stashes_until_registration() {
+        let mut core = GroupCore::new(PROC_ACC_SENDER_BASE, true, 1);
+        // Pre-registration broadcasts stash rather than flush.
+        assert!(core
+            .observe(0, &[(Pointstamp::at_vertex(ts(0), INPUT), 1)])
+            .is_none());
+        assert!(!core.is_registered(0));
+        core.register(0, chain_graph());
+        assert!(core.is_registered(0));
+        // The stashed observation refined the view: churn at B is covered
+        // and buffers silently.
+        assert!(core
+            .deposit(0, vec![(Pointstamp::at_vertex(ts(0), B), 1)])
+            .is_none());
+        assert!(core.has_buffered());
+        // Retiring the a-priori input stamp forces a flush, sequenced
+        // under the group's sender id.
+        let batch = core
+            .deposit(0, vec![(Pointstamp::at_vertex(ts(0), INPUT), -1)])
+            .expect("uncovered negative flushes");
+        assert_eq!(batch.sender, PROC_ACC_SENDER_BASE);
+        assert_eq!(batch.seq, 0);
+        assert_eq!(batch.dataflow, 0);
+    }
+
+    #[test]
+    fn worker_core_round_trips_batches() {
+        let graph = chain_graph();
+        let mut a = WorkerCore::new(graph.clone(), 0, 0, 2);
+        let mut b = WorkerCore::new(graph, 0, 1, 2);
+        // Worker a advances its input to epoch 1; both apply the batch.
+        let batch = a.emit(vec![
+            (Pointstamp::at_vertex(ts(1), INPUT), 1),
+            (Pointstamp::at_vertex(ts(0), INPUT), -1),
+        ]);
+        a.apply(&batch).unwrap();
+        b.apply(&batch).unwrap();
+        // Worker b still holds epoch 0 a-priori, so the input frontier
+        // stays at 0 in both views.
+        assert_eq!(a.table().input_frontier_epoch(), Some(0));
+        assert_eq!(b.table().input_frontier_epoch(), Some(0));
+        // Replaying the batch is a FIFO violation.
+        assert!(a.apply(&batch).is_err());
     }
 
     #[test]

@@ -235,6 +235,16 @@ impl PointstampTable {
         self.entries.values().filter(|e| e.occurrence > 0).count()
     }
 
+    /// Iterates the active pointstamps (positive occurrence), in no
+    /// particular order. The model-checker's safety oracle enumerates the
+    /// omniscient reference table through this.
+    pub fn active(&self) -> impl Iterator<Item = Pointstamp> + '_ {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.occurrence > 0)
+            .map(|(p, _)| *p)
+    }
+
     /// The minimum open input epoch: the smallest epoch among active
     /// pointstamps held at input vertices, or `None` once every input
     /// has closed. Per worker this value is monotone — `advance_to`

@@ -1,15 +1,20 @@
-//! Process-level and cluster-level progress accumulation (§3.3), and the
-//! per-process router thread that dispatches fabric traffic.
+//! Transport shell for the progress protocol (§3.3): process-level and
+//! cluster-level accumulation behind the fabric, plus the per-process
+//! router thread that dispatches incoming traffic.
+//!
+//! The protocol itself — buffering policy, batch sequencing, stash-until-
+//! registration — lives in the pure [`GroupCore`] state machine
+//! ([`crate::progress::protocol`]), which the deterministic model-checker
+//! ([`crate::progress::modelcheck`]) drives over virtual links. This
+//! module only wires cores to the fabric: encode, retry, escalate.
 //!
 //! By default Naiad accumulates updates at the process level and at the
 //! cluster level: each process sends accumulated updates to a central
 //! accumulator, which broadcasts their net effect to all workers. The
 //! [`ProcessAccumulator`] is shared by a process's workers (deposits) and
-//! its router (observations of external broadcasts); the
-//! [`CentralAccumulator`] runs on its own thread behind an extra fabric
-//! endpoint.
+//! its router (observations of external broadcasts); the central
+//! accumulator runs on its own thread behind an extra fabric endpoint.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,7 +24,7 @@ use naiad_wire::{encode_to_vec, Bytes};
 
 use super::sync::Mutex;
 
-use crate::progress::{Accumulator, ProgressBatch, ProgressMode, ProgressUpdate};
+use crate::progress::{GroupCore, ProgressBatch, ProgressMode, ProgressUpdate};
 
 use super::channels::{
     parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, HEARTBEAT_TAG, PROGRESS_TAG,
@@ -27,10 +32,7 @@ use super::channels::{
 use super::liveness::Liveness;
 use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 
-/// Sender-id base for process accumulators (workers use their own index).
-pub(crate) const PROC_ACC_SENDER_BASE: u32 = 1 << 24;
-/// Sender id of the cluster-level accumulator.
-pub(crate) const CENTRAL_SENDER: u32 = 1 << 25;
+pub(crate) use crate::progress::protocol::{CENTRAL_SENDER, PROC_ACC_SENDER_BASE};
 
 /// Idle-tick counters for the hub threads (routers + central
 /// accumulator), surfaced through
@@ -51,71 +53,27 @@ const IDLE_WAIT_BASE: Duration = Duration::from_millis(5);
 /// only check the shutdown flag on the timeout arm).
 const IDLE_WAIT_MAX: Duration = Duration::from_millis(20);
 
-/// A per-dataflow set of accumulators serving one group of senders.
-struct AccumulatorSet {
-    accs: HashMap<usize, Accumulator>,
-    registry: Arc<ProcessRegistry>,
-    fold_on_flush: bool,
-    total_workers: usize,
-    /// Observations that arrived before this group registered the
-    /// dataflow's graph (a peer process can broadcast first); replayed in
-    /// arrival order once the graph is known.
-    stashed: HashMap<usize, Vec<ProgressUpdate>>,
-}
-
-impl AccumulatorSet {
-    fn new(registry: Arc<ProcessRegistry>, fold_on_flush: bool, total_workers: usize) -> Self {
-        AccumulatorSet {
-            accs: HashMap::new(),
-            registry,
-            fold_on_flush,
-            total_workers,
-            stashed: HashMap::new(),
+/// Lazily registers `dataflow`'s graph with a [`GroupCore`], looking the
+/// graph up in the process registry (a peer's broadcast can outrun local
+/// construction, in which case the core stashes the observation itself).
+fn ensure_registered(core: &mut GroupCore, registry: &ProcessRegistry, dataflow: usize) {
+    if !core.is_registered(dataflow as u32) {
+        if let Some(graph) = registry.dataflow_graph(dataflow) {
+            core.register(dataflow as u32, graph);
         }
-    }
-
-    /// The accumulator for `dataflow`, if its graph is known yet.
-    fn try_acc(&mut self, dataflow: usize) -> Option<&mut Accumulator> {
-        if !self.accs.contains_key(&dataflow) {
-            let graph = self.registry.dataflow_graph(dataflow)?;
-            let mut acc = Accumulator::new(graph, self.total_workers);
-            acc.set_fold_on_flush(self.fold_on_flush);
-            if let Some(stashed) = self.stashed.remove(&dataflow) {
-                // Pre-registration broadcasts refine the view only; the
-                // buffer is empty, so no flush can trigger.
-                let flushed = acc.observe(stashed.iter());
-                debug_assert!(flushed.is_none(), "empty buffer cannot flush");
-            }
-            self.accs.insert(dataflow, acc);
-        }
-        self.accs.get_mut(&dataflow)
-    }
-
-    /// The accumulator for `dataflow`; the caller guarantees registration
-    /// (local deposits always follow construction).
-    fn acc(&mut self, dataflow: usize) -> &mut Accumulator {
-        self.try_acc(dataflow)
-            .expect("local deposits follow dataflow registration")
-    }
-
-    fn stash(&mut self, dataflow: usize, updates: &[ProgressUpdate]) {
-        self.stashed
-            .entry(dataflow)
-            .or_default()
-            .extend_from_slice(updates);
     }
 }
 
-/// The process-level accumulator (§3.3): workers deposit their journals;
-/// the router reports external broadcasts; flushes leave through the
-/// fabric according to the progress mode.
+/// The process-level accumulator (§3.3): a transport shell around a pure
+/// [`GroupCore`]. Workers deposit their journals; the router reports
+/// external broadcasts; flushes leave through the fabric according to
+/// the progress mode.
 pub(crate) struct ProcessAccumulator {
-    process: usize,
     processes: usize,
     mode: ProgressMode,
-    set: AccumulatorSet,
+    core: GroupCore,
+    registry: Arc<ProcessRegistry>,
     net: Arc<Mutex<NetSender>>,
-    seq: u64,
     policy: RetryPolicy,
     escalation: Arc<EscalationCell>,
 }
@@ -133,16 +91,19 @@ impl ProcessAccumulator {
         escalation: Arc<EscalationCell>,
     ) -> Self {
         ProcessAccumulator {
-            process,
             processes,
             mode,
             // In Local+Global mode the central accumulator echoes this
             // process's own updates back, so the view must not also fold
             // flushes (they would double count). In Local mode nothing
             // echoes, so flushes fold immediately.
-            set: AccumulatorSet::new(registry, mode == ProgressMode::Local, total_workers),
+            core: GroupCore::new(
+                PROC_ACC_SENDER_BASE + process as u32,
+                mode == ProgressMode::Local,
+                total_workers,
+            ),
+            registry,
             net,
-            seq: 0,
             policy,
             escalation,
         }
@@ -150,14 +111,15 @@ impl ProcessAccumulator {
 
     /// This accumulator's sender id.
     pub(crate) fn sender_id(&self) -> u32 {
-        PROC_ACC_SENDER_BASE + self.process as u32
+        self.core.sender()
     }
 
     /// Deposits a worker's journal; forwards a flush if the §3.3 condition
     /// requires one.
     pub(crate) fn deposit(&mut self, dataflow: usize, updates: Vec<ProgressUpdate>) {
-        if let Some(flushed) = self.set.acc(dataflow).deposit(updates) {
-            self.forward(dataflow, flushed);
+        ensure_registered(&mut self.core, &self.registry, dataflow);
+        if let Some(batch) = self.core.deposit(dataflow as u32, updates) {
+            self.forward(batch);
         }
     }
 
@@ -165,25 +127,13 @@ impl ProcessAccumulator {
     /// or the central accumulator); forwards a flush if the buffered
     /// updates are no longer safe to hold.
     pub(crate) fn observe(&mut self, dataflow: usize, updates: &[ProgressUpdate]) {
-        match self.set.try_acc(dataflow) {
-            Some(acc) => {
-                if let Some(flushed) = acc.observe(updates.iter()) {
-                    self.forward(dataflow, flushed);
-                }
-            }
-            // A peer broadcast can outrun this process's construction.
-            None => self.set.stash(dataflow, updates),
+        ensure_registered(&mut self.core, &self.registry, dataflow);
+        if let Some(batch) = self.core.observe(dataflow as u32, updates) {
+            self.forward(batch);
         }
     }
 
-    fn forward(&mut self, dataflow: usize, updates: Vec<ProgressUpdate>) {
-        let batch = ProgressBatch {
-            sender: self.sender_id(),
-            seq: self.seq,
-            dataflow: dataflow as u32,
-            updates,
-        };
-        self.seq += 1;
+    fn forward(&mut self, batch: ProgressBatch) {
         let bytes: Bytes = encode_to_vec(&batch).into();
         match self.mode {
             ProgressMode::Local => {
@@ -226,8 +176,10 @@ pub(crate) fn run_central_accumulator(
     escalation: Arc<EscalationCell>,
     stats: Arc<HubStats>,
 ) {
-    let mut set = AccumulatorSet::new(registry, true, total_workers);
-    let mut seq = 0u64;
+    // fold_on_flush: the central accumulator has no table of its own and
+    // never hears its broadcasts back, so flushed content folds at flush
+    // time to keep cover tests accurate for still-buffered updates.
+    let mut core = GroupCore::new(CENTRAL_SENDER, true, total_workers);
     let mut wait = IDLE_WAIT_BASE;
     loop {
         match rx.recv_deadline(Some(wait)) {
@@ -244,15 +196,8 @@ pub(crate) fn run_central_accumulator(
                             env.payload.len()
                         )
                     });
-                let dataflow = batch.dataflow as usize;
-                if let Some(flushed) = set.acc(dataflow).deposit(batch.updates) {
-                    let out = ProgressBatch {
-                        sender: CENTRAL_SENDER,
-                        seq,
-                        dataflow: batch.dataflow,
-                        updates: flushed,
-                    };
-                    seq += 1;
+                ensure_registered(&mut core, &registry, batch.dataflow as usize);
+                if let Some(out) = core.deposit(batch.dataflow, batch.updates) {
                     let bytes: Bytes = encode_to_vec(&out).into();
                     for dst in 0..processes {
                         if let Err(err) = send_with_retry(

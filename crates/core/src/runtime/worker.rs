@@ -15,7 +15,9 @@ use naiad_wire::{encode_to_vec, Bytes};
 use super::sync::Mutex;
 
 use crate::dataflow::{OpCore, Scope, StateRegistry, TrackerCell};
-use crate::progress::{PointstampTable, ProgressBatch, ProgressMode, ProgressUpdate};
+use crate::progress::{
+    BatchEmitter, FifoChecker, PointstampTable, ProgressBatch, ProgressMode, ProgressUpdate,
+};
 use crate::telemetry::{Recorder, TelemetryEvent, WorkerTelemetry};
 
 use super::channels::{
@@ -61,10 +63,10 @@ pub struct Worker {
     directory: Arc<ProcessRegistry>,
     dataflows: Vec<DataflowRuntime>,
     next_dataflow: usize,
-    /// Sequence number for this worker's outgoing progress batches.
-    seq: u64,
+    /// Sequencer for this worker's outgoing progress batches.
+    emitter: BatchEmitter,
     /// Per-sender FIFO check on incoming progress batches.
-    last_seqs: HashMap<u32, u64>,
+    fifo: FifoChecker,
     /// Whether the previous step processed anything, used to decide when
     /// the worker may block briefly instead of spinning.
     last_step_worked: bool,
@@ -127,8 +129,8 @@ impl Worker {
             directory,
             dataflows: Vec::new(),
             next_dataflow: 0,
-            seq: 0,
-            last_seqs: HashMap::new(),
+            emitter: BatchEmitter::new(index as u32),
+            fifo: FifoChecker::new(),
             last_step_worked: true,
             stashed: HashMap::new(),
             escalation,
@@ -644,7 +646,7 @@ impl Worker {
                 // would violate the per-sender FIFO sequence check.
                 let processes = self.config.processes;
                 for update in updates {
-                    let batch = self.make_batch(dataflow, vec![update]);
+                    let batch = self.emitter.batch(dataflow as u32, vec![update]);
                     self.recorder.record(TelemetryEvent::ProgressBatchSent {
                         dataflow: dataflow as u32,
                         seq: batch.seq,
@@ -659,7 +661,7 @@ impl Worker {
             ProgressMode::Global => {
                 // No local accumulation: per-step batches go straight to
                 // the central accumulator.
-                let batch = self.make_batch(dataflow, updates);
+                let batch = self.emitter.batch(dataflow as u32, updates);
                 self.recorder.record(TelemetryEvent::ProgressBatchSent {
                     dataflow: dataflow as u32,
                     seq: batch.seq,
@@ -696,17 +698,6 @@ impl Worker {
         }
     }
 
-    fn make_batch(&mut self, dataflow: usize, updates: Vec<ProgressUpdate>) -> ProgressBatch {
-        let seq = self.seq;
-        self.seq += 1;
-        ProgressBatch {
-            sender: self.index as u32,
-            seq,
-            dataflow: dataflow as u32,
-            updates,
-        }
-    }
-
     fn central_endpoint(&self) -> usize {
         // The central accumulator is the extra fabric endpoint.
         self.config.processes
@@ -731,15 +722,8 @@ impl Worker {
         });
         // FIFO check per sender (the fabric guarantees it; broken FIFO
         // would silently corrupt frontiers, so fail loudly).
-        let last = self.last_seqs.insert(batch.sender, batch.seq);
-        if let Some(last) = last {
-            assert!(
-                batch.seq > last,
-                "progress batches from sender {} out of order: {} after {}",
-                batch.sender,
-                batch.seq,
-                last
-            );
+        if let Err(violation) = self.fifo.admit(batch.sender, batch.seq) {
+            panic!("worker {}: {}", self.index, violation);
         }
         let dataflow = batch.dataflow as usize;
         if let Some(runtime) = self.dataflows.iter_mut().find(|d| d.id == dataflow) {

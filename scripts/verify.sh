@@ -30,4 +30,12 @@ if [[ "${CHAOS_SOAK_SEEDS:-0}" != "0" ]]; then
     cargo test -q --test chaos_soak -- extended_soak_honours_env
 fi
 
+# Bounded model-check smoke: one pass over the protocol model-checker's
+# acceptance matrix (DESIGN.md §11) on the pinned base seeds, with the
+# safety/FIFO/liveness oracles live. MODEL_CHECK_SEEDS=n sweeps n extra
+# behaviour seeds, mirroring the chaos soak contract (CI sets 32).
+echo "== model-check smoke (base seeds${MODEL_CHECK_SEEDS:+ +$MODEL_CHECK_SEEDS extra}) =="
+timeout "${MODEL_CHECK_DEADLINE:-900}" \
+  cargo test -q --release -p naiad --test model_check
+
 echo "verify: OK"

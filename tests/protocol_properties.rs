@@ -13,10 +13,42 @@ use naiad_rng::Xorshift;
 
 const CASES: usize = 64;
 
+/// Splices a loop context under `parent` fed by `entry`, returning the
+/// egress stage. With `nest`, a second loop may be spliced *inside* the
+/// body, giving contexts two deep (lexicographic counter timestamps).
+fn gen_loop(
+    g: &mut GraphBuilder,
+    rng: &mut Xorshift,
+    parent: ContextId,
+    entry: StageId,
+    depth: usize,
+    nest: bool,
+) -> StageId {
+    let ctx = g.add_context(parent);
+    let ingress = g.add_ingress(&format!("I{depth}"), ctx);
+    let feedback = g.add_feedback(&format!("F{depth}"), ctx);
+    let body = g.add_stage(&format!("body{depth}"), StageKind::Regular, ctx, 2, 1);
+    let egress = g.add_egress(&format!("E{depth}"), ctx);
+    g.connect(entry, 0, ingress, 0);
+    g.connect(ingress, 0, body, 0);
+    g.connect(feedback, 0, body, 1);
+    let exit = if nest && rng.chance(0.5) {
+        gen_loop(g, rng, ctx, body, depth + 1, false)
+    } else {
+        body
+    };
+    g.connect(exit, 0, feedback, 0);
+    g.connect(exit, 0, egress, 0);
+    egress
+}
+
 /// A random but *valid* timely graph: a chain of stages in the root
-/// context with one optional loop context spliced in.
+/// context, an optional diamond (fan-out into two branches re-joined at
+/// a two-input stage), and an optional loop context — itself optionally
+/// holding a *nested* loop two contexts deep.
 fn gen_graph(rng: &mut Xorshift) -> Arc<LogicalGraph> {
     let chain = 1 + rng.below_usize(3);
+    let with_diamond = rng.chance(0.5);
     let with_loop = rng.chance(0.5);
     let mut g = GraphBuilder::new();
     let input = g.add_stage("in", StageKind::Input, ContextId::ROOT, 0, 1);
@@ -26,24 +58,45 @@ fn gen_graph(rng: &mut Xorshift) -> Arc<LogicalGraph> {
         g.connect(prev, 0, s, 0);
         prev = s;
     }
-    if with_loop {
-        let ctx = g.add_context(ContextId::ROOT);
-        let ingress = g.add_ingress("I", ctx);
-        let feedback = g.add_feedback("F", ctx);
-        let body = g.add_stage("body", StageKind::Regular, ctx, 2, 1);
-        let egress = g.add_egress("E", ctx);
-        g.connect(prev, 0, ingress, 0);
-        g.connect(ingress, 0, body, 0);
-        g.connect(feedback, 0, body, 1);
-        g.connect(body, 0, feedback, 0);
-        g.connect(body, 0, egress, 0);
-        let tail = g.add_stage("tail", StageKind::Regular, ContextId::ROOT, 1, 0);
-        g.connect(egress, 0, tail, 0);
-    } else {
-        let tail = g.add_stage("tail", StageKind::Regular, ContextId::ROOT, 1, 0);
-        g.connect(prev, 0, tail, 0);
+    if with_diamond {
+        let split = g.add_stage("split", StageKind::Regular, ContextId::ROOT, 1, 2);
+        let left = g.add_stage("left", StageKind::Regular, ContextId::ROOT, 1, 1);
+        let right = g.add_stage("right", StageKind::Regular, ContextId::ROOT, 1, 1);
+        let join = g.add_stage("join", StageKind::Regular, ContextId::ROOT, 2, 1);
+        g.connect(prev, 0, split, 0);
+        g.connect(split, 0, left, 0);
+        g.connect(split, 1, right, 0);
+        g.connect(left, 0, join, 0);
+        g.connect(right, 0, join, 1);
+        prev = join;
     }
+    if with_loop {
+        prev = gen_loop(&mut g, rng, ContextId::ROOT, prev, 1, true);
+    }
+    let tail = g.add_stage("tail", StageKind::Regular, ContextId::ROOT, 1, 0);
+    g.connect(prev, 0, tail, 0);
     Arc::new(g.build().expect("constructed graphs are valid"))
+}
+
+/// The generator actually produces the advertised variety: diamonds,
+/// multi-input stages, and loop contexts nested two deep all appear.
+#[test]
+fn generator_covers_the_topology_matrix() {
+    let mut rng = Xorshift::new(0xB0);
+    let (mut saw_diamond, mut saw_nested, mut saw_multi_input) = (false, false, false);
+    for _ in 0..CASES {
+        let graph = gen_graph(&mut rng);
+        let max_depth = graph.contexts().iter().map(|c| c.depth).max().unwrap_or(0);
+        saw_nested |= max_depth >= 2;
+        saw_diamond |= graph.stages().iter().any(|s| s.name == "join");
+        saw_multi_input |= graph
+            .stages()
+            .iter()
+            .any(|s| s.kind == StageKind::Regular && s.inputs >= 2);
+    }
+    assert!(saw_diamond, "no diamond generated in {CASES} cases");
+    assert!(saw_nested, "no nested loop generated in {CASES} cases");
+    assert!(saw_multi_input, "no multi-input stage generated in {CASES} cases");
 }
 
 /// A pointstamp at every vertex of the graph with a depth-correct time.
@@ -249,6 +302,107 @@ fn flushes_order_positives_first() {
         let first_negative = out.iter().position(|(_, d)| *d < 0).unwrap_or(out.len());
         assert!(out[first_negative..].iter().all(|(_, d)| *d < 0));
     }
+}
+
+/// Fan-in completeness (§2.3): a two-input join is only done through a
+/// time once *both* upstream branches have passed it — the frontier
+/// waits for the slower branch, and unblocks when it retires.
+#[test]
+fn fan_in_waits_for_the_slower_branch() {
+    let mut g = GraphBuilder::new();
+    let input = g.add_stage("in", StageKind::Input, ContextId::ROOT, 0, 1);
+    let split = g.add_stage("split", StageKind::Regular, ContextId::ROOT, 1, 2);
+    let left = g.add_stage("left", StageKind::Regular, ContextId::ROOT, 1, 1);
+    let right = g.add_stage("right", StageKind::Regular, ContextId::ROOT, 1, 1);
+    let join = g.add_stage("join", StageKind::Regular, ContextId::ROOT, 2, 1);
+    let out = g.add_stage("out", StageKind::Regular, ContextId::ROOT, 1, 0);
+    g.connect(input, 0, split, 0);
+    g.connect(split, 0, left, 0);
+    g.connect(split, 1, right, 0);
+    g.connect(left, 0, join, 0);
+    g.connect(right, 0, join, 1);
+    g.connect(join, 0, out, 0);
+    let graph = Arc::new(g.build().expect("diamond is valid"));
+
+    let mut table = PointstampTable::new(graph.clone());
+    let slow = Pointstamp::at_vertex(Timestamp::new(1), right);
+    table.update(Pointstamp::at_vertex(Timestamp::new(5), left), 1);
+    table.update(slow, 1);
+    let at_join = Location::Vertex(join);
+    // Fully done before either branch's stamp, blocked from epoch 1 on.
+    assert!(table.done_through(&Timestamp::new(0), at_join));
+    assert!(!table.done_through(&Timestamp::new(1), at_join));
+    // Epoch 4 is blocked *only* by the slower branch: retiring it must
+    // unblock the join up to (but not through) the faster branch.
+    assert!(!table.done_through(&Timestamp::new(4), at_join));
+    table.update(slow, -1);
+    assert!(table.done_through(&Timestamp::new(4), at_join));
+    assert!(!table.done_through(&Timestamp::new(5), at_join));
+}
+
+/// Nested-loop reachability (§2.3): with contexts two deep, timestamps
+/// order lexicographically — the inner counter advances freely, an
+/// outer iteration resets it, and neither counter ever runs backwards.
+#[test]
+fn nested_loop_counters_order_lexicographically() {
+    let mut g = GraphBuilder::new();
+    let input = g.add_stage("in", StageKind::Input, ContextId::ROOT, 0, 1);
+    let outer_ctx = g.add_context(ContextId::ROOT);
+    let i1 = g.add_ingress("I1", outer_ctx);
+    let f1 = g.add_feedback("F1", outer_ctx);
+    let merge = g.add_stage("merge", StageKind::Regular, outer_ctx, 2, 1);
+    let inner_ctx = g.add_context(outer_ctx);
+    let i2 = g.add_ingress("I2", inner_ctx);
+    let f2 = g.add_feedback("F2", inner_ctx);
+    let body = g.add_stage("body", StageKind::Regular, inner_ctx, 2, 1);
+    let e2 = g.add_egress("E2", inner_ctx);
+    let e1 = g.add_egress("E1", outer_ctx);
+    let out = g.add_stage("out", StageKind::Regular, ContextId::ROOT, 1, 0);
+    g.connect(input, 0, i1, 0);
+    g.connect(i1, 0, merge, 0);
+    g.connect(f1, 0, merge, 1);
+    g.connect(merge, 0, i2, 0);
+    g.connect(i2, 0, body, 0);
+    g.connect(f2, 0, body, 1);
+    g.connect(body, 0, f2, 0);
+    g.connect(body, 0, e2, 0);
+    g.connect(e2, 0, f1, 0);
+    g.connect(e2, 0, e1, 0);
+    g.connect(e1, 0, out, 0);
+    let graph = Arc::new(g.build().expect("nested loop is valid"));
+    let m = graph.summaries();
+    let at = |counters: &[u64]| {
+        (
+            Timestamp::with_counters(0, counters),
+            Location::Vertex(body),
+        )
+    };
+    let cri = |a: &[u64], b: &[u64]| {
+        let (ta, la) = at(a);
+        let (tb, lb) = at(b);
+        m.could_result_in(&ta, la, &tb, lb)
+    };
+    // The inner feedback advances the innermost counter.
+    assert!(cri(&[1, 2], &[1, 3]));
+    // An outer iteration increments the outer counter and resets the
+    // inner one: [1,2] reaches [2,0] even though 0 < 2 pointwise.
+    assert!(cri(&[1, 2], &[2, 0]));
+    // Lexicographically earlier times are unreachable in both senses.
+    assert!(!cri(&[1, 2], &[1, 1]));
+    assert!(!cri(&[2, 0], &[1, 5]));
+    // The epoch dominates every loop counter lexicographically: a later
+    // epoch is reachable from any counter state, never the reverse.
+    let (t0, l0) = at(&[1, 2]);
+    let next_epoch = Timestamp::with_counters(1, &[0, 0]);
+    assert!(m.could_result_in(&t0, l0, &next_epoch, l0));
+    assert!(!m.could_result_in(&next_epoch, l0, &t0, l0));
+    // But the input's initial stamp reaches every loop iterate.
+    assert!(m.could_result_in(
+        &Timestamp::new(0),
+        Location::Vertex(input),
+        &Timestamp::with_counters(0, &[3, 7]),
+        Location::Vertex(body)
+    ));
 }
 
 /// done_through is monotone: once complete through t, also complete
