@@ -14,6 +14,8 @@
 //! * [`logreg`] — logistic regression with the data-parallel AllReduce
 //!   (§6.2).
 
+#![forbid(unsafe_code)]
+
 pub mod asp;
 pub mod datasets;
 pub mod kexposure;

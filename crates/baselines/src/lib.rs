@@ -13,6 +13,8 @@
 //!   *on Naiad streams* like the paper's comparison implementation.
 //! * [`snapshot`] — a Kineograph-like ingest/snapshot/compute engine.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod gas;
 pub mod snapshot;

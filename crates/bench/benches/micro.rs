@@ -48,7 +48,7 @@ fn bench_case(name: &str, iters: usize, mut f: impl FnMut()) {
 
 fn bench_tracker() {
     let graph = loop_graph();
-    let mut table = PointstampTable::initialized(graph.clone(), 4);
+    let mut table = PointstampTable::initialized(graph, 4);
     let body = naiad::graph::StageId(3);
     bench_case("tracker_update_cycle", scaled(20_000), || {
         for i in 0..16u64 {
@@ -64,7 +64,7 @@ fn bench_tracker() {
 
 fn bench_protocol() {
     let graph = loop_graph();
-    let mut acc = Accumulator::new(graph.clone(), 4);
+    let mut acc = Accumulator::new(graph, 4);
     let body = naiad::graph::StageId(3);
     bench_case("accumulator_covered_churn", scaled(100_000), || {
         let p = Pointstamp::at_vertex(Timestamp::with_counters(0, &[1]), body);

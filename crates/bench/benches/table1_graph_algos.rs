@@ -146,7 +146,7 @@ fn main() {
     let (_, a_pdw) = timed(|| pdw.wcc(&edges, scc_iters));
     let (_, a_dryad) = timed(|| dryad.wcc(&edges, scc_iters));
     let (_, a_shs) = timed(|| shs.wcc(&edges, scc_iters));
-    let a_naiad = run_naiad_asp(edges.clone(), sources);
+    let a_naiad = run_naiad_asp(edges, sources);
     println!(
         "{:<10} {a_pdw:>12.3} {a_dryad:>12.3} {a_shs:>12.3} {a_naiad:>12.3}",
         "ASP"

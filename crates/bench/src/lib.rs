@@ -6,6 +6,8 @@
 //! harnesses honour `NAIAD_BENCH_SCALE` (a positive float, default 1.0)
 //! to grow or shrink workload sizes.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 /// The workload scale factor from `NAIAD_BENCH_SCALE`.

@@ -27,6 +27,8 @@
 //! Determinism: the simulator uses a seeded xorshift generator, so every
 //! figure regenerates identically.
 
+#![forbid(unsafe_code)]
+
 mod model;
 mod telemetry;
 mod workloads;

@@ -124,7 +124,7 @@ impl OperatorBuilder {
             let stage = inner
                 .builder
                 .add_stage(name, StageKind::Regular, context, 0, 0);
-            let notify = Notify::new(stage, inner.journal.clone());
+            let notify = Notify::new(stage, inner.journal.clone(), inner.notify_log.clone());
             let info = OperatorInfo::new(
                 stage,
                 notify.clone(),

@@ -89,8 +89,17 @@ impl<D: ExchangeData> InputHandle<D> {
         let shared = self.shared.borrow_mut();
         assert!(!shared.closed, "send on a closed input");
         let time = Timestamp::new(shared.epoch);
-        for pusher in shared.tee.borrow_mut().iter_mut() {
-            pusher.give(time, record.clone());
+        let mut tee = shared.tee.borrow_mut();
+        // Clone for all but the last subscriber; the last consumes the
+        // record, so single-consumer inputs never copy.
+        let last = tee.len().saturating_sub(1);
+        let mut record = Some(record);
+        for (i, pusher) in tee.iter_mut().enumerate() {
+            if i == last {
+                pusher.give(time, record.take().expect("record moved once"));
+            } else {
+                pusher.give(time, record.clone().expect("record present until last"));
+            }
         }
     }
 

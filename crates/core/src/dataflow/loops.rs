@@ -167,7 +167,7 @@ impl LoopContext {
 
     fn system_notify(&self, stage: StageId) -> Notify {
         let inner = self.scope.inner.borrow();
-        Notify::new(stage, inner.journal.clone())
+        Notify::new(stage, inner.journal.clone(), inner.notify_log.clone())
     }
 }
 

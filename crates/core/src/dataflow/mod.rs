@@ -42,6 +42,12 @@ use ports::{new_tee, Tee};
 /// graph is finalized. Probes and notificators hold clones.
 pub(crate) type TrackerCell = Rc<RefCell<Option<PointstampTable>>>;
 
+/// Construction-time `notify_at` requests, drained into
+/// [`GraphBuilder::declare_notification`] when the scope finalizes so the
+/// static analyzer (`NA0003`) can check them. `None` once the dataflow is
+/// running — runtime requests are checked dynamically by the tracker.
+pub(crate) type NotifyLog = Rc<RefCell<Option<Vec<(StageId, Timestamp)>>>>;
+
 /// A handle for requesting notifications at a stage (§2.2's `NotifyAt`).
 ///
 /// Cloneable; `OnRecv` logic typically captures one to request future
@@ -60,16 +66,19 @@ struct NotifyState {
     /// once the frontier passes, but never counted as occurrences, so they
     /// introduce no coordination.
     purge: Vec<Timestamp>,
+    /// Shared construction log (active until the scope finalizes).
+    log: NotifyLog,
 }
 
 impl Notify {
-    pub(crate) fn new(stage: StageId, journal: Journal) -> Self {
+    pub(crate) fn new(stage: StageId, journal: Journal, log: NotifyLog) -> Self {
         Notify {
             inner: Rc::new(RefCell::new(NotifyState {
                 stage,
                 journal,
                 pending: Vec::new(),
                 purge: Vec::new(),
+                log,
             })),
         }
     }
@@ -82,6 +91,11 @@ impl Notify {
             state.pending.push(time);
             let p = Pointstamp::at_vertex(time, state.stage);
             journal_update(&state.journal, p, 1);
+            // While the graph is still under construction, record the
+            // interest for the static analyzer (`NA0003`).
+            if let Some(log) = state.log.borrow_mut().as_mut() {
+                log.push((state.stage, time));
+            }
         }
     }
 
@@ -249,6 +263,8 @@ pub(crate) struct ScopeInner {
     pub(crate) tracker: TrackerCell,
     pub(crate) ops: Vec<Rc<RefCell<dyn OpCore>>>,
     pub(crate) states: StateRegistry,
+    /// Construction-time notification interests (`Some` until finalize).
+    pub(crate) notify_log: NotifyLog,
     next_channel: usize,
 }
 
@@ -262,6 +278,7 @@ impl Scope {
                 tracker,
                 ops: Vec::new(),
                 states: Rc::new(RefCell::new(Vec::new())),
+                notify_log: Rc::new(RefCell::new(Some(Vec::new()))),
                 next_channel: 0,
             })),
         }
@@ -283,31 +300,42 @@ impl Scope {
         }
     }
 
-    /// Validates the constructed graph and takes ownership of the vertex
-    /// harnesses; called by the worker when the construction closure
-    /// returns.
+    /// Validates the constructed graph, runs the static analyzer, and
+    /// takes ownership of the vertex harnesses; called by the worker when
+    /// the construction closure returns.
     ///
     /// # Panics
     ///
-    /// Panics if the graph fails structural validation.
-    pub(crate) fn finalize(
-        &self,
-    ) -> (
-        crate::graph::LogicalGraph,
-        Vec<Rc<RefCell<dyn OpCore>>>,
-        StateRegistry,
-    ) {
+    /// Panics if the graph fails structural validation or carries an
+    /// analyzer diagnostic at or above the config's deny severity.
+    pub(crate) fn finalize(&self, config: &crate::analysis::AnalysisConfig) -> FinalizedDataflow {
         let mut inner = self.inner.borrow_mut();
-        let builder = std::mem::replace(&mut inner.builder, GraphBuilder::new());
+        let mut builder = std::mem::replace(&mut inner.builder, GraphBuilder::new());
         let ops = std::mem::take(&mut inner.ops);
         let states = inner.states.clone();
+        // Close the construction window: notify_at calls made while the
+        // dataflow runs are checked dynamically, not statically.
+        let declared = inner.notify_log.borrow_mut().take().unwrap_or_default();
         drop(inner);
-        let graph = builder
-            .build()
+        for (stage, time) in declared {
+            builder.declare_notification(stage, time);
+        }
+        let (graph, report) = builder
+            .build_checked(config)
             .unwrap_or_else(|e| panic!("invalid dataflow graph: {e}"));
-        (graph, ops, states)
+        (graph, ops, states, report)
     }
 }
+
+/// Everything [`Scope::finalize`] hands the worker: the validated graph,
+/// the vertex harnesses, the checkpointable state registry, and the
+/// static analyzer's report.
+pub(crate) type FinalizedDataflow = (
+    crate::graph::LogicalGraph,
+    Vec<Rc<RefCell<dyn OpCore>>>,
+    StateRegistry,
+    crate::analysis::AnalysisReport,
+);
 
 impl ScopeInner {
     pub(crate) fn alloc_channel(&mut self) -> usize {
@@ -389,7 +417,9 @@ impl<D: ExchangeData> Stream<D> {
     /// returning the receiving port for the consuming vertex.
     pub(crate) fn connect_to(&self, dst: StageId, port: usize, pact: Pact<D>) -> InputPort<D> {
         let mut inner = self.scope.inner.borrow_mut();
-        let connector = inner.builder.connect(self.stage, self.port, dst, port);
+        let connector = inner
+            .builder
+            .connect_with(self.stage, self.port, dst, port, pact.kind());
         let channel = inner.alloc_channel();
         let pusher = Pusher::new(
             &inner.routing,

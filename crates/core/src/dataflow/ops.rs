@@ -215,7 +215,7 @@ pub(crate) fn add_stage(
     let stage = inner
         .builder
         .add_stage(name, StageKind::Regular, context, inputs, outputs);
-    let notify = Notify::new(stage, inner.journal.clone());
+    let notify = Notify::new(stage, inner.journal.clone(), inner.notify_log.clone());
     let info = OperatorInfo::new(
         stage,
         notify.clone(),

@@ -1,29 +1,60 @@
 //! Graph construction and structural validation (§4.3).
 
 use super::summaries::SummaryMatrix;
-use super::{Connector, ConnectorId, Context, ContextId, LogicalGraph, Stage, StageId, StageKind};
-use crate::time::MAX_LOOP_DEPTH;
+use super::{
+    Connector, ConnectorId, Context, ContextId, LogicalGraph, PactKind, Stage, StageId, StageKind,
+};
+use crate::analysis::{self, AnalysisConfig, AnalysisReport, Diagnostic};
+use crate::time::{Timestamp, MAX_LOOP_DEPTH};
 
 /// Errors detected while assembling or validating a logical graph.
+///
+/// Every variant carries the human-readable stage *name* (as passed to
+/// [`GraphBuilder::add_stage`] and friends) alongside the numeric id, so
+/// error messages point at the user's own vocabulary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// A port index was out of range for its stage.
     PortOutOfRange {
         stage: StageId,
+        name: String,
         port: usize,
         output: bool,
     },
     /// A connector joins ports in different loop contexts.
-    ContextMismatch { src: StageId, dst: StageId },
+    ContextMismatch {
+        src: StageId,
+        src_name: String,
+        dst: StageId,
+        dst_name: String,
+    },
     /// An input port has no connector (every stage input must be fed).
-    UnconnectedInput { stage: StageId, port: usize },
+    UnconnectedInput {
+        stage: StageId,
+        name: String,
+        port: usize,
+    },
     /// An input port has more than one incoming connector.
-    MultiplyConnectedInput { stage: StageId, port: usize },
+    MultiplyConnectedInput {
+        stage: StageId,
+        name: String,
+        port: usize,
+    },
     /// A cycle does not pass through a feedback stage of its context
     /// (§2.1's structural constraint), so progress could never be made.
-    InvalidCycle { stage: StageId },
+    InvalidCycle { stage: StageId, name: String },
     /// Loop contexts nest deeper than [`MAX_LOOP_DEPTH`].
     TooDeep,
+    /// The static analyzer ([`crate::analysis`]) denied the graph: the
+    /// first deny-severity diagnostic, with the full report attached.
+    /// Boxed so the error stays pointer-sized next to the structural
+    /// variants (clippy: `result_large_err`).
+    Analysis {
+        /// The denying diagnostic.
+        diagnostic: Box<Diagnostic>,
+        /// Every diagnostic the analyzer produced.
+        report: Box<AnalysisReport>,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -31,33 +62,56 @@ impl std::fmt::Display for GraphError {
         match self {
             GraphError::PortOutOfRange {
                 stage,
+                name,
                 port,
                 output,
             } => {
                 let dir = if *output { "output" } else { "input" };
-                write!(f, "{dir} port {port} out of range for stage {stage:?}")
-            }
-            GraphError::ContextMismatch { src, dst } => write!(
-                f,
-                "connector from {src:?} to {dst:?} crosses loop contexts without ingress/egress"
-            ),
-            GraphError::UnconnectedInput { stage, port } => {
-                write!(f, "input port {port} of stage {stage:?} is not connected")
-            }
-            GraphError::MultiplyConnectedInput { stage, port } => {
                 write!(
                     f,
-                    "input port {port} of stage {stage:?} has multiple connectors"
+                    "{dir} port {port} out of range for stage '{name}' ({stage:?})"
                 )
             }
-            GraphError::InvalidCycle { stage } => write!(
+            GraphError::ContextMismatch {
+                src,
+                src_name,
+                dst,
+                dst_name,
+            } => write!(
                 f,
-                "cycle through stage {stage:?} does not pass a feedback stage of its context"
+                "connector from '{src_name}' ({src:?}) to '{dst_name}' ({dst:?}) \
+                 crosses loop contexts without ingress/egress"
+            ),
+            GraphError::UnconnectedInput { stage, name, port } => {
+                write!(
+                    f,
+                    "input port {port} of stage '{name}' ({stage:?}) is not connected"
+                )
+            }
+            GraphError::MultiplyConnectedInput { stage, name, port } => {
+                write!(
+                    f,
+                    "input port {port} of stage '{name}' ({stage:?}) has multiple connectors"
+                )
+            }
+            GraphError::InvalidCycle { stage, name } => write!(
+                f,
+                "cycle through stage '{name}' ({stage:?}) does not pass a feedback \
+                 stage of its context"
             ),
             GraphError::TooDeep => {
                 write!(
                     f,
                     "loop contexts nest deeper than MAX_LOOP_DEPTH ({MAX_LOOP_DEPTH})"
+                )
+            }
+            GraphError::Analysis { diagnostic, report } => {
+                write!(
+                    f,
+                    "static analysis denied the dataflow: {diagnostic} \
+                     ({} error(s), {} warning(s) in total)",
+                    report.error_count(),
+                    report.warning_count()
                 )
             }
         }
@@ -92,7 +146,12 @@ impl std::error::Error for GraphError {}
 pub struct GraphBuilder {
     stages: Vec<Stage>,
     connectors: Vec<Connector>,
+    /// Per-connector partitioning contract, parallel to `connectors`.
+    pacts: Vec<PactKind>,
     contexts: Vec<Context>,
+    /// Notification interests declared during construction, handed to the
+    /// static analyzer.
+    notification_requests: Vec<(StageId, Timestamp)>,
 }
 
 impl GraphBuilder {
@@ -101,10 +160,12 @@ impl GraphBuilder {
         GraphBuilder {
             stages: Vec::new(),
             connectors: Vec::new(),
+            pacts: Vec::new(),
             contexts: vec![Context {
                 parent: None,
                 depth: 0,
             }],
+            notification_requests: Vec::new(),
         }
     }
 
@@ -252,7 +313,8 @@ impl GraphBuilder {
         }
     }
 
-    /// Connects `src`'s output port to `dst`'s input port.
+    /// Connects `src`'s output port to `dst`'s input port with a
+    /// [`PactKind::Pipeline`] contract.
     ///
     /// Errors are deferred to [`GraphBuilder::build`] so construction code
     /// can stay straight-line; this method only records the connector.
@@ -263,11 +325,38 @@ impl GraphBuilder {
         dst: StageId,
         dst_port: usize,
     ) -> ConnectorId {
+        self.connect_with(src, src_port, dst, dst_port, PactKind::Pipeline)
+    }
+
+    /// Connects `src`'s output port to `dst`'s input port, recording the
+    /// partitioning contract for the static analyzer.
+    pub fn connect_with(
+        &mut self,
+        src: StageId,
+        src_port: usize,
+        dst: StageId,
+        dst_port: usize,
+        pact: PactKind,
+    ) -> ConnectorId {
         self.connectors.push(Connector {
             src: (src, src_port),
             dst: (dst, dst_port),
         });
+        self.pacts.push(pact);
         ConnectorId(self.connectors.len() - 1)
+    }
+
+    /// Declares that `stage` will request a notification at `time` once
+    /// running. The runtime records construction-time `notify_at` calls
+    /// here automatically; hand-built graphs may declare interests
+    /// directly so the analyzer's `NA0003` rule can check them.
+    pub fn declare_notification(&mut self, stage: StageId, time: Timestamp) {
+        self.notification_requests.push((stage, time));
+    }
+
+    /// The debug name of a stage added so far (diagnostics).
+    pub(crate) fn stage_name(&self, stage: StageId) -> &str {
+        &self.stages[stage.0].name
     }
 
     /// Validates the structure and computes all-pairs path summaries.
@@ -284,9 +373,32 @@ impl GraphBuilder {
             connectors: self.connectors,
             contexts: self.contexts,
             summaries: SummaryMatrix::empty(),
+            pacts: self.pacts,
+            notification_requests: self.notification_requests,
         };
         graph.summaries = SummaryMatrix::compute(&graph);
         Ok(graph)
+    }
+
+    /// Like [`GraphBuilder::build`], then runs the static analyzer
+    /// ([`crate::analysis`]) over the validated graph and its all-pairs
+    /// path summaries. Diagnostics at or above
+    /// [`AnalysisConfig::deny`](crate::analysis::AnalysisConfig) severity
+    /// reject the graph with [`GraphError::Analysis`]; the full
+    /// [`AnalysisReport`] is returned alongside the graph otherwise.
+    pub fn build_checked(
+        self,
+        config: &AnalysisConfig,
+    ) -> Result<(LogicalGraph, AnalysisReport), GraphError> {
+        let graph = self.build()?;
+        let report = analysis::analyze(&graph, config);
+        if let Some(diagnostic) = report.first_denied(config) {
+            return Err(GraphError::Analysis {
+                diagnostic: Box::new(diagnostic.clone()),
+                report: Box::new(report),
+            });
+        }
+        Ok((graph, report))
     }
 
     fn validate_ports(&self) -> Result<(), GraphError> {
@@ -296,6 +408,7 @@ impl GraphBuilder {
             if sp >= self.stages[src.0].outputs {
                 return Err(GraphError::PortOutOfRange {
                     stage: src,
+                    name: self.stage_name(src).to_string(),
                     port: sp,
                     output: true,
                 });
@@ -303,6 +416,7 @@ impl GraphBuilder {
             if dp >= self.stages[dst.0].inputs {
                 return Err(GraphError::PortOutOfRange {
                     stage: dst,
+                    name: self.stage_name(dst).to_string(),
                     port: dp,
                     output: false,
                 });
@@ -316,7 +430,9 @@ impl GraphBuilder {
             if self.output_context(c.src.0) != self.input_context(c.dst.0) {
                 return Err(GraphError::ContextMismatch {
                     src: c.src.0,
+                    src_name: self.stage_name(c.src.0).to_string(),
                     dst: c.dst.0,
+                    dst_name: self.stage_name(c.dst.0).to_string(),
                 });
             }
         }
@@ -334,12 +450,14 @@ impl GraphBuilder {
                 if count == 0 {
                     return Err(GraphError::UnconnectedInput {
                         stage: StageId(i),
+                        name: stage.name.clone(),
                         port,
                     });
                 }
                 if count > 1 {
                     return Err(GraphError::MultiplyConnectedInput {
                         stage: StageId(i),
+                        name: stage.name.clone(),
                         port,
                     });
                 }
@@ -383,7 +501,10 @@ impl GraphBuilder {
                 .find(|&i| indeg[i] > 0)
                 .map(StageId)
                 .expect("residue implies a positive in-degree stage");
-            Err(GraphError::InvalidCycle { stage })
+            Err(GraphError::InvalidCycle {
+                stage,
+                name: self.stage_name(stage).to_string(),
+            })
         }
     }
 }

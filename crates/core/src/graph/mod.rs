@@ -18,6 +18,8 @@ mod summaries;
 pub use builder::{GraphBuilder, GraphError};
 pub use summaries::SummaryMatrix;
 
+pub use crate::analysis::{AnalysisConfig, AnalysisReport};
+
 use crate::summary::Summary;
 
 /// Identifies a stage in a logical graph.
@@ -78,6 +80,20 @@ pub struct Connector {
     pub dst: (StageId, usize),
 }
 
+/// The partitioning contract of a connector, as far as the static
+/// analyzer needs to know it (the data-typed routing function itself
+/// lives in the runtime's `Pact`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PactKind {
+    /// Records stay on the producing worker.
+    #[default]
+    Pipeline,
+    /// Records are routed by a data-determined partitioning function.
+    Exchange,
+    /// Every worker receives a copy of every record.
+    Broadcast,
+}
+
 /// A loop context.
 #[derive(Clone, Copy, Debug)]
 pub struct Context {
@@ -105,12 +121,37 @@ pub struct LogicalGraph {
     pub(crate) connectors: Vec<Connector>,
     pub(crate) contexts: Vec<Context>,
     pub(crate) summaries: SummaryMatrix,
+    /// Per-connector partitioning contract, parallel to `connectors`.
+    pub(crate) pacts: Vec<PactKind>,
+    /// Notification interests declared at construction time, consumed by
+    /// the static analyzer (`NA0003`).
+    pub(crate) notification_requests: Vec<(StageId, crate::time::Timestamp)>,
 }
 
 impl LogicalGraph {
     /// The stages, indexed by [`StageId`].
     pub fn stages(&self) -> &[Stage] {
         &self.stages
+    }
+
+    /// The debug name of a stage (shown in diagnostics).
+    pub fn stage_name(&self, stage: StageId) -> &str {
+        &self.stages[stage.0].name
+    }
+
+    /// The partitioning contract recorded for a connector.
+    pub fn connector_pact(&self, connector: ConnectorId) -> PactKind {
+        self.pacts
+            .get(connector.0)
+            .copied()
+            .unwrap_or(PactKind::Pipeline)
+    }
+
+    /// Notification interests declared while the graph was built (via
+    /// [`GraphBuilder::declare_notification`] or construction-time
+    /// `notify_at` calls).
+    pub fn notification_requests(&self) -> &[(StageId, crate::time::Timestamp)] {
+        &self.notification_requests
     }
 
     /// The connectors, indexed by [`ConnectorId`].

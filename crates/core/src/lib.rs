@@ -62,6 +62,9 @@
 //! assert_eq!(all, vec![2, 4, 6]);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod analysis;
 pub mod dataflow;
 pub mod graph;
 pub mod order;

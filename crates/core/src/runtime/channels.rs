@@ -195,6 +195,16 @@ impl<D> Pact<D> {
     pub fn exchange(f: impl Fn(&D) -> u64 + 'static) -> Self {
         Pact::Exchange(Rc::new(f))
     }
+
+    /// The data-type-erased contract kind, recorded on the logical graph
+    /// for the static analyzer (`NA0005`/`NA0006`).
+    pub fn kind(&self) -> crate::graph::PactKind {
+        match self {
+            Pact::Pipeline => crate::graph::PactKind::Pipeline,
+            Pact::Exchange(_) => crate::graph::PactKind::Exchange,
+            Pact::Broadcast => crate::graph::PactKind::Broadcast,
+        }
+    }
 }
 
 impl<D> Clone for Pact<D> {
@@ -358,7 +368,7 @@ impl<D: ExchangeData> Pusher<D> {
                 remote = true;
                 let net = self.net.as_ref().expect("remote route requires a fabric");
                 if let Err(err) =
-                    send_with_retry(net, self.policy, *process, *tag, TrafficClass::Data, bytes)
+                    send_with_retry(net, self.policy, *process, *tag, TrafficClass::Data, &bytes)
                 {
                     let kind = FaultKind::from_send_error(err);
                     self.recorder.record(TelemetryEvent::FaultEscalated { kind });
@@ -575,7 +585,7 @@ mod tests {
     fn puller_journals_retirement_after_settle() {
         let reg = Arc::new(ProcessRegistry::default());
         let j = journal();
-        let rc = ctx(reg.clone());
+        let rc = ctx(reg);
         let mut pusher = Pusher::new(&rc, 0, ConnectorId(4), Pact::Pipeline, j.clone());
         let mut puller = Puller::<u64>::new(&rc, 0, ConnectorId(4), j.clone());
         pusher.give(Timestamp::new(2), 42u64);
@@ -595,7 +605,7 @@ mod tests {
     fn pull_settles_previous_batch() {
         let reg = Arc::new(ProcessRegistry::default());
         let j = journal();
-        let rc = ctx(reg.clone());
+        let rc = ctx(reg);
         let mut pusher = Pusher::new(&rc, 0, ConnectorId(0), Pact::Pipeline, j.clone());
         let mut puller = Puller::<u64>::new(&rc, 0, ConnectorId(0), j.clone());
         pusher.give(Timestamp::new(0), 1u64);
@@ -631,10 +641,10 @@ mod tests {
     fn pusher_and_puller_record_telemetry() {
         let reg = Arc::new(ProcessRegistry::default());
         let j = journal();
-        let mut rc = ctx(reg.clone());
+        let mut rc = ctx(reg);
         rc.recorder = Recorder::with_capacity(16);
         let mut pusher = Pusher::new(&rc, 0, ConnectorId(4), Pact::Pipeline, j.clone());
-        let mut puller = Puller::<u64>::new(&rc, 0, ConnectorId(4), j.clone());
+        let mut puller = Puller::<u64>::new(&rc, 0, ConnectorId(4), j);
         pusher.give(Timestamp::new(0), 1u64);
         pusher.give(Timestamp::new(0), 2u64);
         pusher.flush();

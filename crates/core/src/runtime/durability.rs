@@ -301,7 +301,7 @@ mod tests {
             ])))
         );
         // Flipped payload bit.
-        let mut flipped = blob.clone();
+        let mut flipped = blob;
         *flipped.last_mut().unwrap() ^= 1;
         assert!(matches!(
             open_blob(&flipped),

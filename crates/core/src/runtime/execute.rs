@@ -166,6 +166,10 @@ where
 /// Like [`execute`], additionally returning the fabric's traffic meters so
 /// benchmarks can report exchanged data and progress bytes (Figures 6a,
 /// 6c) and fault-injection experiments can read the fault counters.
+// By-value `Config` is deliberate API ergonomics: callers build the config
+// inline (`execute_with_metrics(Config::single_process(2).telemetry(true), …)`)
+// and the function owns the cluster lifecycle it describes.
+#[allow(clippy::needless_pass_by_value)]
 pub fn execute_with_metrics<F, T>(
     config: Config,
     worker_fn: F,
@@ -174,7 +178,7 @@ where
     F: Fn(&mut Worker) -> T + Send + Sync + 'static,
     T: Send + 'static,
 {
-    execute_inner(config, worker_fn).map(|(results, metrics, _)| (results, metrics))
+    execute_inner(&config, worker_fn).map(|(results, metrics, _)| (results, metrics))
 }
 
 /// Like [`execute`], with telemetry forced on: returns the unified
@@ -190,7 +194,7 @@ where
     T: Send + 'static,
 {
     let config = config.telemetry(true);
-    execute_inner(config, worker_fn).map(|(results, _, snapshot)| {
+    execute_inner(&config, worker_fn).map(|(results, _, snapshot)| {
         (
             results,
             snapshot.expect("telemetry enabled yields a snapshot"),
@@ -205,7 +209,7 @@ pub(crate) type ExecuteOutput<T> = (Vec<T>, Arc<FabricMetrics>, Option<Telemetry
 
 /// The shared bring-up/tear-down path behind every `execute` variant.
 pub(crate) fn execute_inner<F, T>(
-    config: Config,
+    config: &Config,
     worker_fn: F,
 ) -> Result<ExecuteOutput<T>, ExecuteError>
 where
@@ -232,7 +236,7 @@ where
     // that process's router thread; kept here so the snapshot can sum the
     // per-process counters after the join.
     let mut liveness_handles: Vec<Arc<Liveness>> = Vec::new();
-    let policy = RetryPolicy::from_config(&config);
+    let policy = RetryPolicy::from_config(config);
     let worker_fn = Arc::new(worker_fn);
     // When telemetry is on, worker threads push their harvests here after
     // the closure returns; the snapshot is assembled post-join.
@@ -289,7 +293,7 @@ where
 
         let liveness = config
             .heartbeats
-            .then(|| Arc::new(Liveness::new(process, processes, &config, clock.clone())));
+            .then(|| Arc::new(Liveness::new(process, processes, config, clock.clone())));
         if let Some(live) = &liveness {
             liveness_handles.push(live.clone());
         }
@@ -309,14 +313,14 @@ where
                     .spawn(move || {
                         run_router(
                             rx,
-                            registry,
+                            &registry,
                             wpp,
-                            accumulator,
-                            shutdown,
-                            net,
-                            liveness,
-                            escalation,
-                            stats,
+                            accumulator.as_deref(),
+                            &shutdown,
+                            &net,
+                            liveness.as_deref(),
+                            &escalation,
+                            &stats,
                         )
                     })
                     .expect("spawn router thread"),
@@ -374,14 +378,14 @@ where
             .spawn(move || {
                 run_central_accumulator(
                     rx,
-                    net,
-                    directory,
+                    &net,
+                    &directory,
                     processes,
                     total_workers,
-                    shutdown,
+                    &shutdown,
                     policy,
-                    escalation,
-                    stats,
+                    &escalation,
+                    &stats,
                 )
             })
             .expect("spawn central accumulator thread")

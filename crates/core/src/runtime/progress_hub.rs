@@ -119,7 +119,7 @@ impl ProcessAccumulator {
     pub(crate) fn deposit(&mut self, dataflow: usize, updates: Vec<ProgressUpdate>) {
         ensure_registered(&mut self.core, &self.registry, dataflow);
         if let Some(batch) = self.core.deposit(dataflow as u32, updates) {
-            self.forward(batch);
+            self.forward(&batch);
         }
     }
 
@@ -129,30 +129,30 @@ impl ProcessAccumulator {
     pub(crate) fn observe(&mut self, dataflow: usize, updates: &[ProgressUpdate]) {
         ensure_registered(&mut self.core, &self.registry, dataflow);
         if let Some(batch) = self.core.observe(dataflow as u32, updates) {
-            self.forward(batch);
+            self.forward(&batch);
         }
     }
 
-    fn forward(&mut self, batch: ProgressBatch) {
-        let bytes: Bytes = encode_to_vec(&batch).into();
+    fn forward(&mut self, batch: &ProgressBatch) {
+        let bytes: Bytes = encode_to_vec(batch).into();
         match self.mode {
             ProgressMode::Local => {
                 // Broadcast directly to every process (including ours),
                 // retrying each link independently so one flaky link never
                 // re-sends to links that already accepted the batch.
                 for dst in 0..self.processes {
-                    self.send_or_escalate(dst, PROGRESS_TAG, bytes.clone());
+                    self.send_or_escalate(dst, PROGRESS_TAG, &bytes);
                 }
             }
             ProgressMode::LocalGlobal => {
                 // Up the tree: the central accumulator redistributes.
-                self.send_or_escalate(self.processes, CENTRAL_TAG, bytes);
+                self.send_or_escalate(self.processes, CENTRAL_TAG, &bytes);
             }
             _ => unreachable!("process accumulators exist only in local modes"),
         }
     }
 
-    fn send_or_escalate(&self, dst: usize, tag: u32, bytes: Bytes) {
+    fn send_or_escalate(&self, dst: usize, tag: u32, bytes: &Bytes) {
         if let Err(err) =
             send_with_retry(&self.net, self.policy, dst, tag, TrafficClass::Progress, bytes)
         {
@@ -167,14 +167,14 @@ impl ProcessAccumulator {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_central_accumulator(
     mut rx: NetReceiver,
-    net: Arc<Mutex<NetSender>>,
-    registry: Arc<ProcessRegistry>,
+    net: &Arc<Mutex<NetSender>>,
+    registry: &ProcessRegistry,
     processes: usize,
     total_workers: usize,
-    shutdown: Arc<AtomicBool>,
+    shutdown: &AtomicBool,
     policy: RetryPolicy,
-    escalation: Arc<EscalationCell>,
-    stats: Arc<HubStats>,
+    escalation: &EscalationCell,
+    stats: &HubStats,
 ) {
     // fold_on_flush: the central accumulator has no table of its own and
     // never hears its broadcasts back, so flushed content folds at flush
@@ -196,19 +196,19 @@ pub(crate) fn run_central_accumulator(
                             env.payload.len()
                         )
                     });
-                ensure_registered(&mut core, &registry, batch.dataflow as usize);
+                ensure_registered(&mut core, registry, batch.dataflow as usize);
                 if let Some(out) = core.deposit(batch.dataflow, batch.updates) {
                     let bytes: Bytes = encode_to_vec(&out).into();
                     for dst in 0..processes {
                         if let Err(err) = send_with_retry(
-                            &net,
+                            net,
                             policy,
                             dst,
                             PROGRESS_TAG,
                             TrafficClass::Progress,
-                            bytes.clone(),
+                            &bytes,
                         ) {
-                            escalate(&escalation, FaultKind::from_send_error(err));
+                            escalate(escalation, FaultKind::from_send_error(err));
                         }
                     }
                 }
@@ -240,14 +240,14 @@ pub(crate) fn run_central_accumulator(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_router(
     mut rx: NetReceiver,
-    registry: Arc<ProcessRegistry>,
+    registry: &ProcessRegistry,
     workers_per_process: usize,
-    accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
-    shutdown: Arc<AtomicBool>,
-    net: Arc<Mutex<NetSender>>,
-    liveness: Option<Arc<Liveness>>,
-    escalation: Arc<EscalationCell>,
-    stats: Arc<HubStats>,
+    accumulator: Option<&Mutex<ProcessAccumulator>>,
+    shutdown: &AtomicBool,
+    net: &Arc<Mutex<NetSender>>,
+    liveness: Option<&Liveness>,
+    escalation: &EscalationCell,
+    stats: &HubStats,
 ) {
     // Lazily resolved progress-inbox senders, one per local worker.
     let progress_txs: Vec<_> = (0..workers_per_process)
@@ -264,7 +264,7 @@ pub(crate) fn run_router(
         if let Some(live) = &liveness {
             // Emission and detection both ride the router tick: `maybe_beat`
             // is interval-gated internally (one atomic load when not due).
-            let detected = live.maybe_beat(&net).or_else(|| live.scan());
+            let detected = live.maybe_beat(net).or_else(|| live.scan());
             if let Some(kind) = detected {
                 escalation.raise(kind);
             }

@@ -39,7 +39,7 @@ use super::worker::Worker;
 use crate::telemetry::TelemetrySnapshot;
 
 /// Tuning for [`execute_resilient`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct RecoveryOptions {
     /// Total attempts, including the initial run. Once exhausted the
     /// coordinator reports [`ExecuteError::RecoveryFailed`].
@@ -263,7 +263,7 @@ where
             stores: stores.clone(),
         };
         let f = worker_fn.clone();
-        let outcome = execute_inner(config.clone(), move |worker| f(worker, &recovery));
+        let outcome = execute_inner(&config, move |worker| f(worker, &recovery));
         match outcome {
             Ok((results, metrics, telemetry)) => {
                 return Ok(ResilientReport {

@@ -157,7 +157,7 @@ pub(crate) fn send_with_retry(
     dst: usize,
     channel: u32,
     class: TrafficClass,
-    payload: Bytes,
+    payload: &Bytes,
 ) -> Result<(), SendError> {
     let mut attempt = 0u32;
     loop {
@@ -200,7 +200,7 @@ mod tests {
             1,
             7,
             TrafficClass::Data,
-            vec![1u8].into(),
+            &vec![1u8].into(),
         )
         .unwrap();
         assert_eq!(b.recv_blocking().unwrap().payload.as_ref(), &[1u8]);
@@ -215,7 +215,7 @@ mod tests {
         let a = endpoints.pop().unwrap();
         let (tx, _rx) = a.split();
         let net = Arc::new(Mutex::new(tx));
-        let err = send_with_retry(&net, policy(4), 1, 7, TrafficClass::Data, vec![1u8].into())
+        let err = send_with_retry(&net, policy(4), 1, 7, TrafficClass::Data, &vec![1u8].into())
             .unwrap_err();
         assert_eq!(err, SendError::Partitioned { src: 0, dst: 1 });
         assert!(FaultKind::from_send_error(err) == FaultKind::LinkFailed { src: 0, dst: 1 });
@@ -229,7 +229,7 @@ mod tests {
         a.fault_controller().crash(1);
         let (tx, _rx) = a.split();
         let net = Arc::new(Mutex::new(tx));
-        let err = send_with_retry(&net, policy(8), 1, 7, TrafficClass::Data, vec![1u8].into())
+        let err = send_with_retry(&net, policy(8), 1, 7, TrafficClass::Data, &vec![1u8].into())
             .unwrap_err();
         assert_eq!(err, SendError::PeerCrashed { dst: 1 });
         assert_eq!(

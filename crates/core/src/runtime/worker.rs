@@ -14,6 +14,7 @@ use naiad_wire::{encode_to_vec, Bytes};
 
 use super::sync::Mutex;
 
+use crate::analysis::{AnalysisConfig, AnalysisReport};
 use crate::dataflow::{OpCore, Scope, StateRegistry, TrackerCell};
 use crate::progress::{
     BatchEmitter, FifoChecker, PointstampTable, ProgressBatch, ProgressMode, ProgressUpdate,
@@ -194,11 +195,35 @@ impl Worker {
     /// SPMD contract (§3.1's logical graph is shared; each worker
     /// instantiates its own vertices).
     ///
+    /// The constructed graph is validated *and* statically analyzed (see
+    /// [`crate::analysis`]) with the default [`AnalysisConfig`] before any
+    /// vertex runs; use [`Worker::dataflow_with_report`] to customize the
+    /// analyzer or inspect its findings.
+    ///
     /// # Panics
     ///
     /// Panics if the constructed graph fails validation (invalid cycle,
-    /// unconnected input, cross-context connector, …).
+    /// unconnected input, cross-context connector, …) or carries an
+    /// analyzer diagnostic at `Error` severity.
     pub fn dataflow<R>(&mut self, construct: impl FnOnce(&mut Scope) -> R) -> R {
+        self.dataflow_with_report(&AnalysisConfig::default(), construct)
+            .0
+    }
+
+    /// Like [`Worker::dataflow`], but analyzes the graph under `config`
+    /// and returns the full [`AnalysisReport`] alongside the construction
+    /// closure's result. The report (error/warning/info counts) is also
+    /// recorded as a telemetry event when telemetry is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph fails validation or carries a diagnostic at or
+    /// above `config.deny` severity.
+    pub fn dataflow_with_report<R>(
+        &mut self,
+        config: &AnalysisConfig,
+        construct: impl FnOnce(&mut Scope) -> R,
+    ) -> (R, AnalysisReport) {
         let id = self.next_dataflow;
         self.next_dataflow += 1;
         let journal: Journal = Rc::new(RefCell::new(Vec::new()));
@@ -219,7 +244,7 @@ impl Worker {
         let mut scope = Scope::new(routing, journal.clone(), tracker.clone());
         let result = construct(&mut scope);
 
-        let (graph, ops, states) = scope.finalize();
+        let (graph, ops, states, report) = scope.finalize(config);
         let graph = Arc::new(graph);
         self.registry.register_dataflow(id, graph.clone());
         self.directory.register_dataflow(id, graph.clone());
@@ -232,6 +257,12 @@ impl Worker {
                 })
                 .collect();
             self.recorder.register_dataflow(id, &graph, operators);
+            self.recorder.record(TelemetryEvent::AnalysisReport {
+                dataflow: id as u32,
+                errors: report.error_count() as u32,
+                warnings: report.warning_count() as u32,
+                infos: report.info_count() as u32,
+            });
         }
         *tracker.borrow_mut() = Some(PointstampTable::initialized(graph, self.peers));
         let runtime = DataflowRuntime {
@@ -262,7 +293,7 @@ impl Worker {
             }
         }
         self.dataflows.push(runtime);
-        result
+        (result, report)
     }
 
     /// Serializes every registered vertex state of every dataflow (§3.4).
@@ -654,7 +685,7 @@ impl Worker {
                     });
                     let bytes: Bytes = encode_to_vec(&batch).into();
                     for dst in 0..processes {
-                        self.send_progress(dst, PROGRESS_TAG, bytes.clone());
+                        self.send_progress(dst, PROGRESS_TAG, &bytes);
                     }
                 }
             }
@@ -669,7 +700,7 @@ impl Worker {
                 });
                 let bytes: Bytes = encode_to_vec(&batch).into();
                 let central = self.central_endpoint();
-                self.send_progress(central, CENTRAL_TAG, bytes);
+                self.send_progress(central, CENTRAL_TAG, &bytes);
             }
             ProgressMode::Local | ProgressMode::LocalGlobal => {
                 let acc = self
@@ -688,7 +719,7 @@ impl Worker {
 
     /// Sends one progress payload with retry; escalates a fault the retry
     /// budget cannot mask.
-    fn send_progress(&mut self, dst: usize, tag: u32, bytes: Bytes) {
+    fn send_progress(&mut self, dst: usize, tag: u32, bytes: &Bytes) {
         if let Err(err) =
             send_with_retry(&self.net, self.policy, dst, tag, TrafficClass::Progress, bytes)
         {

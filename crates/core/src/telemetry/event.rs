@@ -151,6 +151,19 @@ pub enum TelemetryEvent {
         /// Active pointstamps outstanding at the time.
         active: u32,
     },
+    /// The static analyzer ([`crate::analysis`]) ran over a freshly built
+    /// dataflow graph; counts summarize its findings by severity.
+    AnalysisReport {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Error-severity diagnostics (zero, or the build would have been
+        /// denied under the default config).
+        errors: u32,
+        /// Warning-severity diagnostics.
+        warnings: u32,
+        /// Info-severity diagnostics.
+        infos: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -173,6 +186,7 @@ impl TelemetryEvent {
             TelemetryEvent::PeerCleared { .. } => "peer_cleared",
             TelemetryEvent::PeerFailed { .. } => "peer_failed",
             TelemetryEvent::Stalled { .. } => "stalled",
+            TelemetryEvent::AnalysisReport { .. } => "analysis",
         }
     }
 }
@@ -305,6 +319,17 @@ impl EventRecord {
             }
             TelemetryEvent::PeerCleared { peer } => {
                 let _ = write!(s, ",\"peer\":{peer}");
+            }
+            TelemetryEvent::AnalysisReport {
+                dataflow,
+                errors,
+                warnings,
+                infos,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"errors\":{errors},\"warnings\":{warnings},\"infos\":{infos}"
+                );
             }
             TelemetryEvent::Stalled { idle_ms, active } => {
                 let _ = write!(s, ",\"idle_ms\":{idle_ms},\"active\":{active}");

@@ -66,6 +66,10 @@ pub struct WorkerCounters {
     pub peer_failures: u64,
     /// Global stalls declared by this worker's watchdog.
     pub stalls: u64,
+    /// Static-analyzer reports recorded (one per built dataflow).
+    pub analysis_reports: u64,
+    /// Warning-severity analyzer diagnostics across those reports.
+    pub analysis_warnings: u64,
 }
 
 /// Per-operator (dataflow, stage) scheduling aggregates.
@@ -237,6 +241,10 @@ impl EventLog {
             TelemetryEvent::PeerCleared { .. } => {}
             TelemetryEvent::PeerFailed { .. } => c.peer_failures += 1,
             TelemetryEvent::Stalled { .. } => c.stalls += 1,
+            TelemetryEvent::AnalysisReport { warnings, .. } => {
+                c.analysis_reports += 1;
+                c.analysis_warnings += u64::from(warnings);
+            }
         }
     }
 }

@@ -390,7 +390,7 @@ impl NetSender {
         &mut self,
         channel: u32,
         class: TrafficClass,
-        payload: Bytes,
+        payload: &Bytes,
     ) -> Result<(), SendError> {
         let mut first_err = None;
         for dst in 0..self.senders.len() {
@@ -671,7 +671,7 @@ impl Endpoint {
         &mut self,
         channel: u32,
         class: TrafficClass,
-        payload: Bytes,
+        payload: &Bytes,
     ) -> Result<(), SendError> {
         self.sender.broadcast(channel, class, payload)
     }
@@ -731,7 +731,7 @@ mod tests {
     fn broadcast_reaches_everyone_and_meters_each_link() {
         let mut eps = Fabric::builder(3).build();
         let payload = Bytes::from_static(&[1, 2, 3, 4]);
-        eps[0].broadcast(1, TrafficClass::Progress, payload).unwrap();
+        eps[0].broadcast(1, TrafficClass::Progress, &payload).unwrap();
         let metrics = eps[0].metrics().clone();
         for ep in eps.iter_mut() {
             let env = ep.recv_blocking().unwrap();

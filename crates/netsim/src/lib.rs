@@ -36,6 +36,8 @@
 //! assert_eq!((env.src, env.channel, &env.payload[..]), (0, 7, &[1u8, 2, 3][..]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod clock;
 mod endpoint;
 mod fault;

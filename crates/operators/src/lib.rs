@@ -51,6 +51,8 @@
 //! assert_eq!(all, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 // Dataflow state cells are inherently nested (`Rc<RefCell<HashMap<…>>>`);
 // naming each shape would add indirection without clarity.
 #![allow(clippy::type_complexity)]

@@ -67,6 +67,8 @@
 //! assert_eq!(dists, vec![(0, 0), (1, 1), (2, 2)]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 // Dataflow state cells are inherently nested (`Rc<RefCell<HashMap<…>>>`);
 // naming each shape would add indirection without clarity.
 #![allow(clippy::type_complexity)]
@@ -162,10 +164,18 @@ impl<P: VertexProgram> Compute<'_, P> {
         self.outbox.push((target, message));
     }
 
-    /// Sends a copy of `message` to every out-neighbour.
+    /// Sends a copy of `message` to every out-neighbour; the last
+    /// neighbour consumes the original.
     pub fn send_to_all(&mut self, message: P::Msg) {
-        for &e in self.edges {
-            self.outbox.push((e, message.clone()));
+        let last = self.edges.len().saturating_sub(1);
+        let mut message = Some(message);
+        for (i, &e) in self.edges.iter().enumerate() {
+            let msg = if i == last {
+                message.take().expect("message moved once")
+            } else {
+                message.clone().expect("message present until last")
+            };
+            self.outbox.push((e, msg));
         }
     }
 

@@ -8,6 +8,8 @@
 //! consumer seeds its own generator (often salted per link, per worker,
 //! or per dataset) so streams are independent and runs are replayable.
 
+#![forbid(unsafe_code)]
+
 /// A seeded xorshift64* generator.
 ///
 /// Statistical quality is adequate for simulation and test-input

@@ -27,6 +27,8 @@
 //! assert_eq!(record, back);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bytes;
 mod collections;
 mod error;

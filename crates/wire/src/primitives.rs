@@ -146,32 +146,32 @@ impl Wire for () {
 mod tests {
     use crate::{decode_from_slice, encode_to_vec, Wire, WireError};
 
-    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
-        let bytes = encode_to_vec(&v);
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = encode_to_vec(v);
         assert_eq!(bytes.len(), v.encoded_len());
-        assert_eq!(decode_from_slice::<T>(&bytes).unwrap(), v);
+        assert_eq!(decode_from_slice::<T>(&bytes).unwrap(), *v);
     }
 
     #[test]
     fn scalars_roundtrip() {
-        roundtrip(0u8);
-        roundtrip(255u8);
-        roundtrip(u16::MAX);
-        roundtrip(u32::MAX);
-        roundtrip(u64::MAX);
-        roundtrip(usize::MAX);
-        roundtrip(i8::MIN);
-        roundtrip(i16::MIN);
-        roundtrip(i32::MIN);
-        roundtrip(i64::MIN);
-        roundtrip(isize::MIN);
-        roundtrip(true);
-        roundtrip(false);
-        roundtrip(1.5f32);
-        roundtrip(-0.0f64);
-        roundtrip('é');
-        roundtrip('\u{10FFFF}');
-        roundtrip(());
+        roundtrip(&0u8);
+        roundtrip(&255u8);
+        roundtrip(&u16::MAX);
+        roundtrip(&u32::MAX);
+        roundtrip(&u64::MAX);
+        roundtrip(&usize::MAX);
+        roundtrip(&i8::MIN);
+        roundtrip(&i16::MIN);
+        roundtrip(&i32::MIN);
+        roundtrip(&i64::MIN);
+        roundtrip(&isize::MIN);
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&1.5f32);
+        roundtrip(&-0.0f64);
+        roundtrip(&'é');
+        roundtrip(&'\u{10FFFF}');
+        roundtrip(&());
     }
 
     #[test]

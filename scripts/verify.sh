@@ -8,18 +8,45 @@ cd "$(dirname "$0")/.."
 
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
+echo "== unsafe-free gate =="
+# Every crate carries #![forbid(unsafe_code)]; this grep is the belt to
+# that suspender — it fails if any `unsafe` token appears in source, or if
+# any crate root has dropped the forbid attribute.
+if grep -rn --include='*.rs' -E '\bunsafe\b' src crates examples \
+    | grep -v 'forbid(unsafe_code)'; then
+  echo "verify: FAIL — 'unsafe' found in source (workspace is forbid(unsafe_code))"
+  exit 1
+fi
+for root in src/lib.rs crates/*/src/lib.rs; do
+  if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+    echo "verify: FAIL — $root is missing #![forbid(unsafe_code)]"
+    exit 1
+  fi
+done
+
 echo "== build (release, workspace) =="
 cargo build --release --workspace
 
-echo "== clippy (workspace, all targets) =="
+echo "== clippy (workspace, all targets, + pedantic selections) =="
+# The pedantic selections (-W …) must precede -D warnings so they are
+# promoted to errors along with everything else.
 if cargo clippy --version >/dev/null 2>&1; then
-  cargo clippy --workspace --all-targets -- -D warnings
+  cargo clippy --workspace --all-targets -- \
+    -W clippy::redundant_clone \
+    -W clippy::needless_pass_by_value \
+    -W clippy::inefficient_to_string \
+    -D warnings
 else
   echo "clippy not installed; skipping lint gate"
 fi
 
 echo "== tests (workspace) =="
 cargo test -q --workspace
+
+echo "== static dataflow analyzer (naiad-lint over the in-repo catalog) =="
+# Exits non-zero if any in-repo dataflow carries an Error-severity
+# diagnostic (NA0001–NA0006; DESIGN.md §12).
+cargo run -q --release --example naiad_lint
 
 # Extended chaos soak: CHAOS_SOAK_SEEDS=n runs n extra seeded composite
 # fault schedules past the 32 the workspace tests always cover. The CI

@@ -4,6 +4,8 @@
 //! package exists to host the runnable examples (`cargo run --example
 //! quickstart`) and the cross-crate integration tests (`cargo test`).
 
+#![forbid(unsafe_code)]
+
 /// Splits `items` round-robin across `peers` workers and returns the slice
 /// for `index` — the feeding pattern every example uses.
 pub fn my_share<T: Clone>(items: &[T], index: usize, peers: usize) -> Vec<T> {

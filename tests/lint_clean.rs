@@ -1,0 +1,127 @@
+//! Regression: every dataflow shape this repository ships must be clean
+//! under the static analyzer (`naiad::analysis`, DESIGN.md §12) at the
+//! default configuration — the same gate `scripts/verify.sh` enforces by
+//! running `cargo run --example naiad_lint`. These tests pin the contract
+//! at the API level so a rule regression (or a new dataflow that trips a
+//! rule) fails `cargo test` before it fails the lint gate.
+
+use naiad::analysis::{AnalysisConfig, Severity};
+use naiad::telemetry::TelemetryEvent;
+use naiad::{execute, execute_with_telemetry, Config};
+use naiad_algorithms::pagerank::pagerank_vertex;
+use naiad_algorithms::scc::strongly_connected_components;
+use naiad_algorithms::wcc::connected_components;
+use naiad_algorithms::wordcount::wordcount;
+use naiad_operators::prelude::*;
+
+/// Advisory config: deny nothing, so the assertion below sees the full
+/// report rather than a panic out of `Scope::finalize`.
+fn advisory() -> AnalysisConfig {
+    AnalysisConfig {
+        deny: Severity::Never,
+        ..AnalysisConfig::default()
+    }
+}
+
+#[test]
+fn operator_library_idioms_are_lint_clean() {
+    let reports = execute(Config::single_process(1), |worker| {
+        let cfg = advisory();
+        let (_, joins) = worker.dataflow_with_report(&cfg, |scope| {
+            let (_a, left) = scope.new_input::<(u64, u64)>();
+            let (_b, right) = scope.new_input::<(u64, String)>();
+            left.join(&right, |k, v, s: &String| (*k, *v, s.clone()))
+                .probe();
+        });
+        let (_, loops) = worker.dataflow_with_report(&cfg, |scope| {
+            let (_input, seeds) = scope.new_input::<u64>();
+            seeds
+                .iterate(Some(8), |inner| inner.map(|x: u64| x / 2).distinct())
+                .probe();
+        });
+        vec![("join", joins), ("iterate", loops)]
+    })
+    .unwrap();
+    for (name, report) in reports.into_iter().flatten() {
+        assert!(
+            report.diagnostics().is_empty(),
+            "dataflow {name:?} is not lint-clean:\n{}",
+            report.render_text(name)
+        );
+    }
+}
+
+#[test]
+fn algorithm_workloads_are_lint_clean() {
+    let reports = execute(Config::single_process(1), |worker| {
+        let cfg = advisory();
+        let (_, wc) = worker.dataflow_with_report(&cfg, |scope| {
+            let (_input, lines) = scope.new_input::<String>();
+            wordcount(&lines).probe();
+        });
+        let (_, cc) = worker.dataflow_with_report(&cfg, |scope| {
+            let (_input, edges) = scope.new_input::<(u64, u64)>();
+            connected_components(&edges).probe();
+        });
+        let (_, pr) = worker.dataflow_with_report(&cfg, |scope| {
+            let (_input, edges) = scope.new_input::<(u64, u64)>();
+            pagerank_vertex(&edges, 5).probe();
+        });
+        let (_, scc) = worker.dataflow_with_report(&cfg, |scope| {
+            let (_input, edges) = scope.new_input::<(u64, u64)>();
+            strongly_connected_components(&edges, 8).probe();
+        });
+        vec![
+            ("wordcount", wc),
+            ("wcc", cc),
+            ("pagerank_vertex", pr),
+            ("scc", scc),
+        ]
+    })
+    .unwrap();
+    for (name, report) in reports.into_iter().flatten() {
+        assert!(
+            report.diagnostics().is_empty(),
+            "dataflow {name:?} is not lint-clean:\n{}",
+            report.render_text(name)
+        );
+    }
+}
+
+#[test]
+fn analysis_report_lands_in_telemetry() {
+    // Every `dataflow`/`dataflow_with_report` call records one
+    // `analysis` event per constructing worker when telemetry is on.
+    let (_, snapshot) = execute_with_telemetry(Config::single_process(2), |worker| {
+        let (mut input, probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<u64>();
+            (input, stream.probe())
+        });
+        input.send(1);
+        input.close();
+        worker.step_until_done();
+        drop(probe);
+    })
+    .unwrap();
+
+    let mut seen = 0usize;
+    for log in &snapshot.logs {
+        for record in &log.events {
+            if let TelemetryEvent::AnalysisReport {
+                errors,
+                warnings,
+                infos,
+                ..
+            } = record.event
+            {
+                seen += 1;
+                assert_eq!(
+                    (errors, warnings, infos),
+                    (0, 0, 0),
+                    "in-repo dataflow must be analyzer-clean"
+                );
+            }
+        }
+    }
+    assert_eq!(seen, 2, "one analysis event per constructing worker");
+}

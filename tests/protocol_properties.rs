@@ -324,7 +324,7 @@ fn fan_in_waits_for_the_slower_branch() {
     g.connect(join, 0, out, 0);
     let graph = Arc::new(g.build().expect("diamond is valid"));
 
-    let mut table = PointstampTable::new(graph.clone());
+    let mut table = PointstampTable::new(graph);
     let slow = Pointstamp::at_vertex(Timestamp::new(1), right);
     table.update(Pointstamp::at_vertex(Timestamp::new(5), left), 1);
     table.update(slow, 1);
