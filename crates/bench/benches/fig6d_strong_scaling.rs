@@ -9,7 +9,7 @@ use naiad_algorithms::datasets::{random_graph, zipf_words};
 use naiad_algorithms::wcc::wcc_once;
 use naiad_algorithms::wordcount::wordcount;
 use naiad_bench::{header, scaled, timed};
-use naiad_clustersim::{iterative_job_time, ClusterSpec, IterativeJob};
+use naiad_clustersim::{iterative_job_time, ClusterSim, ClusterSpec, IterativeJob, RescaleModel};
 use std::sync::Arc;
 
 fn main() {
@@ -82,5 +82,39 @@ fn main() {
         "\nShape check: WordCount scales near-linearly (paper: 46x at 64);\n\
          WCC saturates earlier under communication and coordination\n\
          (paper: 38x at 64, slowing past ~24 computers)."
+    );
+
+    // --- variant: rescale mid-run ---
+    // The strong-scaling job grows its worker set at an epoch fence
+    // instead of starting at the target size: pay one migration stall
+    // (quiesce + snapshot + NIC-bounded shard transfer + restore +
+    // replay), then run the remaining half of the job at the new scale.
+    println!(
+        "\nVariant: rescale mid-run (grow at the halfway fence, 256 MB keyed\nstate per computer)"
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>12}",
+        "from -> to", "stall (s)", "static (s)", "elastic (s)", "overhead"
+    );
+    let rescale = RescaleModel::paper_default(256.0e6);
+    for (from, to) in [(8, 16), (16, 32), (32, 64)] {
+        let half_small = iterative_job_time(&ClusterSpec::paper_cluster(from), &wc_job, 3) / 2.0;
+        let half_big = iterative_job_time(&ClusterSpec::paper_cluster(to), &wc_job, 3) / 2.0;
+        let static_big = iterative_job_time(&ClusterSpec::paper_cluster(to), &wc_job, 3);
+        let mut sim = ClusterSim::new(ClusterSpec::paper_cluster(from), 3);
+        let stall = sim.rescale_stall(&rescale, from, to).duration;
+        let elastic = half_small + stall + half_big;
+        println!(
+            "{:>10} {stall:>12.2} {static_big:>14.1} {elastic:>14.1} {:>11.1}%",
+            format!("{from} -> {to}"),
+            100.0 * (elastic - static_big) / static_big
+        );
+    }
+    println!(
+        "\nShape check: the stall is a near-constant ~5 s (NIC-bound shard\n\
+         transfer — modular re-routing moves nearly all keyed state), so for\n\
+         this seconds-long job growing mid-run costs multiples of starting\n\
+         big; elasticity only amortizes when the remaining work dwarfs the\n\
+         stall (see the EXPERIMENTS.md migration-stall table)."
     );
 }

@@ -2,7 +2,7 @@
 //! input held constant while computers grow.
 
 use naiad_bench::header;
-use naiad_clustersim::{iterative_job_time, ClusterSpec, IterativeJob};
+use naiad_clustersim::{iterative_job_time, ClusterSim, ClusterSpec, IterativeJob, RescaleModel};
 
 fn main() {
     header("Figure 6e", "weak scaling slowdown (1.0 = perfect)");
@@ -34,5 +34,33 @@ fn main() {
         "\nShape check: WCC degrades to ~1.4x at 64 computers because a fixed\n\
          360 MB/computer increasingly crosses the network (1/2 at n=2, 63/64\n\
          at n=64 — §5.4); WordCount's combiners keep it under ~1.25x."
+    );
+
+    // --- variant: rescale mid-run ---
+    // Weak scaling meets elasticity: the WCC job doubles its input *and*
+    // its worker set at a fence. The stall is dominated by re-routing the
+    // per-computer keyed state (360 MB, the same bytes the exchange
+    // moves), shrinking relative to the job as both scale together.
+    println!("\nVariant: rescale mid-run (double the cluster at the halfway fence)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "from -> to", "stall (s)", "job half (s)", "stall share"
+    );
+    let rescale = RescaleModel::paper_default(360.0e6);
+    for from in [2usize, 8, 32] {
+        let to = from * 2;
+        let half = time_wcc(to) / 2.0;
+        let mut sim = ClusterSim::new(ClusterSpec::paper_cluster(from), 9);
+        let stall = sim.rescale_stall(&rescale, from, to).duration;
+        println!(
+            "{:>10} {stall:>12.2} {half:>14.1} {:>11.1}%",
+            format!("{from} -> {to}"),
+            100.0 * stall / (half + stall)
+        );
+    }
+    println!(
+        "\nShape check: per-computer state is constant, so the NIC-bound stall\n\
+         is near-flat with scale — like the weak-scaled job itself — leaving\n\
+         a roughly constant stall share at every doubling."
     );
 }

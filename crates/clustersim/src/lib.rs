@@ -35,7 +35,7 @@ mod workloads;
 
 pub use model::{
     ClusterSim, ClusterSpec, FailureModel, HeartbeatModel, PhaseStats, RecoveryStats,
-    StragglerModel,
+    RescaleModel, StragglerModel,
 };
 pub use telemetry::{PhaseAgg, SimTelemetry};
 /// Re-export of the shared seeded generator (previously a private module

@@ -155,6 +155,59 @@ impl FailureModel {
     }
 }
 
+/// Analytical cost model of an epoch-fence elastic rescale — the
+/// simulator counterpart of the runtime's `execute_elastic`
+/// (`naiad::runtime::rescale`). A rescale stalls the dataflow for:
+///
+/// 1. **quiesce** — draining the progress frontier to the fence epoch;
+/// 2. **snapshot** — encoding every computer's keyed state into
+///    per-partition shards at `codec_bps`;
+/// 3. **transfer** — moving re-owned shards over the NICs. Modular key
+///    re-routing (`hash % workers`) reassigns almost every key when the
+///    worker count changes, so nearly all state crosses the network —
+///    the megaphone-style tax the EXPERIMENTS.md table prices;
+/// 4. **restore + replay** — decoding on the new worker set and
+///    replaying the fence epoch's logged input.
+#[derive(Debug, Clone)]
+pub struct RescaleModel {
+    /// Keyed operator state per computer at the fence, bytes.
+    pub state_bytes_per_computer: f64,
+    /// Seconds to drain the frontier to the fence (bounded by one epoch's
+    /// in-flight work; the runtime's barrier is `closed_through`).
+    pub quiesce_seconds: f64,
+    /// Checkpoint encode/decode throughput per computer, bytes/second.
+    pub codec_bps: f64,
+    /// Seconds of logged-input replay for the fence epoch on the new
+    /// membership.
+    pub replay_seconds: f64,
+}
+
+impl RescaleModel {
+    /// A runtime-plausible default: 150 MB/s codec, 50 ms quiesce, 100 ms
+    /// replay.
+    pub fn paper_default(state_bytes_per_computer: f64) -> Self {
+        RescaleModel {
+            state_bytes_per_computer,
+            quiesce_seconds: 0.05,
+            codec_bps: 150.0e6,
+            replay_seconds: 0.1,
+        }
+    }
+
+    /// Fraction of keys whose owner changes when re-routing from `from`
+    /// to `to` partitions. Modular routing keeps a key in place only when
+    /// `h % from == h % to`, which for uniform hashes happens about once
+    /// per `max(from, to)` keys — so a rescale moves nearly everything
+    /// (unlike consistent hashing's `1 - min/max`).
+    pub fn moved_fraction(from: usize, to: usize) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            1.0 - 1.0 / from.max(to) as f64
+        }
+    }
+}
+
 /// Outcome of simulating a checkpointed streaming job under a
 /// [`FailureModel`] — see [`ClusterSim::recovery_run`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -357,6 +410,51 @@ impl ClusterSim {
             straggler_delay: straggler,
         };
         self.telemetry.record_coordination(stats);
+        stats
+    }
+
+    /// Prices the stall of one epoch-fence rescale from `from` to `to`
+    /// computers (`self.spec.computers` is the *pre*-rescale count used
+    /// for straggler exposure; the slower of the two sets gates each
+    /// stage). Returns the full stall as one phase; the simulated clock
+    /// advances by it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either computer count is zero.
+    pub fn rescale_stall(
+        &mut self,
+        model: &RescaleModel,
+        from: usize,
+        to: usize,
+    ) -> PhaseStats {
+        assert!(from > 0 && to > 0, "rescale between non-empty worker sets");
+        let total_state = model.state_bytes_per_computer * from as f64;
+        // Snapshot: each pre-rescale computer encodes its own state.
+        let snapshot = model.state_bytes_per_computer / model.codec_bps;
+        // Transfer: moved bytes leave `from` NICs and land on `to` NICs;
+        // the busier side of the narrower set gates.
+        let moved = total_state * RescaleModel::moved_fraction(from, to);
+        let nic_rate = self.spec.nic_bps * self.spec.socket_efficiency / 8.0;
+        let egress = moved / from as f64 / nic_rate;
+        let ingress = moved / to as f64 / nic_rate;
+        let transfer = egress.max(ingress) + self.spec.hop_latency;
+        // Restore: the new membership decodes its share in parallel.
+        let restore = total_state / to as f64 / model.codec_bps;
+        // Every participant of either membership can straggle the fence.
+        let straggler = self.sample_stragglers(from.max(to));
+        let duration = model.quiesce_seconds
+            + snapshot
+            + transfer
+            + restore
+            + model.replay_seconds
+            + straggler;
+        self.clock += duration;
+        let stats = PhaseStats {
+            duration,
+            straggler_delay: straggler,
+        };
+        self.telemetry.record_rescale(stats);
         stats
     }
 
@@ -601,6 +699,38 @@ mod tests {
         let expected = 2.0 * ClusterSpec::paper_cluster(64).packet_overhead;
         assert!((tax - expected).abs() < 1e-12, "tax {tax}");
         assert!(tax < plain * 0.1, "detector must not tax the barrier");
+    }
+
+    #[test]
+    fn rescale_stall_prices_every_protocol_stage() {
+        let mut sim = quiet(4);
+        let model = RescaleModel::paper_default(100.0e6); // 100 MB/computer
+        let stats = sim.rescale_stall(&model, 4, 6);
+        // The stall must at least cover quiesce + snapshot + replay, and
+        // the NIC-bounded transfer of (nearly) all 400 MB dominates.
+        let nic_rate = 1.0e9 * 0.85 / 8.0;
+        let moved = 400.0e6 * RescaleModel::moved_fraction(4, 6);
+        let floor = 0.05 + 100.0e6 / 150.0e6 + moved / 4.0 / nic_rate + 0.1;
+        assert!(stats.duration >= floor, "{} < {floor}", stats.duration);
+        assert!((sim.now() - stats.duration).abs() < 1e-12);
+        assert_eq!(sim.telemetry().rescale.phases, 1);
+    }
+
+    #[test]
+    fn growing_the_cluster_shrinks_restore_but_not_transfer() {
+        let model = RescaleModel::paper_default(100.0e6);
+        let grow = quiet(4).rescale_stall(&model, 4, 8).duration;
+        let shrink = quiet(4).rescale_stall(&model, 4, 2).duration;
+        // Shrinking funnels the same moved bytes into fewer NICs and
+        // decoders: strictly more stall than growing.
+        assert!(shrink > grow, "shrink {shrink} <= grow {grow}");
+    }
+
+    #[test]
+    fn modular_rerouting_moves_nearly_everything() {
+        assert_eq!(RescaleModel::moved_fraction(4, 4), 0.0);
+        assert!(RescaleModel::moved_fraction(4, 5) > 0.75);
+        assert!(RescaleModel::moved_fraction(63, 64) > 0.98);
     }
 
     #[test]

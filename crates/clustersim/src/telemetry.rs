@@ -46,6 +46,9 @@ pub struct SimTelemetry {
     pub exchange: PhaseAgg,
     /// Progress-coordination rounds (§3.3).
     pub coordination: PhaseAgg,
+    /// Elastic-rescale stalls (quiesce + snapshot + transfer + restore +
+    /// replay).
+    pub rescale: PhaseAgg,
 }
 
 impl SimTelemetry {
@@ -61,9 +64,16 @@ impl SimTelemetry {
         self.coordination.record(stats);
     }
 
+    pub(crate) fn record_rescale(&mut self, stats: PhaseStats) {
+        self.rescale.record(stats);
+    }
+
     /// Total simulated seconds across every phase kind.
     pub fn total_seconds(&self) -> f64 {
-        self.compute.seconds + self.exchange.seconds + self.coordination.seconds
+        self.compute.seconds
+            + self.exchange.seconds
+            + self.coordination.seconds
+            + self.rescale.seconds
     }
 
     /// Total straggler-attributable seconds.
@@ -71,6 +81,7 @@ impl SimTelemetry {
         self.compute.straggler_seconds
             + self.exchange.straggler_seconds
             + self.coordination.straggler_seconds
+            + self.rescale.straggler_seconds
     }
 
     /// A per-phase-kind breakdown table, mirroring the real registry's
@@ -88,6 +99,7 @@ impl SimTelemetry {
             ("compute", &self.compute),
             ("exchange", &self.exchange),
             ("coordination", &self.coordination),
+            ("rescale", &self.rescale),
         ] {
             let _ = writeln!(
                 s,

@@ -19,7 +19,7 @@
 //! | `NA0003` | Error            | unreachable notification: a declared `notify_at` whose time no incoming summary can still produce (§2.3) |
 //! | `NA0004` | Error/Warning    | ingress/egress imbalance: loop-context entry without a matching exit |
 //! | `NA0005` | Warning          | re-entrancy hazard: local-delivery cycles shorter than the configured bound |
-//! | `NA0006` | Error            | exchange-contract violation: a stage mixing an exchange-partitioned input with a pipelined input whose partition is worker-variant |
+//! | `NA0006` | Error            | exchange-contract violation: a stage mixing an exchange-partitioned input with a pipelined input whose partition is worker-variant; with [`AnalysisConfig::rescale_contracts`], also certifies stateful stages rescale-safe (state keyed, placement worker-invariant) |
 //!
 //! # Entry points
 //!
@@ -269,6 +269,15 @@ pub struct AnalysisConfig {
     pub overrides: Vec<(Code, Severity)>,
     /// Rules disabled outright.
     pub disabled: Vec<Code>,
+    /// When set, `NA0006` additionally certifies the graph *rescale-safe*:
+    /// every stage registering cross-epoch state must register it keyed
+    /// (so an elastic rescale can re-partition it by the exchange hash),
+    /// and every keyed-state stage must sit at worker-invariant placement
+    /// (so re-partitioning by key moves exactly the records that were
+    /// routed by that key). Default: off — plans built through
+    /// [`execute_elastic`](crate::runtime::rescale::execute_elastic)
+    /// enable it.
+    pub rescale_contracts: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -278,6 +287,7 @@ impl Default for AnalysisConfig {
             reentrancy_bound: 2,
             overrides: Vec::new(),
             disabled: Vec::new(),
+            rescale_contracts: false,
         }
     }
 }
@@ -301,6 +311,14 @@ impl AnalysisConfig {
     #[must_use]
     pub fn with_reentrancy_bound(mut self, bound: usize) -> Self {
         self.reentrancy_bound = bound;
+        self
+    }
+
+    /// Enables the `NA0006` rescale-safe certification (see
+    /// [`AnalysisConfig::rescale_contracts`]).
+    #[must_use]
+    pub fn with_rescale_contracts(mut self) -> Self {
+        self.rescale_contracts = true;
         self
     }
 

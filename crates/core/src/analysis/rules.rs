@@ -20,6 +20,9 @@ pub(super) fn run_all(graph: &LogicalGraph, config: &AnalysisConfig) -> Vec<Diag
     loop_imbalance(graph, &mut out);
     reentrancy_hazards(graph, config, &mut out);
     exchange_contract(graph, &mut out);
+    if config.rescale_contracts {
+        rescale_contracts(graph, &mut out);
+    }
     out
 }
 
@@ -532,15 +535,14 @@ fn local_reachable(n: usize, arcs: &[(usize, usize)], from: usize, to: usize) ->
 // NA0006: exchange-contract violation (§4.2)
 // ---------------------------------------------------------------------------
 
-fn exchange_contract(graph: &LogicalGraph, out: &mut Vec<Diagnostic>) {
+/// Greatest-fixpoint "worker-invariant placement" status per stage:
+/// records at a partition-aligned stage sit on a worker determined by
+/// the data (or on every worker), not by which worker happened to
+/// produce them. Exchange and broadcast connectors (re-)establish
+/// alignment; pipeline connectors inherit the source's status; input
+/// stages are externally fed, i.e. worker-variant.
+fn partition_alignment(graph: &LogicalGraph) -> Vec<bool> {
     let n = graph.stages().len();
-
-    // Greatest-fixpoint "worker-invariant placement" status per stage:
-    // records at a partition-aligned stage sit on a worker determined by
-    // the data (or on every worker), not by which worker happened to
-    // produce them. Exchange and broadcast connectors (re-)establish
-    // alignment; pipeline connectors inherit the source's status; input
-    // stages are externally fed, i.e. worker-variant.
     let mut aligned = vec![true; n];
     for (i, s) in graph.stages().iter().enumerate() {
         if s.kind == StageKind::Input || s.inputs == 0 {
@@ -564,6 +566,12 @@ fn exchange_contract(graph: &LogicalGraph, out: &mut Vec<Diagnostic>) {
             }
         }
     }
+    aligned
+}
+
+fn exchange_contract(graph: &LogicalGraph, out: &mut Vec<Diagnostic>) {
+    let n = graph.stages().len();
+    let aligned = partition_alignment(graph);
 
     // Violation: a stage that keys one input by exchange while another
     // input arrives pipelined from a worker-variant source. The exchanged
@@ -597,6 +605,59 @@ fn exchange_contract(graph: &LogicalGraph, out: &mut Vec<Diagnostic>) {
                         .to_string(),
                 });
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NA0006 (rescale certification): stateful stages must be migratable
+// ---------------------------------------------------------------------------
+
+/// Certifies the graph *rescale-safe* (enabled by
+/// [`AnalysisConfig::rescale_contracts`]): an elastic rescale snapshots
+/// every stage's cross-epoch state at an epoch fence and re-partitions it
+/// by key onto a different worker set. That is only meaning-preserving
+/// when (a) the state is registered *keyed* — opaque blobs cannot be
+/// split across a new partition count — and (b) the stage's placement is
+/// worker-invariant, so the records a key's state summarizes are exactly
+/// the records the exchange contract routes to that key's worker under
+/// *any* worker count.
+fn rescale_contracts(graph: &LogicalGraph, out: &mut Vec<Diagnostic>) {
+    let aligned = partition_alignment(graph);
+    for &(stage, keyed) in graph.stateful_stages() {
+        if !keyed {
+            out.push(Diagnostic {
+                code: Code::ExchangeContract,
+                severity: Severity::Error,
+                locus: Locus::stage(graph, stage),
+                message: format!(
+                    "stage '{}' registers opaque (non-keyed) cross-epoch state; \
+                     an elastic rescale cannot re-partition it onto a different \
+                     worker set",
+                    graph.stage_name(stage),
+                ),
+                suggestion: "register the state with register_keyed_state, \
+                             routing by the same key as the stage's exchange \
+                             contract; or run with a fixed worker set"
+                    .to_string(),
+            });
+        } else if !aligned[stage.0] {
+            out.push(Diagnostic {
+                code: Code::ExchangeContract,
+                severity: Severity::Error,
+                locus: Locus::stage(graph, stage),
+                message: format!(
+                    "stage '{}' registers keyed state but its placement is \
+                     worker-variant; re-partitioning that state by key would \
+                     move records the exchange contract never routed by that \
+                     key",
+                    graph.stage_name(stage),
+                ),
+                suggestion: "feed every input of this stage through an \
+                             exchange (or broadcast) contract so its placement \
+                             is determined by the data"
+                    .to_string(),
+            });
         }
     }
 }

@@ -152,6 +152,10 @@ pub struct GraphBuilder {
     /// Notification interests declared during construction, handed to the
     /// static analyzer.
     notification_requests: Vec<(StageId, Timestamp)>,
+    /// Stages that registered checkpointable state, with whether the state
+    /// is keyed (partitionable across a worker-count change). Handed to
+    /// NA0006's rescale-contracts mode.
+    stateful: Vec<(StageId, bool)>,
 }
 
 impl GraphBuilder {
@@ -166,6 +170,7 @@ impl GraphBuilder {
                 depth: 0,
             }],
             notification_requests: Vec::new(),
+            stateful: Vec::new(),
         }
     }
 
@@ -354,6 +359,15 @@ impl GraphBuilder {
         self.notification_requests.push((stage, time));
     }
 
+    /// Declares that `stage` holds checkpointable state; `keyed` records
+    /// whether the state is partitioned by the operator's exchange key
+    /// (and can therefore migrate across a worker-count change). The
+    /// runtime records `register_state`/`register_keyed_state` calls here
+    /// automatically; NA0006's rescale-contracts mode consumes the facts.
+    pub fn declare_stateful(&mut self, stage: StageId, keyed: bool) {
+        self.stateful.push((stage, keyed));
+    }
+
     /// The debug name of a stage added so far (diagnostics).
     pub(crate) fn stage_name(&self, stage: StageId) -> &str {
         &self.stages[stage.0].name
@@ -375,6 +389,7 @@ impl GraphBuilder {
             summaries: SummaryMatrix::empty(),
             pacts: self.pacts,
             notification_requests: self.notification_requests,
+            stateful: self.stateful,
         };
         graph.summaries = SummaryMatrix::compute(&graph);
         Ok(graph)

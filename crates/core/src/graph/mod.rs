@@ -126,6 +126,9 @@ pub struct LogicalGraph {
     /// Notification interests declared at construction time, consumed by
     /// the static analyzer (`NA0003`).
     pub(crate) notification_requests: Vec<(StageId, crate::time::Timestamp)>,
+    /// Stages that registered checkpointable state, with whether the
+    /// state is keyed; consumed by NA0006's rescale-contracts mode.
+    pub(crate) stateful: Vec<(StageId, bool)>,
 }
 
 impl LogicalGraph {
@@ -152,6 +155,13 @@ impl LogicalGraph {
     /// `notify_at` calls).
     pub fn notification_requests(&self) -> &[(StageId, crate::time::Timestamp)] {
         &self.notification_requests
+    }
+
+    /// State registrations declared while the graph was built (via
+    /// [`GraphBuilder::declare_stateful`] or operator
+    /// `register_state`/`register_keyed_state` calls): `(stage, keyed)`.
+    pub fn stateful_stages(&self) -> &[(StageId, bool)] {
+        &self.stateful
     }
 
     /// The connectors, indexed by [`ConnectorId`].

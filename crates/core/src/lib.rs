@@ -79,6 +79,10 @@ pub use order::{Antichain, MutableAntichain, PartialOrder};
 pub use runtime::execute::{execute, execute_with_metrics, execute_with_telemetry, ExecuteError};
 pub use telemetry::TelemetrySnapshot;
 pub use runtime::recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
+pub use runtime::rescale::{
+    execute_elastic, ElasticOptions, ElasticPlan, ElasticReport, ElasticSession, PhaseReport,
+    RescaleError, RescaleOutcome, RescaleStep,
+};
 pub use runtime::{Config, Pact, Worker};
 pub use time::Timestamp;
 

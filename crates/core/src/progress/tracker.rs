@@ -252,6 +252,18 @@ impl PointstampTable {
     /// progress batches apply atomically — which is the §3.3 guarantee
     /// that a local view never moves backwards. The telemetry frontier
     /// probe samples exactly this quantity.
+    /// The migration frontier barrier: `true` when no active pointstamp —
+    /// message or notification, at any location — carries an epoch at or
+    /// below `epoch`. A rescale may only move state once this holds for
+    /// the fence's predecessor: every epoch the old membership owned is
+    /// then fully drained, so the sharded snapshot is consistent and the
+    /// new membership's pointstamp accounting starts from a clean slate
+    /// (its fresh [`PointstampTable::initialized`] seeds input stamps at
+    /// the fence, not behind it).
+    pub fn closed_through(&self, epoch: u64) -> bool {
+        self.active().all(|p| p.time.epoch > epoch)
+    }
+
     pub fn input_frontier_epoch(&self) -> Option<u64> {
         let mut min: Option<u64> = None;
         for (p, e) in &self.entries {

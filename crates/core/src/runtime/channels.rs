@@ -40,6 +40,9 @@ pub(crate) const PROGRESS_TAG: u32 = 0xFFFF_FFFF;
 pub(crate) const CENTRAL_TAG: u32 = 0xFFFF_FFFE;
 /// Channel tag carrying liveness heartbeats on the control plane.
 pub(crate) const HEARTBEAT_TAG: u32 = 0xFFFF_FFFD;
+/// Channel tag carrying cluster-membership announcements (elastic
+/// rescaling) on the control plane.
+pub(crate) const MEMBERSHIP_TAG: u32 = 0xFFFF_FFFC;
 
 const DATAFLOW_BITS: u32 = 10;
 const CHANNEL_BITS: u32 = 14;

@@ -70,6 +70,21 @@ pub struct Config {
     /// (typed [`ExecuteError::Stalled`](crate::runtime::ExecuteError))
     /// instead of idling forever. `None` disables the watchdog.
     pub stall_timeout: Option<Duration>,
+    /// Cluster-membership generation, bumped by the elastic-rescale
+    /// coordinator ([`execute_elastic`](crate::runtime::rescale::execute_elastic))
+    /// each time the worker set changes. Routers announce it on the
+    /// control plane so duplicated or stale membership messages from a
+    /// previous generation are discarded instead of confusing the
+    /// failure detector.
+    pub membership_generation: u64,
+    /// Whether [`Worker::dataflow`](crate::runtime::Worker::dataflow)
+    /// analyzes graphs with the `NA0006` rescale-safe certification
+    /// enabled (see
+    /// [`AnalysisConfig::rescale_contracts`](crate::analysis::AnalysisConfig::rescale_contracts)).
+    /// Off by default; the elastic-rescale coordinator turns it on so a
+    /// graph whose state cannot be re-partitioned is denied at build time
+    /// instead of aborting mid-rescale.
+    pub certify_rescale: bool,
 }
 
 impl Config {
@@ -103,7 +118,23 @@ impl Config {
             heartbeat_suspect_after: Duration::from_millis(50),
             heartbeat_fail_after: Duration::from_millis(200),
             stall_timeout: Some(Duration::from_secs(30)),
+            membership_generation: 0,
+            certify_rescale: false,
         }
+    }
+
+    /// Sets the cluster-membership generation (normally managed by the
+    /// elastic-rescale coordinator, not by hand).
+    pub fn membership_generation(mut self, generation: u64) -> Self {
+        self.membership_generation = generation;
+        self
+    }
+
+    /// Enables (or disables) the `NA0006` rescale-safe certification on
+    /// every graph built through [`Worker::dataflow`](crate::runtime::Worker::dataflow).
+    pub fn certify_rescale(mut self, enabled: bool) -> Self {
+        self.certify_rescale = enabled;
+        self
     }
 
     /// Enables (or disables) structured telemetry recording.

@@ -66,6 +66,23 @@ pub enum ExecuteError {
         /// The error that ended the final attempt.
         last: Box<ExecuteError>,
     },
+    /// An elastic rescale could not complete and rollback was disabled
+    /// (see [`execute_elastic`](super::rescale::execute_elastic)): either
+    /// the migration window exceeded its deadline or budget, or the state
+    /// could not be re-partitioned. Carries the migration-phase dump so a
+    /// wedged rescale reports *where* in the protocol it died instead of
+    /// hanging.
+    RescaleFailed {
+        /// The fence epoch of the failed rescale.
+        epoch: u64,
+        /// Worker count before the rescale.
+        from_workers: usize,
+        /// Worker count the rescale was moving to.
+        to_workers: usize,
+        /// Structured migration-phase dump: the protocol phase that
+        /// failed plus the underlying error (including any stall dump).
+        dump: String,
+    },
 }
 
 impl std::fmt::Display for ExecuteError {
@@ -87,6 +104,21 @@ impl std::fmt::Display for ExecuteError {
             }
             ExecuteError::RecoveryFailed { attempts, last } => {
                 write!(f, "recovery failed after {attempts} attempts: {last}")
+            }
+            ExecuteError::RescaleFailed {
+                epoch,
+                from_workers,
+                to_workers,
+                dump,
+            } => {
+                write!(
+                    f,
+                    "rescale {from_workers} → {to_workers} workers at epoch {epoch} failed"
+                )?;
+                if !dump.is_empty() {
+                    write!(f, "\n{dump}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -114,6 +146,7 @@ impl ExecuteError {
     /// generic panics.
     fn severity(&self) -> u8 {
         match self {
+            ExecuteError::RescaleFailed { .. } => 5,
             ExecuteError::RecoveryFailed { .. } => 4,
             ExecuteError::ProcessCrashed { .. } => 3,
             ExecuteError::LinkFailed { .. } => 2,
@@ -307,6 +340,11 @@ where
             let liveness = liveness.clone();
             let escalation = escalation.clone();
             let stats = hub_stats.clone();
+            let membership = naiad_netsim::MembershipMsg {
+                generation: config.membership_generation,
+                process,
+                processes,
+            };
             router_handles.push(
                 thread::Builder::new()
                     .name(format!("naiad-router-{process}"))
@@ -321,6 +359,7 @@ where
                             liveness.as_deref(),
                             &escalation,
                             &stats,
+                            membership,
                         )
                     })
                     .expect("spawn router thread"),

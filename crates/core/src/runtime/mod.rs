@@ -8,14 +8,19 @@ pub mod execute;
 mod liveness;
 mod progress_hub;
 pub mod recovery;
+pub mod rescale;
 mod retry;
 pub(crate) mod sync;
 mod worker;
 
 pub use channels::{Message, Pact};
 pub use config::Config;
-pub use durability::{open_blob, seal_blob, RestoreError};
+pub use durability::{open_blob, seal_blob, Checkpoint, KeyedCheckpoint, KeyedState, RestoreError};
 pub use execute::{execute, execute_with_metrics, execute_with_telemetry, ExecuteError};
 pub use recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
+pub use rescale::{
+    execute_elastic, ElasticOptions, ElasticPlan, ElasticReport, ElasticSession, PhaseReport,
+    RescaleError, RescaleOutcome, RescaleStep,
+};
 pub use retry::FaultKind;
 pub use worker::Worker;

@@ -19,7 +19,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use naiad_netsim::{NetReceiver, NetSender, RecvError, TrafficClass};
+use naiad_netsim::{
+    MembershipEvent, MembershipMsg, MembershipTable, NetReceiver, NetSender, RecvError,
+    TrafficClass,
+};
 use naiad_wire::{encode_to_vec, Bytes};
 
 use super::sync::Mutex;
@@ -27,7 +30,8 @@ use super::sync::Mutex;
 use crate::progress::{GroupCore, ProgressBatch, ProgressMode, ProgressUpdate};
 
 use super::channels::{
-    parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, HEARTBEAT_TAG, PROGRESS_TAG,
+    parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, HEARTBEAT_TAG, MEMBERSHIP_TAG,
+    PROGRESS_TAG,
 };
 use super::liveness::Liveness;
 use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
@@ -248,11 +252,30 @@ pub(crate) fn run_router(
     liveness: Option<&Liveness>,
     escalation: &EscalationCell,
     stats: &HubStats,
+    membership: MembershipMsg,
 ) {
     // Lazily resolved progress-inbox senders, one per local worker.
     let progress_txs: Vec<_> = (0..workers_per_process)
         .map(|w| registry.sender::<Bytes>(ChannelKey::Progress(w)))
         .collect();
+    // Membership plane (elastic rescaling): announce this process's view
+    // of the current generation, then fold peer announcements into a
+    // table that dedups chaos re-deliveries and discards pre-rescale
+    // stragglers. Announcements are best-effort — a peer we cannot reach
+    // is the failure detector's concern, not the membership plane's.
+    let mut members = MembershipTable::new(membership.generation, membership.processes);
+    members
+        .observe(membership)
+        .expect("own membership announcement is self-consistent");
+    {
+        let payload: Bytes = membership.encode().to_vec().into();
+        let mut net = net.lock();
+        for dst in 0..membership.processes {
+            if dst != membership.process {
+                let _ = net.send_control(dst, MEMBERSHIP_TAG, payload.clone());
+            }
+        }
+    }
     // With a detector installed the idle wait is additionally capped so
     // heartbeat emission and suspicion scans stay timely.
     let wait_cap = match &liveness {
@@ -279,6 +302,34 @@ pub(crate) fn run_router(
                 }
                 match env.channel {
                     HEARTBEAT_TAG => {}
+                    MEMBERSHIP_TAG => {
+                        let msg = MembershipMsg::decode(&env.payload).unwrap_or_else(|e| {
+                            panic!(
+                                "router: undecodable membership announcement from endpoint {} \
+                                 ({} bytes) — wire corruption or protocol mismatch: {e}",
+                                env.src,
+                                env.payload.len()
+                            )
+                        });
+                        match members.observe(msg) {
+                            // Admitted peers and idempotent re-deliveries are
+                            // the protocol working; stale announcements are
+                            // pre-rescale stragglers that must not resurrect
+                            // removed peers; a future generation means this
+                            // phase is being superseded and will be torn down
+                            // by the coordinator momentarily.
+                            Ok(
+                                MembershipEvent::Admitted
+                                | MembershipEvent::Duplicate
+                                | MembershipEvent::Stale { .. }
+                                | MembershipEvent::Future { .. },
+                            ) => {}
+                            Err(e) => panic!(
+                                "router: membership conflict from endpoint {}: {e}",
+                                env.src
+                            ),
+                        }
+                    }
                     PROGRESS_TAG => {
                         for tx in &progress_txs {
                             let _ = tx.send(env.payload.clone());

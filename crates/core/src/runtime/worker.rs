@@ -26,6 +26,7 @@ use super::channels::{
 };
 use super::config::Config;
 use super::durability::{open_blob, seal_blob, RestoreError};
+use super::rescale::RescaleError;
 use super::liveness::{Liveness, LivenessTransition};
 use super::progress_hub::ProcessAccumulator;
 use super::retry::{
@@ -206,8 +207,11 @@ impl Worker {
     /// unconnected input, cross-context connector, …) or carries an
     /// analyzer diagnostic at `Error` severity.
     pub fn dataflow<R>(&mut self, construct: impl FnOnce(&mut Scope) -> R) -> R {
-        self.dataflow_with_report(&AnalysisConfig::default(), construct)
-            .0
+        let mut analysis = AnalysisConfig::default();
+        if self.config.certify_rescale {
+            analysis = analysis.with_rescale_contracts();
+        }
+        self.dataflow_with_report(&analysis, construct).0
     }
 
     /// Like [`Worker::dataflow`], but analyzes the graph under `config`
@@ -307,13 +311,17 @@ impl Worker {
     /// corruption is caught before any state is touched.
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        // Version 2 payloads open with the worker count that partitioned
+        // the snapshot, so restoring into a different cluster size is a
+        // typed error instead of a silent wrong-routing hazard.
+        naiad_wire::Wire::encode(&self.peers, &mut out);
         naiad_wire::Wire::encode(&self.dataflows.len(), &mut out);
         for df in &self.dataflows {
             let states = df.states.borrow();
             naiad_wire::Wire::encode(&states.len(), &mut out);
             for (_stage, state) in states.iter() {
                 let mut blob = Vec::new();
-                state.borrow().checkpoint(&mut blob);
+                state.checkpoint(&mut blob);
                 naiad_wire::Wire::encode(&blob, &mut out);
             }
         }
@@ -322,6 +330,179 @@ impl Worker {
             bytes: sealed.len() as u64,
         });
         sealed
+    }
+
+    /// Serializes registered vertex state as `parts` sealed *shard* blobs:
+    /// shard `p` holds, for every keyed state, exactly the entries worker
+    /// `p` of a `parts`-worker cluster would own under the exchange
+    /// contract. The elastic-rescale coordinator
+    /// ([`execute_elastic`](crate::runtime::rescale::execute_elastic))
+    /// sends shard `p` from every old worker to new worker `p`, which
+    /// absorbs them with [`Worker::restore_shards`].
+    ///
+    /// Fails with [`RescaleError::UnmigratableState`] if any dataflow
+    /// registered opaque (non-keyed) state — such state has no
+    /// partitioning the coordinator could re-route.
+    pub fn checkpoint_partitioned(&self, parts: usize) -> Result<Vec<Vec<u8>>, RescaleError> {
+        for (df_index, df) in self.dataflows.iter().enumerate() {
+            for (stage, state) in df.states.borrow().iter() {
+                if !state.is_keyed() {
+                    return Err(RescaleError::UnmigratableState {
+                        dataflow: df_index,
+                        stage: stage.0,
+                    });
+                }
+            }
+        }
+        let mut shards = Vec::with_capacity(parts);
+        for part in 0..parts {
+            let mut out = Vec::new();
+            naiad_wire::Wire::encode(&parts, &mut out);
+            naiad_wire::Wire::encode(&part, &mut out);
+            naiad_wire::Wire::encode(&self.index, &mut out);
+            naiad_wire::Wire::encode(&self.dataflows.len(), &mut out);
+            for df in &self.dataflows {
+                let states = df.states.borrow();
+                naiad_wire::Wire::encode(&states.len(), &mut out);
+                for (_stage, state) in states.iter() {
+                    let keyed = state.keyed().expect("checked keyed above");
+                    let mut blob = Vec::new();
+                    keyed.borrow().export_part(part, parts, &mut blob);
+                    naiad_wire::Wire::encode(&blob, &mut out);
+                }
+            }
+            shards.push(seal_blob(&out));
+        }
+        Ok(shards)
+    }
+
+    /// Rebuilds keyed vertex state from migration shards produced by
+    /// [`Worker::checkpoint_partitioned`] on the *previous* membership:
+    /// one shard per old worker, each carrying this worker's partition.
+    ///
+    /// Validates every shard (seal, partition arity, target partition,
+    /// dataflow/state shape) before any state is touched; only then clears
+    /// the keyed maps and absorbs the shards, so a corrupt shard can never
+    /// leave the worker half-migrated.
+    pub fn restore_shards(&mut self, shards: &[Vec<u8>]) -> Result<(), RestoreError> {
+        let mut payloads = Vec::with_capacity(shards.len());
+        for shard in shards {
+            let mut payload = open_blob(shard)?;
+            let input = &mut payload;
+            let parts = <usize as naiad_wire::Wire>::decode(input)
+                .map_err(|_| RestoreError::Truncated("shard partition arity"))?;
+            if parts != self.peers {
+                return Err(RestoreError::PartitionCountMismatch {
+                    checkpointed: parts,
+                    restoring: self.peers,
+                });
+            }
+            let part = <usize as naiad_wire::Wire>::decode(input)
+                .map_err(|_| RestoreError::Truncated("shard partition index"))?;
+            if part != self.index {
+                return Err(RestoreError::ShapeMismatch {
+                    what: "shard partition index",
+                    expected: self.index,
+                    found: part,
+                });
+            }
+            let source = <usize as naiad_wire::Wire>::decode(input)
+                .map_err(|_| RestoreError::Truncated("shard source worker"))?;
+            let dataflows = <usize as naiad_wire::Wire>::decode(input)
+                .map_err(|_| RestoreError::Truncated("shard dataflow count"))?;
+            if dataflows != self.dataflows.len() {
+                return Err(RestoreError::ShapeMismatch {
+                    what: "shard dataflow count",
+                    expected: self.dataflows.len(),
+                    found: dataflows,
+                });
+            }
+            let mut per_df = Vec::with_capacity(dataflows);
+            for df in &self.dataflows {
+                let states = df.states.borrow();
+                let count = <usize as naiad_wire::Wire>::decode(input)
+                    .map_err(|_| RestoreError::Truncated("shard state count"))?;
+                if count != states.len() {
+                    return Err(RestoreError::ShapeMismatch {
+                        what: "shard registered-state count",
+                        expected: states.len(),
+                        found: count,
+                    });
+                }
+                let mut blobs = Vec::with_capacity(count);
+                for (_stage, state) in states.iter() {
+                    if !state.is_keyed() {
+                        return Err(RestoreError::ShapeMismatch {
+                            what: "keyed-state registration",
+                            expected: states.len(),
+                            found: 0,
+                        });
+                    }
+                    let blob = <Vec<u8> as naiad_wire::Wire>::decode(input)
+                        .map_err(|_| RestoreError::Truncated("shard state blob"))?;
+                    blobs.push(blob);
+                }
+                per_df.push(blobs);
+            }
+            payloads.push((source, per_df));
+        }
+        // Every shard validated: now mutate, once, in one pass.
+        for df in &self.dataflows {
+            for (_stage, state) in df.states.borrow().iter() {
+                state.keyed().expect("validated keyed above").borrow_mut().clear();
+            }
+        }
+        for (source, per_df) in payloads {
+            let mut migrated = 0u64;
+            for (df, blobs) in self.dataflows.iter().zip(&per_df) {
+                for ((_stage, state), blob) in df.states.borrow().iter().zip(blobs) {
+                    state
+                        .keyed()
+                        .expect("validated keyed above")
+                        .borrow_mut()
+                        .absorb_part(&mut &blob[..]);
+                    migrated += blob.len() as u64;
+                }
+            }
+            self.recorder.record(TelemetryEvent::PartitionMigrated {
+                from_worker: source as u32,
+                bytes: migrated,
+            });
+        }
+        Ok(())
+    }
+
+    /// Records a telemetry event in this worker's log (used by the
+    /// rescale coordinator to attribute protocol phases to workers).
+    pub(crate) fn record(&self, event: TelemetryEvent) {
+        self.recorder.record(event);
+    }
+
+    /// The migration frontier barrier (§3.3 applied to rescaling): `true`
+    /// when, in every dataflow, no active pointstamp carries an epoch at
+    /// or below `epoch`. The rescale coordinator requires this of the
+    /// fence's predecessor before sharding state — a still-draining epoch
+    /// would make the snapshot miss in-flight records.
+    pub fn frontier_closed_through(&self, epoch: u64) -> bool {
+        self.dataflows.iter().all(|df| {
+            df.tracker
+                .borrow()
+                .as_ref()
+                .is_none_or(|t| t.closed_through(epoch))
+        })
+    }
+
+    /// Steps until [`Worker::frontier_closed_through`] holds for `epoch`:
+    /// the quiesce step of the rescale protocol. A probe only certifies
+    /// drainage *upstream* of its point — sinks, captures, and remote
+    /// workers may still hold pointstamps at the epoch — so the fence
+    /// snapshot drains every location first. The stall watchdog bounds
+    /// this loop like any other step loop.
+    pub fn step_until_closed_through(&mut self, epoch: u64) {
+        while !self.frontier_closed_through(epoch) {
+            self.step();
+            self.idle_wait();
+        }
     }
 
     /// Restores vertex states captured by [`Worker::checkpoint`] into the
@@ -345,6 +526,17 @@ impl Worker {
     pub fn try_restore(&mut self, snapshot: &[u8]) -> Result<(), RestoreError> {
         let mut payload = open_blob(snapshot)?;
         let input = &mut payload;
+        let checkpointed = <usize as naiad_wire::Wire>::decode(input)
+            .map_err(|_| RestoreError::Truncated("snapshot worker count"))?;
+        if checkpointed != self.peers {
+            // A snapshot partitions keyed state by `hash % peers`; loading
+            // it into a different worker count would silently violate the
+            // exchange contract. The rescale path re-partitions instead.
+            return Err(RestoreError::PartitionCountMismatch {
+                checkpointed,
+                restoring: self.peers,
+            });
+        }
         let dataflows = <usize as naiad_wire::Wire>::decode(input)
             .map_err(|_| RestoreError::Truncated("snapshot header"))?;
         if dataflows != self.dataflows.len() {
@@ -368,7 +560,7 @@ impl Worker {
             for (_stage, state) in states.iter() {
                 let blob = <Vec<u8> as naiad_wire::Wire>::decode(input)
                     .map_err(|_| RestoreError::Truncated("state blob"))?;
-                state.borrow_mut().restore(&mut &blob[..]);
+                state.restore(&mut &blob[..]);
             }
         }
         self.recorder.record(TelemetryEvent::CheckpointRestored {

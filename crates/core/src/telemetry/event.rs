@@ -151,6 +151,34 @@ pub enum TelemetryEvent {
         /// Active pointstamps outstanding at the time.
         active: u32,
     },
+    /// An elastic rescale began: the coordinator fenced the run at a
+    /// closed epoch and is migrating state to the new membership.
+    RescaleStarted {
+        /// The fence epoch (first epoch the new membership computes).
+        epoch: u64,
+        /// Worker count before the rescale.
+        from_workers: u32,
+        /// Worker count after the rescale.
+        to_workers: u32,
+    },
+    /// A migration shard from one pre-rescale worker was absorbed into
+    /// this worker's keyed state.
+    PartitionMigrated {
+        /// The pre-rescale worker whose shard this was.
+        from_worker: u32,
+        /// Shard payload bytes absorbed.
+        bytes: u64,
+    },
+    /// An elastic rescale completed: the new membership resumed at the
+    /// fence epoch. `stalled_ms` attributes the migration stall.
+    RescaleCompleted {
+        /// The fence epoch the new membership resumed at.
+        epoch: u64,
+        /// Worker count after the rescale.
+        workers: u32,
+        /// Wall-clock milliseconds the computation was fenced.
+        stalled_ms: u64,
+    },
     /// The static analyzer ([`crate::analysis`]) ran over a freshly built
     /// dataflow graph; counts summarize its findings by severity.
     AnalysisReport {
@@ -186,6 +214,9 @@ impl TelemetryEvent {
             TelemetryEvent::PeerCleared { .. } => "peer_cleared",
             TelemetryEvent::PeerFailed { .. } => "peer_failed",
             TelemetryEvent::Stalled { .. } => "stalled",
+            TelemetryEvent::RescaleStarted { .. } => "rescale_started",
+            TelemetryEvent::PartitionMigrated { .. } => "partition_migrated",
+            TelemetryEvent::RescaleCompleted { .. } => "rescale_completed",
             TelemetryEvent::AnalysisReport { .. } => "analysis",
         }
     }
@@ -333,6 +364,29 @@ impl EventRecord {
             }
             TelemetryEvent::Stalled { idle_ms, active } => {
                 let _ = write!(s, ",\"idle_ms\":{idle_ms},\"active\":{active}");
+            }
+            TelemetryEvent::RescaleStarted {
+                epoch,
+                from_workers,
+                to_workers,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"from_workers\":{from_workers},\"to_workers\":{to_workers}"
+                );
+            }
+            TelemetryEvent::PartitionMigrated { from_worker, bytes } => {
+                let _ = write!(s, ",\"from_worker\":{from_worker},\"bytes\":{bytes}");
+            }
+            TelemetryEvent::RescaleCompleted {
+                epoch,
+                workers,
+                stalled_ms,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"workers\":{workers},\"stalled_ms\":{stalled_ms}"
+                );
             }
         }
         s.push('}');

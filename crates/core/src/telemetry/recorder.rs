@@ -66,6 +66,12 @@ pub struct WorkerCounters {
     pub peer_failures: u64,
     /// Global stalls declared by this worker's watchdog.
     pub stalls: u64,
+    /// Elastic rescales this worker participated in (started).
+    pub rescales: u64,
+    /// Migration shards absorbed into this worker's keyed state.
+    pub partitions_migrated: u64,
+    /// Bytes of keyed state absorbed across those shards.
+    pub migrated_bytes: u64,
     /// Static-analyzer reports recorded (one per built dataflow).
     pub analysis_reports: u64,
     /// Warning-severity analyzer diagnostics across those reports.
@@ -241,6 +247,12 @@ impl EventLog {
             TelemetryEvent::PeerCleared { .. } => {}
             TelemetryEvent::PeerFailed { .. } => c.peer_failures += 1,
             TelemetryEvent::Stalled { .. } => c.stalls += 1,
+            TelemetryEvent::RescaleStarted { .. } => c.rescales += 1,
+            TelemetryEvent::PartitionMigrated { bytes, .. } => {
+                c.partitions_migrated += 1;
+                c.migrated_bytes += bytes;
+            }
+            TelemetryEvent::RescaleCompleted { .. } => {}
             TelemetryEvent::AnalysisReport { warnings, .. } => {
                 c.analysis_reports += 1;
                 c.analysis_warnings += u64::from(warnings);

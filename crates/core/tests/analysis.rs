@@ -484,3 +484,95 @@ fn graph_errors_carry_stage_names() {
     let text = err.to_string();
     assert!(text.contains("producer"), "{text}");
 }
+
+// ---------------------------------------------------------------------------
+// NA0006 rescale-safe certification (AnalysisConfig::rescale_contracts)
+// ---------------------------------------------------------------------------
+
+/// An exchange-fed keyed aggregation feeding a sink — the canonical
+/// rescale-safe shape, before any state is declared.
+fn keyed_pipeline() -> (GraphBuilder, naiad::graph::StageId) {
+    let mut g = GraphBuilder::new();
+    let input = g.add_stage("input", StageKind::Input, ContextId::ROOT, 0, 1);
+    let agg = g.add_stage("keyed_min", StageKind::Regular, ContextId::ROOT, 1, 1);
+    let sink = g.add_stage("sink", StageKind::Regular, ContextId::ROOT, 1, 0);
+    g.connect_with(input, 0, agg, 0, PactKind::Exchange);
+    g.connect(agg, 0, sink, 0);
+    (g, agg)
+}
+
+#[test]
+fn opaque_state_triggers_rescale_certification() {
+    // Opaque (non-keyed) state cannot be split across a new partition
+    // count, so certification denies it — but only when asked: the same
+    // graph is clean under the default config, where a fixed worker set
+    // makes opaque state perfectly fine.
+    let (mut g, agg) = keyed_pipeline();
+    g.declare_stateful(agg, false);
+    let graph = g.build().unwrap();
+    let report = analyze(&graph, &AnalysisConfig::default().with_rescale_contracts());
+    let hits: Vec<_> = report.with_code(Code::ExchangeContract).collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert!(hits[0].message.contains("opaque"), "{:?}", hits[0]);
+    assert!(hits[0].message.contains("keyed_min"), "{:?}", hits[0]);
+    assert!(
+        hits[0].suggestion.contains("register_keyed_state"),
+        "{:?}",
+        hits[0]
+    );
+    let relaxed = analyze(&graph, &AnalysisConfig::default());
+    assert!(relaxed.is_error_clean(), "{relaxed:?}");
+}
+
+#[test]
+fn keyed_state_at_worker_variant_placement_triggers_certification() {
+    // Keyed state only re-partitions soundly when the stage's records were
+    // routed by that key in the first place. A stage fed pipelined from a
+    // raw input holds whatever its local worker happened to produce.
+    let mut g = GraphBuilder::new();
+    let input = g.add_stage("input", StageKind::Input, ContextId::ROOT, 0, 1);
+    let agg = g.add_stage("local_acc", StageKind::Regular, ContextId::ROOT, 1, 1);
+    let sink = g.add_stage("sink", StageKind::Regular, ContextId::ROOT, 1, 0);
+    g.connect_with(input, 0, agg, 0, PactKind::Pipeline);
+    g.connect(agg, 0, sink, 0);
+    g.declare_stateful(agg, true);
+    let report = analyze(
+        &g.build().unwrap(),
+        &AnalysisConfig::default().with_rescale_contracts(),
+    );
+    let hits: Vec<_> = report.with_code(Code::ExchangeContract).collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert!(hits[0].message.contains("worker-variant"), "{:?}", hits[0]);
+}
+
+#[test]
+fn keyed_state_at_exchanged_stage_passes_certification() {
+    let (mut g, agg) = keyed_pipeline();
+    g.declare_stateful(agg, true);
+    let report = analyze(
+        &g.build().unwrap(),
+        &AnalysisConfig::default().with_rescale_contracts(),
+    );
+    assert!(
+        report.with_code(Code::ExchangeContract).next().is_none(),
+        "{report:?}"
+    );
+    assert!(report.is_error_clean());
+}
+
+#[test]
+fn certification_composes_with_severity_overrides() {
+    // A migration escape hatch: demote NA0006 to Warning and the denial
+    // disappears while the finding remains visible.
+    let (mut g, agg) = keyed_pipeline();
+    g.declare_stateful(agg, false);
+    let config = AnalysisConfig::default()
+        .with_rescale_contracts()
+        .set_severity(Code::ExchangeContract, Severity::Warning);
+    let report = analyze(&g.build().unwrap(), &config);
+    assert!(report.is_error_clean());
+    assert_eq!(report.with_code(Code::ExchangeContract).count(), 1);
+    assert!(report.first_denied(&config).is_none());
+}

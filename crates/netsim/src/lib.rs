@@ -42,12 +42,16 @@ mod clock;
 mod endpoint;
 mod fault;
 mod latency;
+mod membership;
 mod metrics;
 
 pub use clock::ClusterClock;
 pub use endpoint::{Endpoint, Envelope, Fabric, FabricBuilder, NetReceiver, NetSender, RecvError};
 pub use fault::{CrashPoint, FaultController, FaultPlan, LinkPartition, SendError};
 pub use latency::LatencyModel;
+pub use membership::{
+    MembershipError, MembershipEvent, MembershipMsg, MembershipTable, MEMBERSHIP_MSG_LEN,
+};
 pub use metrics::{
     ClassCounters, FabricMetrics, FaultCounters, LinkCounters, TrafficClass, TrafficTotals,
 };

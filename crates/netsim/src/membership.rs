@@ -1,0 +1,346 @@
+//! Control-plane cluster-membership messages for elastic rescaling.
+//!
+//! When the rescale coordinator changes the worker set, each phase's
+//! routers announce the membership they were brought up with — process
+//! index, process count, and a monotonically increasing *generation* —
+//! on the latency-exempt control channel. Receivers fold announcements
+//! into a [`MembershipTable`], which classifies each one:
+//!
+//! * **admitted** — first announcement from that process for the current
+//!   generation;
+//! * **duplicate** — the same announcement again (the chaos plane may
+//!   duplicate messages; the control protocol must be idempotent);
+//! * **stale** — an announcement from an *older* generation, i.e. a
+//!   straggler from a pre-rescale membership that must not resurrect a
+//!   removed peer in the failure detector;
+//! * **future** — a *newer* generation than ours, meaning this endpoint
+//!   itself is the straggler (possible only across a coordinator bug,
+//!   hence surfaced loudly).
+//!
+//! Messages use a fixed little-endian layout and decode with typed
+//! [`MembershipError`]s — a truncated or oversized announcement is
+//! rejected, never mis-parsed.
+
+/// Fixed encoded size of a [`MembershipMsg`] in bytes.
+pub const MEMBERSHIP_MSG_LEN: usize = 24;
+
+/// One membership announcement: "process `process` of `processes` is up
+/// under generation `generation`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipMsg {
+    /// Membership generation, bumped on every rescale.
+    pub generation: u64,
+    /// The announcing process.
+    pub process: usize,
+    /// Total processes in this generation's membership.
+    pub processes: usize,
+}
+
+/// Typed failures decoding or folding membership announcements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipError {
+    /// The payload is not exactly [`MEMBERSHIP_MSG_LEN`] bytes.
+    BadLength {
+        /// Bytes received.
+        found: usize,
+    },
+    /// The announcing process index is not below the announced process
+    /// count.
+    ProcessOutOfRange {
+        /// The claimed process index.
+        process: usize,
+        /// The claimed process count.
+        processes: usize,
+    },
+    /// The announced process count disagrees with the table's membership
+    /// for the same generation — two clusters claiming one generation.
+    SizeConflict {
+        /// The table's process count.
+        expected: usize,
+        /// The announcement's process count.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::BadLength { found } => {
+                write!(
+                    f,
+                    "membership message is {found} bytes, expected {MEMBERSHIP_MSG_LEN}"
+                )
+            }
+            MembershipError::ProcessOutOfRange { process, processes } => {
+                write!(f, "process {process} out of range for {processes} processes")
+            }
+            MembershipError::SizeConflict { expected, found } => {
+                write!(
+                    f,
+                    "generation claims {found} processes but the table has {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+impl MembershipMsg {
+    /// Encodes the fixed little-endian layout:
+    /// `generation:u64 | process:u64 | processes:u64`.
+    pub fn encode(&self) -> [u8; MEMBERSHIP_MSG_LEN] {
+        let mut out = [0u8; MEMBERSHIP_MSG_LEN];
+        out[0..8].copy_from_slice(&self.generation.to_le_bytes());
+        out[8..16].copy_from_slice(&(self.process as u64).to_le_bytes());
+        out[16..24].copy_from_slice(&(self.processes as u64).to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates an announcement.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::BadLength`] unless the payload is exactly
+    /// [`MEMBERSHIP_MSG_LEN`] bytes;
+    /// [`MembershipError::ProcessOutOfRange`] if the indices are
+    /// inconsistent.
+    pub fn decode(payload: &[u8]) -> Result<Self, MembershipError> {
+        if payload.len() != MEMBERSHIP_MSG_LEN {
+            return Err(MembershipError::BadLength {
+                found: payload.len(),
+            });
+        }
+        let word = |at: usize| {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&payload[at..at + 8]);
+            u64::from_le_bytes(bytes)
+        };
+        let msg = MembershipMsg {
+            generation: word(0),
+            process: word(8) as usize,
+            processes: word(16) as usize,
+        };
+        if msg.process >= msg.processes {
+            return Err(MembershipError::ProcessOutOfRange {
+                process: msg.process,
+                processes: msg.processes,
+            });
+        }
+        Ok(msg)
+    }
+}
+
+/// How a [`MembershipTable`] classified an announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// First announcement from that process for the current generation.
+    Admitted,
+    /// Already admitted — an idempotent re-delivery (chaos duplicates a
+    /// message, or a retried send re-announces).
+    Duplicate,
+    /// From an older generation: a pre-rescale straggler, discarded.
+    Stale {
+        /// The straggler's generation.
+        generation: u64,
+    },
+    /// From a newer generation than this table's — the receiver itself
+    /// is behind a membership change it has not been told about.
+    Future {
+        /// The announcement's generation.
+        generation: u64,
+    },
+}
+
+/// Per-endpoint view of the current membership generation, folding
+/// announcements idempotently and discarding stragglers.
+#[derive(Debug)]
+pub struct MembershipTable {
+    generation: u64,
+    processes: usize,
+    admitted: Vec<bool>,
+    duplicates: u64,
+    stale: u64,
+}
+
+impl MembershipTable {
+    /// A table for `processes` members under `generation`, with no
+    /// announcements admitted yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is zero.
+    pub fn new(generation: u64, processes: usize) -> Self {
+        assert!(processes > 0, "at least one process");
+        MembershipTable {
+            generation,
+            processes,
+            admitted: vec![false; processes],
+            duplicates: 0,
+            stale: 0,
+        }
+    }
+
+    /// The generation this table tracks.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Folds one announcement.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::SizeConflict`] when a current-generation
+    /// announcement claims a different cluster size, or
+    /// [`MembershipError::ProcessOutOfRange`] when its index does not fit
+    /// the table.
+    pub fn observe(&mut self, msg: MembershipMsg) -> Result<MembershipEvent, MembershipError> {
+        if msg.generation < self.generation {
+            self.stale += 1;
+            return Ok(MembershipEvent::Stale {
+                generation: msg.generation,
+            });
+        }
+        if msg.generation > self.generation {
+            return Ok(MembershipEvent::Future {
+                generation: msg.generation,
+            });
+        }
+        if msg.processes != self.processes {
+            return Err(MembershipError::SizeConflict {
+                expected: self.processes,
+                found: msg.processes,
+            });
+        }
+        if msg.process >= self.admitted.len() {
+            return Err(MembershipError::ProcessOutOfRange {
+                process: msg.process,
+                processes: self.processes,
+            });
+        }
+        if self.admitted[msg.process] {
+            self.duplicates += 1;
+            return Ok(MembershipEvent::Duplicate);
+        }
+        self.admitted[msg.process] = true;
+        Ok(MembershipEvent::Admitted)
+    }
+
+    /// Whether every member of the current generation has announced.
+    pub fn complete(&self) -> bool {
+        self.admitted.iter().all(|&a| a)
+    }
+
+    /// Processes admitted so far.
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.iter().filter(|&&a| a).count()
+    }
+
+    /// Idempotent re-deliveries absorbed (chaos duplicates tolerated).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Old-generation stragglers discarded.
+    pub fn stale(&self) -> u64 {
+        self.stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip() {
+        let msg = MembershipMsg {
+            generation: 3,
+            process: 1,
+            processes: 4,
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), MEMBERSHIP_MSG_LEN);
+        assert_eq!(MembershipMsg::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn truncated_and_inconsistent_messages_are_typed_errors() {
+        assert_eq!(
+            MembershipMsg::decode(&[0u8; 7]),
+            Err(MembershipError::BadLength { found: 7 })
+        );
+        let bad = MembershipMsg {
+            generation: 0,
+            process: 2,
+            processes: 2,
+        };
+        assert_eq!(
+            MembershipMsg::decode(&bad.encode()),
+            Err(MembershipError::ProcessOutOfRange {
+                process: 2,
+                processes: 2
+            })
+        );
+    }
+
+    #[test]
+    fn table_dedups_duplicates_and_discards_stragglers() {
+        let mut table = MembershipTable::new(2, 2);
+        let here = MembershipMsg {
+            generation: 2,
+            process: 0,
+            processes: 2,
+        };
+        assert_eq!(table.observe(here), Ok(MembershipEvent::Admitted));
+        // The chaos plane redelivers: idempotent, counted, harmless.
+        assert_eq!(table.observe(here), Ok(MembershipEvent::Duplicate));
+        assert_eq!(table.duplicates(), 1);
+        assert!(!table.complete());
+        // A pre-rescale straggler announces the old 3-process world: it
+        // must not resurrect a removed peer.
+        let straggler = MembershipMsg {
+            generation: 1,
+            process: 2,
+            processes: 3,
+        };
+        assert_eq!(
+            table.observe(straggler),
+            Ok(MembershipEvent::Stale { generation: 1 })
+        );
+        assert_eq!(table.stale(), 1);
+        assert_eq!(
+            table.observe(MembershipMsg {
+                generation: 2,
+                process: 1,
+                processes: 2,
+            }),
+            Ok(MembershipEvent::Admitted)
+        );
+        assert!(table.complete());
+        assert_eq!(table.admitted_count(), 2);
+    }
+
+    #[test]
+    fn conflicting_and_future_generations_surface() {
+        let mut table = MembershipTable::new(1, 2);
+        assert_eq!(
+            table.observe(MembershipMsg {
+                generation: 1,
+                process: 0,
+                processes: 3,
+            }),
+            Err(MembershipError::SizeConflict {
+                expected: 2,
+                found: 3
+            })
+        );
+        assert_eq!(
+            table.observe(MembershipMsg {
+                generation: 5,
+                process: 0,
+                processes: 8,
+            }),
+            Ok(MembershipEvent::Future { generation: 5 })
+        );
+    }
+}

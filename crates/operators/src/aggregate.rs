@@ -45,8 +45,9 @@ impl<K: ExchangeKey, V: ExchangeData> AggregateOps<K, V> for Stream<(K, V)> {
             move |info| {
                 let aggregates: std::rc::Rc<std::cell::RefCell<HashMap<K, A>>> =
                     std::rc::Rc::new(std::cell::RefCell::new(HashMap::new()));
-                // Cross-time state: exactly what checkpoints must capture.
-                info.register_state(aggregates.clone());
+                // Cross-time state, keyed by the exchange hash above: what
+                // checkpoints capture and elastic rescales re-partition.
+                info.register_keyed_state(aggregates.clone(), |k: &K| hash_of(k));
                 move |input: &mut InputPort<(K, V)>, output: &mut OutputPort<(K, A)>| {
                     let mut aggregates = aggregates.borrow_mut();
                     input.for_each(|time, data| {

@@ -113,17 +113,20 @@ impl<K: ExchangeKey, V1: ExchangeData> JoinOps<K, V1> for Stream<(K, V1)> {
             Pact::exchange(|(k, _): &(K, V2)| hash_of(k)),
             "JoinAccumulate",
             move |info| {
-                type Sides<K, V1, V2> = (HashMap<K, Vec<(V1, u64)>>, HashMap<K, Vec<(V2, u64)>>);
-                let state: Rc<RefCell<Sides<K, V1, V2>>> =
-                    Rc::new(RefCell::new((HashMap::new(), HashMap::new())));
-                // The accumulated relation persists across epochs, so it
-                // is registered for checkpointing (§3.4).
-                info.register_state(state.clone());
+                let lefts: Rc<RefCell<HashMap<K, Vec<(V1, u64)>>>> =
+                    Rc::new(RefCell::new(HashMap::new()));
+                let rights: Rc<RefCell<HashMap<K, Vec<(V2, u64)>>>> =
+                    Rc::new(RefCell::new(HashMap::new()));
+                // The accumulated relation persists across epochs, so both
+                // sides are registered for checkpointing (§3.4) — keyed by
+                // the exchange hash, so rescales can re-partition them.
+                info.register_keyed_state(lefts.clone(), |k: &K| hash_of(k));
+                info.register_keyed_state(rights.clone(), |k: &K| hash_of(k));
                 move |left: &mut InputPort<(K, V1)>,
                       right: &mut InputPort<(K, V2)>,
                       output: &mut OutputPort<R>| {
-                    let mut state = state.borrow_mut();
-                    let (lefts, rights) = &mut *state;
+                    let mut lefts = lefts.borrow_mut();
+                    let mut rights = rights.borrow_mut();
                     left.for_each(|time, data| {
                         for (k, v1) in data {
                             if let Some(v2s) = rights.get(&k) {

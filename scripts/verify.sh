@@ -57,6 +57,16 @@ if [[ "${CHAOS_SOAK_SEEDS:-0}" != "0" ]]; then
     cargo test -q --test chaos_soak -- extended_soak_honours_env
 fi
 
+# Extended rescale-under-fault soak: RESCALE_SOAK_SEEDS=n runs n extra
+# seeds of the elastic matrix (the same fault plans with a grow or shrink
+# membership change fenced mid-run) past the 32 the workspace tests
+# always cover. The CI chaos-soak job sets it.
+if [[ "${RESCALE_SOAK_SEEDS:-0}" != "0" ]]; then
+  echo "== rescale soak (+${RESCALE_SOAK_SEEDS} seeds) =="
+  timeout "${RESCALE_SOAK_DEADLINE:-1800}" \
+    cargo test -q --test chaos_soak -- extended_rescale_soak_honours_env
+fi
+
 # Bounded model-check smoke: one pass over the protocol model-checker's
 # acceptance matrix (DESIGN.md §11) on the pinned base seeds, with the
 # safety/FIFO/liveness oracles live. MODEL_CHECK_SEEDS=n sweeps n extra

@@ -23,9 +23,11 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use naiad::dataflow::{InputPort, OutputPort};
+use naiad::dataflow::{InputPort, Notify, OutputPort};
 use naiad::{
-    execute, execute_resilient, Config, ExecuteError, Pact, RecoveryOptions, ResilientReport, Scope,
+    execute, execute_elastic, execute_resilient, Config, ElasticOptions, ElasticPlan,
+    ElasticReport, ExecuteError, Pact, RecoveryOptions, RescaleOutcome, RescaleStep,
+    ResilientReport, Scope, Timestamp,
 };
 use naiad_examples::my_share;
 use naiad_netsim::FaultPlan;
@@ -33,6 +35,9 @@ use naiad_netsim::FaultPlan;
 /// Per-epoch captured output of the keyed-min dataflow.
 type Out = Vec<(u64, Vec<(u64, u64)>)>;
 type Captured = Rc<RefCell<Out>>;
+/// The keyed-min operator's unregistered in-flight buffer: records by
+/// epoch, folded into the registered accumulator at notification.
+type PendingByEpoch = Rc<RefCell<HashMap<Timestamp, Vec<(u64, u64)>>>>;
 
 const EPOCHS: u64 = 4;
 const PROCESSES: usize = 2;
@@ -57,25 +62,55 @@ fn inputs() -> Vec<Vec<(u64, u64)>> {
 
 /// Keyed monotonic minimum, exchanged by key so both directions of every
 /// cross-process link carry data. State registers for checkpointing.
+///
+/// Records buffer per time in `OnRecv` and fold into the registered
+/// accumulator only in `OnNotify`, once the epoch is complete. That makes
+/// the checkpointed state a function of *closed* epochs alone — the
+/// consistency contract checkpoint/restore depends on (DESIGN.md §13).
+/// Folding eagerly in `OnRecv` would let a pipelined future-epoch record
+/// (a faster peer feeds epoch e+1 while this worker still awaits its
+/// local view of epoch e closing) leak into the epoch-e checkpoint, and a
+/// post-fault replay of e+1 against that contaminated state would drop
+/// the emission the baseline made. The in-flight buffer is deliberately
+/// *not* registered: replay, not the checkpoint, reconstructs it.
 fn build(scope: &mut Scope) -> (naiad::InputHandle<(u64, u64)>, naiad::ProbeHandle, Captured) {
     let (input, stream) = scope.new_input::<(u64, u64)>();
-    let mins = stream.unary(Pact::exchange(|(k, _): &(u64, u64)| *k), "KeyedMin", |info| {
+    let mins = stream.unary_notify(Pact::exchange(|(k, _): &(u64, u64)| *k), "KeyedMin", |info| {
         let acc: Rc<RefCell<HashMap<u64, u64>>> = Rc::new(RefCell::new(HashMap::new()));
-        info.register_state(acc.clone());
-        let acc2 = acc;
-        move |input: &mut InputPort<(u64, u64)>, output: &mut OutputPort<(u64, u64)>| {
-            input.for_each(|time, data| {
-                let mut acc = acc2.borrow_mut();
+        info.register_keyed_state(acc.clone(), |k: &u64| *k);
+        let pending: PendingByEpoch = Rc::new(RefCell::new(HashMap::new()));
+        let recv_pending = pending.clone();
+        (
+            move |input: &mut InputPort<(u64, u64)>,
+                  _output: &mut OutputPort<(u64, u64)>,
+                  notify: &Notify| {
+                input.for_each(|time, data| {
+                    let mut pending = recv_pending.borrow_mut();
+                    let slot = pending.entry(time).or_insert_with(|| {
+                        notify.notify_at(time);
+                        Vec::new()
+                    });
+                    slot.extend(data);
+                });
+            },
+            move |time: Timestamp, output: &mut OutputPort<(u64, u64)>, _notify: &Notify| {
+                let Some(mut records) = pending.borrow_mut().remove(&time) else {
+                    return;
+                };
+                // Sorted fold: at most one emission per improved key per
+                // epoch, independent of cross-sender arrival interleaving.
+                records.sort_unstable();
+                let mut acc = acc.borrow_mut();
                 let mut session = output.session(time);
-                for (k, v) in data {
+                for (k, v) in records {
                     let best = acc.entry(k).or_insert(u64::MAX);
                     if v < *best {
                         *best = v;
                         session.give((k, v));
                     }
                 }
-            });
-        }
+            },
+        )
     });
     (input, mins.probe(), mins.capture())
 }
@@ -296,6 +331,149 @@ fn assert_identical(seed: u64, report: &ResilientReport<(u64, Out)>, reference: 
     }
 }
 
+/// The membership change seed `seed` attempts mid-run: even seeds grow
+/// the cluster (2 → 4 workers across both processes), odd seeds shrink it
+/// to a single worker — so the matrix soaks both directions under the
+/// same fault plans as the fixed-membership soak.
+fn rescale_step_for_seed(seed: u64) -> RescaleStep {
+    if seed.is_multiple_of(2) {
+        RescaleStep::new(2, PROCESSES, 2)
+    } else {
+        RescaleStep::new(2, 1, 1)
+    }
+}
+
+/// One chaotic *elastic* run: the same fault plan as [`chaos_run`], with
+/// a membership change fenced at epoch 2 — so scheduled crashes and
+/// partition windows can strike before, during, or after the migration.
+/// The driver follows the standard elastic protocol and returns each
+/// attempt's resume epoch with its captures, as [`chaos_run`] does.
+fn rescale_chaos_run(seed: u64) -> Result<ElasticReport<(u64, Out)>, ExecuteError> {
+    let all = Arc::new(inputs());
+    let plan = ElasticPlan::new(chaos_config().faults(plan_for_seed(seed)), EPOCHS)
+        .rescale(rescale_step_for_seed(seed));
+    let options = ElasticOptions::default()
+        .recovery(RecoveryOptions::default().max_attempts(6).checkpoint_every(1));
+    execute_elastic(plan, options, move |worker, session| {
+        let (mut input, probe, captured) = worker.dataflow(build);
+        session.restore_into(worker);
+        if session.resume_epoch() > 0 {
+            input.advance_to(session.resume_epoch());
+        }
+        for epoch in session.resume_epoch()..session.stop_epoch() {
+            let records = match session.logged_input::<(u64, u64)>(epoch, worker.index(), 0) {
+                Some(records) => records,
+                None => {
+                    let records = my_share(&all[epoch as usize], worker.index(), worker.peers());
+                    session.log_input(epoch, worker.index(), 0, &records);
+                    records
+                }
+            };
+            for r in records {
+                input.send(r);
+            }
+            input.advance_to(epoch + 1);
+            worker.step_while(|| !probe.done_through(epoch));
+            if session.should_checkpoint(epoch) {
+                session.checkpoint(worker, epoch);
+            }
+        }
+        input.close();
+        worker.step_until_done();
+        let result = (session.resume_epoch(), captured.borrow().clone());
+        result
+    })
+}
+
+/// Soaks the rescale-under-fault matrix: for every seed the binary
+/// contract holds — a run that completes (rescale committed, aborted, or
+/// rolled back) is bit-identical to the fault-free fixed-membership
+/// baseline; a run that gives up fails with a typed error. Returns how
+/// many seeds hit at least one fault or non-committed rescale.
+fn rescale_soak(seeds: std::ops::Range<u64>, reference: &[Vec<(u64, u64)>]) -> usize {
+    let mut eventful = 0;
+    for seed in seeds {
+        match rescale_chaos_run(seed) {
+            Ok(report) => {
+                let recovered: usize = report
+                    .phases
+                    .iter()
+                    .map(|p| p.recovered_from.len())
+                    .sum();
+                let uncommitted = report
+                    .outcomes
+                    .iter()
+                    .filter(|o| !matches!(o, RescaleOutcome::Completed { .. }))
+                    .count();
+                if recovered + uncommitted > 0 {
+                    eventful += 1;
+                }
+                for phase in &report.phases {
+                    for err in &phase.recovered_from {
+                        assert!(
+                            matches!(
+                                err,
+                                ExecuteError::ProcessCrashed { .. }
+                                    | ExecuteError::LinkFailed { .. }
+                                    | ExecuteError::Stalled { .. }
+                            ),
+                            "seed {seed}: phase recovered from a non-fault error {err:?}"
+                        );
+                    }
+                }
+                assert_rescale_identical(seed, &report, reference);
+            }
+            Err(err) => {
+                eventful += 1;
+                assert!(
+                    matches!(
+                        err,
+                        ExecuteError::RecoveryFailed { .. } | ExecuteError::RescaleFailed { .. }
+                    ),
+                    "seed {seed}: an elastic chaos run must end in a typed budget \
+                     exhaustion or rescale failure, got {err:?}"
+                );
+            }
+        }
+    }
+    eventful
+}
+
+/// Bit-identical check for elastic runs: within each committed phase,
+/// compare from the successful attempt's resume point (earlier epochs
+/// were delivered by a failed attempt whose captures are gone, exactly
+/// as in [`assert_identical`]). The elastic driver feeds logical epochs,
+/// so captured times index the reference directly.
+fn assert_rescale_identical(
+    seed: u64,
+    report: &ElasticReport<(u64, Out)>,
+    reference: &[Vec<(u64, u64)>],
+) {
+    for phase in &report.phases {
+        let resume = phase.results[0].0;
+        for (r, _) in &phase.results {
+            assert_eq!(*r, resume, "seed {seed}: resume epoch must be phase-wide");
+        }
+        let merged: Out = phase
+            .results
+            .iter()
+            .flat_map(|(_, captured)| captured.iter().cloned())
+            .collect();
+        for epoch in resume..phase.stop_epoch {
+            let mut got: Vec<(u64, u64)> = merged
+                .iter()
+                .filter(|(e, _)| *e == epoch)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            got.sort();
+            assert_eq!(
+                got, reference[epoch as usize],
+                "seed {seed}: epoch {epoch} diverged under chaos + rescale"
+            );
+        }
+    }
+}
+
 /// Fault plans are pure functions of the seed, and the 32-seed base
 /// population actually exercises every fault class.
 #[test]
@@ -361,6 +539,62 @@ fn chaos_soak_seeds_24_31() {
             eventful > 0,
             "no seed in 24..32 injected a recoverable fault — the soak is not soaking"
         );
+    });
+}
+
+#[test]
+fn rescale_soak_seeds_00_07() {
+    with_deadline(300, || {
+        let reference = baseline();
+        rescale_soak(0..8, &reference);
+    });
+}
+
+#[test]
+fn rescale_soak_seeds_08_15() {
+    with_deadline(300, || {
+        let reference = baseline();
+        rescale_soak(8..16, &reference);
+    });
+}
+
+#[test]
+fn rescale_soak_seeds_16_23() {
+    with_deadline(300, || {
+        let reference = baseline();
+        rescale_soak(16..24, &reference);
+    });
+}
+
+/// As with the plain soak, the last base batch checks the matrix was
+/// eventful: at least one seed in 24..32 forced a recovery, abort, or
+/// rollback around its membership change.
+#[test]
+fn rescale_soak_seeds_24_31() {
+    with_deadline(300, || {
+        let reference = baseline();
+        let eventful = rescale_soak(24..32, &reference);
+        assert!(
+            eventful > 0,
+            "no seed in 24..32 stressed its rescale — the matrix is not soaking"
+        );
+    });
+}
+
+/// CI's extended rescale soak: `RESCALE_SOAK_SEEDS=n` runs `n` extra
+/// seeds past the base 32. A no-op when the variable is unset.
+#[test]
+fn extended_rescale_soak_honours_env() {
+    let extra: u64 = std::env::var("RESCALE_SOAK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if extra == 0 {
+        return;
+    }
+    with_deadline(120 + 40 * extra, move || {
+        let reference = baseline();
+        rescale_soak(32..32 + extra, &reference);
     });
 }
 

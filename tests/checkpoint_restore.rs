@@ -178,18 +178,18 @@ fn try_restore_reports_corruption() {
     use naiad::runtime::RestoreError;
 
     let (_, snapshot) = run(0, 2, None);
-    let per_worker = restore_shape(&snapshot);
-    let blob = Arc::new(per_worker[0].clone());
-    let errors = execute(Config::single_process(1), move |worker| {
+    let per_worker = Arc::new(restore_shape(&snapshot));
+    let errors = execute(Config::single_process(2), move |worker| {
         let (_input, _probe) = worker.dataflow(|scope| {
             let (input, stream) = scope.new_input::<(u64, u64)>();
             let mins = stream.min_monotonic();
             (input, mins.probe())
         });
+        let blob = per_worker[worker.index()].clone();
         // Not a checkpoint at all.
         let garbage = worker.try_restore(b"definitely not a checkpoint");
         // A flipped payload bit fails the checksum before any state moves.
-        let mut flipped = blob.as_ref().clone();
+        let mut flipped = blob.clone();
         *flipped.last_mut().unwrap() ^= 1;
         let corrupt = worker.try_restore(&flipped);
         // The pristine blob restores cleanly afterwards.
@@ -197,10 +197,259 @@ fn try_restore_reports_corruption() {
         (garbage, corrupt, clean)
     })
     .unwrap();
-    let (garbage, corrupt, clean) = &errors[0];
-    assert_eq!(garbage, &Err(RestoreError::BadMagic));
-    assert!(matches!(corrupt, Err(RestoreError::ChecksumMismatch { .. })));
-    assert_eq!(clean, &Ok(()));
+    for (garbage, corrupt, clean) in &errors {
+        assert_eq!(garbage, &Err(RestoreError::BadMagic));
+        assert!(matches!(corrupt, Err(RestoreError::ChecksumMismatch { .. })));
+        assert_eq!(clean, &Ok(()));
+    }
+}
+
+/// A whole-state snapshot is pinned to its worker count: loading it into
+/// a different-arity cluster is the typed mismatch, because its keyed
+/// partitions would silently violate the exchange contract — the rescale
+/// path re-partitions instead.
+#[test]
+fn try_restore_rejects_worker_count_mismatch() {
+    use naiad::runtime::RestoreError;
+
+    let (_, snapshot) = run(0, 2, None);
+    let per_worker = restore_shape(&snapshot);
+    let blob = Arc::new(per_worker[0].clone());
+    let outcomes = execute(Config::single_process(1), move |worker| {
+        let (_input, _probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            (input, mins.probe())
+        });
+        worker.try_restore(&blob)
+    })
+    .unwrap();
+    assert_eq!(
+        outcomes[0],
+        Err(RestoreError::PartitionCountMismatch {
+            checkpointed: 2,
+            restoring: 1
+        })
+    );
+}
+
+/// Runs epochs `[0, split)` on `from` workers and returns the captured
+/// prefix plus the migration bundles for a `to`-worker successor: bundle
+/// `p` holds shard `p` from every old worker, in worker order — exactly
+/// what the rescale coordinator assembles.
+fn run_and_shard(from: usize, to: usize, split: u64) -> (Out, Vec<Vec<Vec<u8>>>) {
+    let all = Arc::new(inputs());
+    let results = execute(Config::single_process(from), move |worker| {
+        let (mut input, probe, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            let captured = mins.capture();
+            (input, mins.probe(), captured)
+        });
+        for epoch in 0..split {
+            for r in my_share(&all[epoch as usize], worker.index(), worker.peers()) {
+                input.send(r);
+            }
+            input.advance_to(epoch + 1);
+            worker.step_while(|| !probe.done_through(epoch));
+        }
+        worker.step_until_closed_through(split - 1);
+        let shards = worker
+            .checkpoint_partitioned(to)
+            .expect("keyed state shards for the new membership");
+        input.close();
+        worker.step_until_done();
+        let result = (captured.borrow().clone(), shards);
+        result
+    })
+    .unwrap();
+    let mut merged: Out = Vec::new();
+    let mut bundles = vec![Vec::new(); to];
+    for (cap, shards) in results {
+        merged.extend(cap);
+        assert_eq!(shards.len(), to, "one shard per new worker");
+        for (bundle, shard) in bundles.iter_mut().zip(shards) {
+            bundle.push(shard);
+        }
+    }
+    merged.sort();
+    for (_, data) in merged.iter_mut() {
+        data.sort();
+    }
+    (merged, bundles)
+}
+
+/// Resumes epochs `[split, 6)` on `to` workers from migration `bundles`
+/// and returns the merged, sorted tail (locally renumbered from zero).
+fn resume_from_shards(to: usize, split: u64, bundles: Vec<Vec<Vec<u8>>>) -> Out {
+    let all = Arc::new(inputs());
+    let bundles = Arc::new(bundles);
+    let results = execute(Config::single_process(to), move |worker| {
+        let (mut input, probe, captured) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            let captured = mins.capture();
+            (input, mins.probe(), captured)
+        });
+        worker
+            .restore_shards(&bundles[worker.index()])
+            .expect("migration shards restore on the new membership");
+        for (local, epoch) in (split..6).enumerate() {
+            for r in my_share(&all[epoch as usize], worker.index(), worker.peers()) {
+                input.send(r);
+            }
+            input.advance_to(local as u64 + 1);
+            worker.step_while(|| !probe.done_through(local as u64));
+        }
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+    .unwrap();
+    let mut resumed: Out = results.into_iter().flatten().collect();
+    resumed.sort();
+    for (_, data) in resumed.iter_mut() {
+        data.sort();
+    }
+    resumed
+}
+
+/// N→M migration round trips: shard keyed state on `from` workers,
+/// reassemble by new owner, restore on `to` workers, and the remaining
+/// epochs must match the uninterrupted reference — grow, shrink, and the
+/// degenerate single-worker cases alike.
+#[test]
+fn partitioned_round_trip_matches_across_worker_counts() {
+    let split = 3u64;
+    let (reference, _) = run(0, 6, None);
+    let tail_reference: Vec<Vec<(u64, u64)>> = (split..6)
+        .map(|e| {
+            let mut v: Vec<(u64, u64)> = reference
+                .iter()
+                .filter(|(epoch, _)| *epoch == e)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+
+    let head_reference: Vec<Vec<(u64, u64)>> = (0..split)
+        .map(|e| {
+            let mut v: Vec<(u64, u64)> = reference
+                .iter()
+                .filter(|(epoch, _)| *epoch == e)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+
+    for (from, to) in [(2usize, 3usize), (3, 2), (2, 1), (1, 2)] {
+        let (prefix, bundles) = run_and_shard(from, to, split);
+        let head_prefix: Vec<Vec<(u64, u64)>> = (0..split)
+            .map(|e| {
+                let mut v: Vec<(u64, u64)> = prefix
+                    .iter()
+                    .filter(|(epoch, _)| *epoch == e)
+                    .flat_map(|(_, d)| d.iter().copied())
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect();
+        assert_eq!(head_prefix, head_reference, "{from} -> {to}: prefix diverged");
+
+        let resumed = resume_from_shards(to, split, bundles);
+        let tail_resumed: Vec<Vec<(u64, u64)>> = (0..(6 - split))
+            .map(|e| {
+                let mut v: Vec<(u64, u64)> = resumed
+                    .iter()
+                    .filter(|(epoch, _)| *epoch == e)
+                    .flat_map(|(_, d)| d.iter().copied())
+                    .collect();
+                v.sort();
+                v
+            })
+            .collect();
+        assert_eq!(
+            tail_resumed, tail_reference,
+            "{from} -> {to}: migration changed the future"
+        );
+    }
+}
+
+/// Corrupt, truncated, or wrong-arity migration shards surface as typed
+/// errors before any state moves: a failed restore leaves the worker
+/// able to absorb the pristine bundle afterwards.
+#[test]
+fn restore_shards_rejects_corruption_with_typed_errors() {
+    use naiad::runtime::RestoreError;
+
+    let (_, bundles) = run_and_shard(2, 2, 3);
+    let bundles = Arc::new(bundles);
+    let outcomes = execute(Config::single_process(2), move |worker| {
+        let (_input, _probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            (input, mins.probe())
+        });
+        let mine = bundles[worker.index()].clone();
+
+        // Not a sealed blob at all.
+        let garbage = worker.restore_shards(&[b"not a shard".to_vec(), mine[1].clone()]);
+        // A flipped payload bit fails the seal's checksum.
+        let mut flipped = mine.clone();
+        *flipped[0].last_mut().unwrap() ^= 1;
+        let corrupt = worker.restore_shards(&flipped);
+        // Truncating a shard mid-payload fails before any state is
+        // touched.
+        let mut short = mine.clone();
+        let half = short[1].len() / 2;
+        short[1].truncate(half);
+        let truncated = worker.restore_shards(&short);
+        // The pristine bundle still restores cleanly afterwards.
+        let clean = worker.restore_shards(&mine);
+        (garbage, corrupt, truncated, clean)
+    })
+    .unwrap();
+    for (garbage, corrupt, truncated, clean) in outcomes {
+        assert_eq!(garbage, Err(RestoreError::BadMagic));
+        assert!(matches!(corrupt, Err(RestoreError::ChecksumMismatch { .. })));
+        assert!(truncated.is_err(), "truncated shard must fail typed");
+        assert_eq!(clean, Ok(()));
+    }
+}
+
+/// A shard bundle cut for one worker count cannot restore into another:
+/// the arity is sealed into every shard and checked first.
+#[test]
+fn restore_shards_rejects_partition_count_mismatch() {
+    use naiad::runtime::RestoreError;
+
+    // Shards cut for a 3-worker successor...
+    let (_, bundles) = run_and_shard(2, 3, 3);
+    let bundle = Arc::new(bundles.into_iter().next().unwrap());
+    // ...offered to a 1-worker cluster.
+    let outcomes = execute(Config::single_process(1), move |worker| {
+        let (_input, _probe) = worker.dataflow(|scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let mins = stream.min_monotonic();
+            (input, mins.probe())
+        });
+        worker.restore_shards(&bundle)
+    })
+    .unwrap();
+    assert!(
+        matches!(
+            outcomes[0],
+            Err(RestoreError::PartitionCountMismatch { .. })
+        ),
+        "got {:?}",
+        outcomes[0]
+    );
 }
 
 /// Coordinated rollback recovery (§3.4): crash a worker's process at

@@ -22,8 +22,9 @@ use std::time::Duration;
 
 use naiad::dataflow::{InputPort, OutputPort};
 use naiad::{
-    execute, execute_resilient, execute_with_metrics, execute_with_telemetry, Config, ExecuteError,
-    Pact, RecoveryOptions, ResilientReport, Scope, Worker,
+    execute, execute_elastic, execute_resilient, execute_with_metrics, execute_with_telemetry,
+    Config, ElasticOptions, ElasticPlan, ElasticReport, ExecuteError, Pact, RecoveryOptions,
+    RescaleOutcome, RescaleStep, ResilientReport, Scope, Worker,
 };
 use naiad_examples::my_share;
 
@@ -48,7 +49,7 @@ fn build(scope: &mut Scope) -> (naiad::InputHandle<(u64, u64)>, naiad::ProbeHand
     let (input, stream) = scope.new_input::<(u64, u64)>();
     let mins = stream.unary(Pact::exchange(|_: &(u64, u64)| 0), "MinAtZero", |info| {
         let acc: Rc<RefCell<HashMap<u64, u64>>> = Rc::new(RefCell::new(HashMap::new()));
-        info.register_state(acc.clone());
+        info.register_keyed_state(acc.clone(), |_: &u64| 0);
         let acc2 = acc;
         move |input: &mut InputPort<(u64, u64)>, output: &mut OutputPort<(u64, u64)>| {
             input.for_each(|time, data| {
@@ -400,6 +401,130 @@ fn stall_declarations_feed_coordinated_recovery() {
             report.recovered_from[0]
         );
         assert_bit_identical(&report, &reference);
+    });
+}
+
+/// An elastic run whose *migration window* wedges: the post-fence phase
+/// (membership generation 1) has a worker go silent, so the fence-epoch
+/// replay can never complete. The migration deadline is installed as the
+/// window's stall watchdog, bounding the wedge.
+fn wedged_migration_run(options: ElasticOptions) -> Result<ElasticReport<Out>, ExecuteError> {
+    let all = Arc::new(inputs());
+    let plan =
+        ElasticPlan::new(Config::single_process(2), EPOCHS).rescale(RescaleStep::new(1, 1, 3));
+    execute_elastic(plan, options, move |worker, session| {
+        let (mut input, probe, captured) = worker.dataflow(build);
+        session.restore_into(worker);
+        // Generation 1 is the provisional post-rescale membership; its
+        // first attempt wedges. A rollback re-runs under generation 2,
+        // healthy.
+        if session.generation() == 1 && worker.index() == 0 {
+            play_dead(worker);
+        }
+        if session.resume_epoch() > 0 {
+            input.advance_to(session.resume_epoch());
+        }
+        for epoch in session.resume_epoch()..session.stop_epoch() {
+            let records = match session.logged_input::<(u64, u64)>(epoch, worker.index(), 0) {
+                Some(records) => records,
+                None => {
+                    let records = my_share(&all[epoch as usize], worker.index(), worker.peers());
+                    session.log_input(epoch, worker.index(), 0, &records);
+                    records
+                }
+            };
+            for r in records {
+                input.send(r);
+            }
+            input.advance_to(epoch + 1);
+            worker.step_while(|| !probe.done_through(epoch));
+            if session.should_checkpoint(epoch) {
+                session.checkpoint(worker, epoch);
+            }
+        }
+        input.close();
+        worker.step_until_done();
+        let result = captured.borrow().clone();
+        result
+    })
+}
+
+/// Regression: a migration window that overruns its deadline with
+/// rollback disabled dies with a typed [`ExecuteError::RescaleFailed`]
+/// whose dump names the protocol phase, the consumed budget, and the
+/// underlying stall — never a hang.
+#[test]
+fn overrunning_migration_fails_typed_with_phase_dump() {
+    with_deadline(120, || {
+        let options = ElasticOptions::default()
+            .recovery(RecoveryOptions::default().max_attempts(1).checkpoint_every(1))
+            .migration_deadline(Duration::from_millis(500))
+            .rollback_on_abort(false);
+        match wedged_migration_run(options) {
+            Err(ExecuteError::RescaleFailed {
+                epoch,
+                from_workers,
+                to_workers,
+                dump,
+            }) => {
+                assert_eq!((epoch, from_workers, to_workers), (1, 2, 3));
+                assert!(
+                    dump.contains("phase=resume") && dump.contains("attempts=1"),
+                    "dump must name the protocol phase and budget: {dump}"
+                );
+                assert!(
+                    dump.contains("global stall"),
+                    "dump must carry the underlying stall: {dump}"
+                );
+            }
+            other => panic!("expected RescaleFailed, got {other:?}"),
+        }
+    });
+}
+
+/// The same wedge with rollback enabled: the run reverts to the
+/// pre-rescale membership at the fence, finishes bit-identically to the
+/// fault-free reference, and reports the rollback with its stall cause.
+#[test]
+fn overrunning_migration_rolls_back_and_completes() {
+    with_deadline(120, || {
+        let (reference, _) = reference_run();
+        let options = ElasticOptions::default()
+            .recovery(RecoveryOptions::default().max_attempts(1).checkpoint_every(1))
+            .migration_deadline(Duration::from_millis(500));
+        let report = wedged_migration_run(options).expect("rollback must save the run");
+        assert!(
+            matches!(
+                &report.outcomes[..],
+                [RescaleOutcome::RolledBack {
+                    fence: 1,
+                    to_workers: 3,
+                    cause: ExecuteError::Stalled { .. },
+                }]
+            ),
+            "unexpected outcomes: {:?}",
+            report.outcomes
+        );
+        for phase in &report.phases {
+            assert_eq!(phase.workers, 2, "a rolled-back rescale keeps membership");
+        }
+        let merged: Out = report
+            .phases
+            .iter()
+            .flat_map(|phase| phase.results.iter().flatten().cloned())
+            .collect();
+        for epoch in 0..EPOCHS {
+            let mut got: Vec<(u64, u64)> = merged
+                .iter()
+                .filter(|(e, _)| *e == epoch)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            got.sort();
+            assert_eq!(
+                got, reference[epoch as usize],
+                "epoch {epoch} diverged after the rollback"
+            );
+        }
     });
 }
 
