@@ -34,8 +34,8 @@ mod telemetry;
 mod workloads;
 
 pub use model::{
-    ClusterSim, ClusterSpec, FailureModel, HeartbeatModel, PhaseStats, RecoveryStats,
-    RescaleModel, StragglerModel,
+    ClusterSim, ClusterSpec, FailureModel, HeartbeatModel, IntrospectionModel, PhaseStats,
+    RecoveryStats, RescaleModel, StragglerModel,
 };
 pub use telemetry::{PhaseAgg, SimTelemetry};
 /// Re-export of the shared seeded generator (previously a private module

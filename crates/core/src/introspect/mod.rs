@@ -1,0 +1,407 @@
+//! Self-hosted critical-path analysis: the telemetry stream fed into a
+//! Naiad dataflow running on the same runtime, SnailTrail-style.
+//!
+//! The paper diagnoses stragglers (§5.3) and tunes batch sizes (Fig 6a)
+//! by reading logs offline. This module closes that loop *online* by
+//! dogfooding the system on itself:
+//!
+//! 1. **Tap** — each worker's [`Recorder`] gets a bounded, in-process
+//!    tap ([`Tap`](crate::telemetry::Tap)) that copies attributable
+//!    events (schedule slices, message transit, progress traffic,
+//!    notification delivery) into a per-worker queue. No locks on the
+//!    recording hot path; overflow is counted, never blocking.
+//! 2. **Observer dataflow** — a second dataflow, built through the same
+//!    [`Worker::dataflow`] path as any user graph (and therefore
+//!    statically certified by the [`crate::analysis`] rules), ingests
+//!    [`ActivitySample`]s. A step hook drains the tap between scheduling
+//!    steps, attributes events to source epochs via
+//!    [`AttributionState`], and feeds the observer's input — *sending
+//!    before advancing*, and never advancing past the running
+//!    attribution epoch, so a sample for epoch `e` is always introduced
+//!    at an observer timestamp `≤ e` and the analysis vertex's
+//!    notification at `e` is sound (fires exactly once, after the last
+//!    sample of the epoch).
+//! 3. **Analysis** — samples exchange by epoch, so one vertex assembles
+//!    each epoch's program-activity graph; when the epoch's frontier
+//!    passes, it emits a [`CriticalPathSummary`] naming the straggler,
+//!    the critical path, busy-time skew, and the transit/progress/
+//!    notification residual.
+//! 4. **Autotuning** — summaries route to worker 0, where an optional
+//!    [`Autotuner`] hill-climbs the shared
+//!    [`TuningKnobs`](crate::runtime::TuningKnobs) (exchange batch
+//!    size, progress flush threshold) and logs every move back into the
+//!    telemetry stream as
+//!    [`TelemetryEvent::TuningDecision`](crate::telemetry::TelemetryEvent).
+//!
+//! The observer is excluded from its own tap (no feedback loop), does
+//! not count toward step liveness (the user's `step_until_done` is
+//! oblivious to it), and never touches user streams — with autotuning
+//! off, a run with introspection is bit-identical to one without.
+//!
+//! Entry point: [`execute_with_introspection`]. The offline reference
+//! ([`offline_reference`]) recomputes the same summaries from harvested
+//! logs through the same attribution code, which is what the golden test
+//! checks the self-hosted results against.
+
+mod activity;
+mod tuner;
+
+pub use activity::{
+    offline_reference, ActivityKind, ActivitySample, AttributionState, CriticalPathSummary,
+    EpochAccumulator,
+};
+pub use tuner::{Autotuner, TuningDecision};
+
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::dataflow::{InputHandle, InputPort, Notify, OutputPort};
+use crate::runtime::execute::execute_inner;
+use crate::runtime::sync::Mutex;
+use crate::runtime::{Config, Pact, StepHook, TuningKnobs, Worker};
+use crate::telemetry::{EventRecord, Recorder, Tap, TelemetryEvent, TelemetrySnapshot};
+use crate::time::Timestamp;
+use crate::ExecuteError;
+
+/// The observer dataflow's id: the harness builds it before the user
+/// closure runs, so it is always the worker's first dataflow.
+const OBSERVER_DATAFLOW: u32 = 0;
+
+/// Options for [`execute_with_introspection`].
+#[derive(Debug, Clone, Copy)]
+pub struct IntrospectOptions {
+    /// Per-worker tap queue capacity, in events. Overflow increments
+    /// `tap_dropped` in the report instead of blocking the hot path.
+    pub tap_capacity: usize,
+    /// Whether the [`Autotuner`] closes the loop. Off by default:
+    /// with autotuning off, introspection observes without perturbing —
+    /// user results are bit-identical to an uninstrumented run.
+    pub autotune: bool,
+}
+
+impl Default for IntrospectOptions {
+    fn default() -> Self {
+        IntrospectOptions {
+            tap_capacity: 65_536,
+            autotune: false,
+        }
+    }
+}
+
+impl IntrospectOptions {
+    /// Sets the per-worker tap capacity.
+    #[must_use]
+    pub fn tap_capacity(mut self, events: usize) -> Self {
+        self.tap_capacity = events;
+        self
+    }
+
+    /// Enables the autotuner.
+    #[must_use]
+    pub fn autotune(mut self, enabled: bool) -> Self {
+        self.autotune = enabled;
+        self
+    }
+}
+
+/// What [`execute_with_introspection`] returns alongside the worker
+/// results.
+#[derive(Debug)]
+pub struct IntrospectReport {
+    /// The full telemetry snapshot, with
+    /// [`TelemetrySnapshot::critical_paths`] filled in.
+    pub snapshot: TelemetrySnapshot,
+    /// Per-epoch critical-path summaries, sorted by epoch — the same
+    /// values as `snapshot.critical_paths`.
+    pub summaries: Vec<CriticalPathSummary>,
+    /// Every knob adjustment the autotuner made (empty when autotuning
+    /// is off).
+    pub decisions: Vec<TuningDecision>,
+    /// Events dropped at tap queues across all workers (0 means the
+    /// activity graph is complete).
+    pub tap_dropped: u64,
+}
+
+/// Per-worker introspection state: the observer input, the tap queue it
+/// drains, and the attribution state shared with the step hook.
+pub(crate) struct Harness {
+    input: Rc<RefCell<InputHandle<ActivitySample>>>,
+    queue: Rc<RefCell<VecDeque<EventRecord>>>,
+    dropped: Rc<Cell<u64>>,
+    attribution: Rc<RefCell<AttributionState>>,
+    recorder: Recorder,
+}
+
+impl Harness {
+    /// Builds the observer dataflow, marks it as such, installs the
+    /// recorder tap and the step hook. Must run before the user closure
+    /// builds any dataflow (the observer claims id 0).
+    pub(crate) fn install(
+        worker: &mut Worker,
+        tap_capacity: usize,
+        collector: &Arc<Mutex<Vec<CriticalPathSummary>>>,
+        tuner: Option<&Arc<Mutex<Autotuner>>>,
+        decisions: &Arc<Mutex<Vec<TuningDecision>>>,
+    ) -> Harness {
+        let recorder = worker.recorder();
+        let input = build_observer(
+            worker,
+            Arc::clone(collector),
+            tuner.map(Arc::clone),
+            Arc::clone(decisions),
+            recorder.clone(),
+        );
+        worker.mark_observer(OBSERVER_DATAFLOW as usize);
+
+        let queue = Rc::new(RefCell::new(VecDeque::new()));
+        let dropped = Rc::new(Cell::new(0u64));
+        recorder.install_tap(Tap {
+            queue: Rc::clone(&queue),
+            capacity: tap_capacity.max(1),
+            dropped: Rc::clone(&dropped),
+            exclude_dataflow: OBSERVER_DATAFLOW,
+        });
+
+        let input = Rc::new(RefCell::new(input));
+        let attribution = Rc::new(RefCell::new(AttributionState::new(
+            u32::try_from(worker.index()).unwrap_or(u32::MAX),
+        )));
+
+        let hook_input = Rc::clone(&input);
+        let hook_queue = Rc::clone(&queue);
+        let hook_attribution = Rc::clone(&attribution);
+        let hook: StepHook = Rc::new(RefCell::new(move |min_open: Option<u64>| {
+            let mut input = hook_input.borrow_mut();
+            if input.is_closed() {
+                return;
+            }
+            // Drain into a local batch first: sending on the observer
+            // input records transit events of its own, and although the
+            // tap excludes the observer dataflow, holding the queue
+            // borrow across a send would be one refactor away from a
+            // re-borrow panic.
+            let drained: Vec<EventRecord> = hook_queue.borrow_mut().drain(..).collect();
+            let mut attribution = hook_attribution.borrow_mut();
+            for record in drained {
+                if let Some(sample) = attribution.push(&record) {
+                    input.send(sample);
+                }
+            }
+            // Send, *then* advance — and never past the attribution
+            // epoch. Schedule and notification samples carry a tracker
+            // epoch that is monotone per worker, but transit and progress
+            // samples inherit the epoch of the *last* schedule slice,
+            // which can lag one step behind the frontier. Clamping the
+            // advance to `min(min_open, attribution.epoch())` guarantees
+            // every future sample carries an epoch `≥` the observer
+            // clock, so the analysis vertex's notification at `e` fires
+            // exactly once, after the last sample for `e`.
+            if let Some(min_open) = min_open {
+                let safe = min_open.min(attribution.epoch());
+                if safe > input.epoch() {
+                    input.advance_to(safe);
+                }
+            }
+        }));
+        worker.add_step_hook(hook);
+
+        Harness {
+            input,
+            queue,
+            dropped,
+            attribution,
+            recorder,
+        }
+    }
+
+    /// Flushes the tap through the observer, closes its input, and runs
+    /// the observer dataflow to completion. Returns the number of events
+    /// the tap dropped on this worker.
+    pub(crate) fn finish(self, worker: &mut Worker) -> u64 {
+        {
+            let mut input = self.input.borrow_mut();
+            if !input.is_closed() {
+                let drained: Vec<EventRecord> = self.queue.borrow_mut().drain(..).collect();
+                let mut attribution = self.attribution.borrow_mut();
+                for record in drained {
+                    if let Some(sample) = attribution.push(&record) {
+                        input.send(sample);
+                    }
+                }
+                input.close();
+            }
+        }
+        self.recorder.remove_tap();
+        while !worker.observers_complete() {
+            if !worker.step() {
+                worker.idle_wait();
+            }
+        }
+        self.dropped.get()
+    }
+}
+
+/// Builds the observer dataflow on `worker` and returns its input.
+///
+/// Topology: `Input → CriticalPath (exchange by epoch, notify per
+/// epoch) → Autotune (exchange to worker 0, sink)`. Built through
+/// [`Worker::dataflow`], so the static analyzer certifies it like any
+/// user graph.
+fn build_observer(
+    worker: &mut Worker,
+    collector: Arc<Mutex<Vec<CriticalPathSummary>>>,
+    tuner: Option<Arc<Mutex<Autotuner>>>,
+    decisions: Arc<Mutex<Vec<TuningDecision>>>,
+    recorder: Recorder,
+) -> InputHandle<ActivitySample> {
+    worker.dataflow(move |scope| {
+        let (input, samples) = scope.new_input::<ActivitySample>();
+
+        let summaries = samples.unary_notify(
+            Pact::exchange(|s: &ActivitySample| s.epoch),
+            "CriticalPath",
+            move |_info| {
+                let table: Rc<RefCell<HashMap<u64, EpochAccumulator>>> = Rc::default();
+                let flush = Rc::clone(&table);
+                (
+                    move |input: &mut InputPort<ActivitySample>,
+                          _output: &mut OutputPort<CriticalPathSummary>,
+                          notify: &Notify| {
+                        input.for_each(|_time, data| {
+                            let mut table = table.borrow_mut();
+                            for sample in data {
+                                let accumulator = match table.entry(sample.epoch) {
+                                    Entry::Occupied(entry) => entry.into_mut(),
+                                    Entry::Vacant(entry) => {
+                                        // First sample of the epoch:
+                                        // summarize once its frontier
+                                        // passes.
+                                        notify.notify_at(Timestamp::new(sample.epoch));
+                                        entry.insert(EpochAccumulator::default())
+                                    }
+                                };
+                                accumulator.push(&sample);
+                            }
+                        });
+                    },
+                    move |time: Timestamp,
+                          output: &mut OutputPort<CriticalPathSummary>,
+                          _notify: &Notify| {
+                        if let Some(accumulator) = flush.borrow_mut().remove(&time.epoch) {
+                            output.session(time).give(accumulator.finish(time.epoch));
+                        }
+                    },
+                )
+            },
+        );
+
+        summaries.sink(Pact::exchange(|_| 0), "Autotune", move |_info| {
+            move |input: &mut InputPort<CriticalPathSummary>| {
+                input.for_each(|_time, data| {
+                    for summary in data {
+                        if let Some(tuner) = &tuner {
+                            let made = tuner.lock().observe(&summary);
+                            for decision in &made {
+                                recorder.record(TelemetryEvent::TuningDecision {
+                                    epoch: decision.epoch,
+                                    knob: decision.knob,
+                                    from: decision.from,
+                                    to: decision.to,
+                                });
+                            }
+                            decisions.lock().extend(made);
+                        }
+                        collector.lock().push(summary);
+                    }
+                });
+            }
+        });
+
+        input
+    })
+}
+
+/// Like [`execute_with_telemetry`](crate::runtime::execute::execute_with_telemetry),
+/// but with the self-hosted critical-path observer installed on every
+/// worker.
+///
+/// Telemetry is forced on. Each worker gets a recorder tap, the observer
+/// dataflow, and a step hook feeding one into the other; after the user
+/// closure returns, the observer runs to completion so every closed
+/// source epoch yields a [`CriticalPathSummary`]. With
+/// [`IntrospectOptions::autotune`] set, worker 0 additionally drives the
+/// [`Autotuner`] over the shared [`TuningKnobs`] (installing default
+/// knobs seeded from `config.batch_size` if the config carries none).
+///
+/// # Errors
+///
+/// Propagates any [`ExecuteError`] from the underlying execution.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (as [`execute`](crate::execute)
+/// does), or if the observer graph fails static certification — which
+/// would be a bug in this module, not in user code.
+pub fn execute_with_introspection<F, T>(
+    config: Config,
+    options: IntrospectOptions,
+    worker_fn: F,
+) -> Result<(Vec<T>, IntrospectReport), ExecuteError>
+where
+    F: Fn(&mut Worker) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let mut config = config.telemetry(true);
+    if options.autotune && config.tuning.is_none() {
+        let knobs = TuningKnobs::with_batch_size(config.batch_size);
+        config = config.tuning(knobs);
+    }
+
+    let collector: Arc<Mutex<Vec<CriticalPathSummary>>> = Arc::new(Mutex::new(Vec::new()));
+    let decisions: Arc<Mutex<Vec<TuningDecision>>> = Arc::new(Mutex::new(Vec::new()));
+    let tap_dropped = Arc::new(AtomicU64::new(0));
+    let tuner = if options.autotune {
+        let knobs = config.tuning.clone().expect("knobs installed above");
+        Some(Arc::new(Mutex::new(Autotuner::new(knobs))))
+    } else {
+        None
+    };
+
+    let tap_capacity = options.tap_capacity;
+    let worker_collector = Arc::clone(&collector);
+    let worker_decisions = Arc::clone(&decisions);
+    let worker_dropped = Arc::clone(&tap_dropped);
+    let wrapped = move |worker: &mut Worker| {
+        let harness = Harness::install(
+            worker,
+            tap_capacity,
+            &worker_collector,
+            tuner.as_ref(),
+            &worker_decisions,
+        );
+        let result = worker_fn(worker);
+        let dropped = harness.finish(worker);
+        worker_dropped.fetch_add(dropped, Ordering::Relaxed);
+        result
+    };
+
+    let (results, _metrics, snapshot) = execute_inner(&config, wrapped)?;
+    let mut snapshot = snapshot.expect("telemetry enabled yields a snapshot");
+
+    let mut summaries = std::mem::take(&mut *collector.lock());
+    summaries.sort_by_key(|s| s.epoch);
+    snapshot.critical_paths.clone_from(&summaries);
+    let decisions = std::mem::take(&mut *decisions.lock());
+
+    let report = IntrospectReport {
+        snapshot,
+        summaries,
+        decisions,
+        tap_dropped: tap_dropped.load(Ordering::Relaxed),
+    };
+    Ok((results, report))
+}

@@ -14,7 +14,10 @@
 //! * [`runtime`] — workers, exchange channels, fault tolerance (§3),
 //! * [`dataflow`] — the typed graph-assembly interface (§4.3),
 //! * [`telemetry`] — per-worker event logs, the unified metrics
-//!   registry, and frontier probes (§5–§6 measurement substrate).
+//!   registry, and frontier probes (§5–§6 measurement substrate),
+//! * [`introspect`] — self-hosted critical-path analysis: the telemetry
+//!   stream fed into a second dataflow on the same runtime, straggler
+//!   attribution, and the autotuning loop (§5.3, Fig 6a).
 //!
 //! # Examples
 //!
@@ -67,6 +70,7 @@
 pub mod analysis;
 pub mod dataflow;
 pub mod graph;
+pub mod introspect;
 pub mod order;
 pub mod progress;
 pub mod runtime;
@@ -75,6 +79,10 @@ pub mod telemetry;
 pub mod time;
 
 pub use dataflow::{InputHandle, ProbeHandle, Scope, Stream};
+pub use introspect::{
+    execute_with_introspection, Autotuner, CriticalPathSummary, IntrospectOptions,
+    IntrospectReport, TuningDecision,
+};
 pub use order::{Antichain, MutableAntichain, PartialOrder};
 pub use runtime::execute::{execute, execute_with_metrics, execute_with_telemetry, ExecuteError};
 pub use telemetry::TelemetrySnapshot;

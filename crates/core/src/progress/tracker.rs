@@ -245,6 +245,16 @@ impl PointstampTable {
             .map(|(p, _)| *p)
     }
 
+    /// The smallest epoch among *all* active pointstamps — messages and
+    /// notifications at any location, not just input vertices. This is
+    /// the epoch of the oldest work the dataflow can still perform, and
+    /// it is monotone per worker for the same §3.3 reasons as
+    /// [`PointstampTable::input_frontier_epoch`]. Telemetry schedule
+    /// events attribute scheduling slices to this epoch.
+    pub fn min_epoch(&self) -> Option<u64> {
+        self.active().map(|p| p.time.epoch).min()
+    }
+
     /// The minimum open input epoch: the smallest epoch among active
     /// pointstamps held at input vertices, or `None` once every input
     /// has closed. Per worker this value is monotone — `advance_to`

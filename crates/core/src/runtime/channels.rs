@@ -27,6 +27,7 @@ use naiad_wire::{encode_to_vec, Bytes, ExchangeData, Wire, WireError};
 
 use super::sync::Mutex;
 
+use super::config::TuningKnobs;
 use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 use crate::graph::{ConnectorId, LogicalGraph};
 use crate::progress::{Pointstamp, ProgressUpdate};
@@ -233,6 +234,9 @@ pub(crate) struct Pusher<D> {
     pact: Pact<D>,
     my_index: usize,
     batch_size: usize,
+    /// Shared dynamic knobs; when present, [`Pusher::batch_limit`] reads
+    /// the live batch size instead of the static `batch_size`.
+    tuning: Option<TuningKnobs>,
     routes: Vec<Route<D>>,
     buffers: Vec<Vec<D>>,
     buffer_time: Option<Timestamp>,
@@ -255,6 +259,7 @@ pub(crate) struct RoutingContext {
     pub workers_per_process: usize,
     pub process: usize,
     pub batch_size: usize,
+    pub tuning: Option<TuningKnobs>,
     pub registry: Arc<ProcessRegistry>,
     pub net: Option<Arc<Mutex<NetSender>>>,
     pub escalation: Arc<EscalationCell>,
@@ -295,6 +300,7 @@ impl<D: ExchangeData> Pusher<D> {
             pact,
             my_index: ctx.my_index,
             batch_size: ctx.batch_size,
+            tuning: ctx.tuning.clone(),
             routes,
             buffers: (0..ctx.peers).map(|_| Vec::new()).collect(),
             buffer_time: None,
@@ -308,6 +314,17 @@ impl<D: ExchangeData> Pusher<D> {
         }
     }
 
+    /// The batch size in force right now: the live tuning knob when the
+    /// autotuner is wired in, the static config value otherwise (one
+    /// `Option` branch — the untuned path is unchanged).
+    #[inline]
+    fn batch_limit(&self) -> usize {
+        match &self.tuning {
+            Some(knobs) => knobs.batch_size(),
+            None => self.batch_size,
+        }
+    }
+
     /// Queues `record` at `time`, flushing destination batches as they
     /// fill. Batches never mix timestamps: a time change flushes first.
     pub(crate) fn give(&mut self, time: Timestamp, record: D) {
@@ -315,25 +332,26 @@ impl<D: ExchangeData> Pusher<D> {
             self.flush();
             self.buffer_time = Some(time);
         }
+        let limit = self.batch_limit();
         match &self.pact {
             Pact::Pipeline => {
                 let dst = self.my_index;
                 self.buffers[dst].push(record);
-                if self.buffers[dst].len() >= self.batch_size {
+                if self.buffers[dst].len() >= limit {
                     self.emit(dst, time);
                 }
             }
             Pact::Exchange(f) => {
                 let dst = (f(&record) % self.routes.len() as u64) as usize;
                 self.buffers[dst].push(record);
-                if self.buffers[dst].len() >= self.batch_size {
+                if self.buffers[dst].len() >= limit {
                     self.emit(dst, time);
                 }
             }
             Pact::Broadcast => {
                 for dst in 0..self.routes.len() {
                     self.buffers[dst].push(record.clone());
-                    if self.buffers[dst].len() >= self.batch_size {
+                    if self.buffers[dst].len() >= limit {
                         self.emit(dst, time);
                     }
                 }
@@ -493,6 +511,7 @@ mod tests {
             workers_per_process: 2,
             process: 0,
             batch_size: 4,
+            tuning: None,
             registry,
             net: None,
             escalation: Arc::new(EscalationCell::default()),

@@ -1,10 +1,79 @@
 //! Runtime configuration.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use naiad_netsim::{FaultPlan, LatencyModel};
 
 use crate::progress::ProgressMode;
+
+/// Shared, dynamically adjustable runtime knobs, read by the data plane
+/// on every batch boundary and written by the [`crate::introspect`]
+/// autotuner between epochs. When [`Config::tuning`] is `None` (the
+/// default) the static [`Config::batch_size`] applies and the flush
+/// threshold is 1 — today's behavior, bit for bit.
+#[derive(Clone, Debug, Default)]
+pub struct TuningKnobs {
+    inner: Arc<KnobsInner>,
+}
+
+#[derive(Debug)]
+struct KnobsInner {
+    batch_size: AtomicUsize,
+    progress_flush: AtomicUsize,
+}
+
+impl Default for KnobsInner {
+    fn default() -> Self {
+        KnobsInner {
+            batch_size: AtomicUsize::new(1024),
+            progress_flush: AtomicUsize::new(1),
+        }
+    }
+}
+
+impl TuningKnobs {
+    /// Knobs seeded with an initial exchange batch size and a flush
+    /// threshold of 1 (flush every step).
+    pub fn with_batch_size(records: usize) -> Self {
+        let knobs = TuningKnobs::default();
+        knobs.set_batch_size(records);
+        knobs
+    }
+
+    /// Current exchange batch size (records per emitted batch).
+    pub fn batch_size(&self) -> usize {
+        self.inner.batch_size.load(Ordering::Relaxed)
+    }
+
+    /// Sets the exchange batch size; takes effect at the next batch
+    /// boundary on every worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is zero.
+    pub fn set_batch_size(&self, records: usize) {
+        assert!(records > 0, "batch size must be positive");
+        self.inner.batch_size.store(records, Ordering::Relaxed);
+    }
+
+    /// Current progress-flush threshold (journal entries below which a
+    /// flush may be deferred for a bounded number of steps).
+    pub fn progress_flush(&self) -> usize {
+        self.inner.progress_flush.load(Ordering::Relaxed)
+    }
+
+    /// Sets the progress-flush threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `updates` is zero.
+    pub fn set_progress_flush(&self, updates: usize) {
+        assert!(updates > 0, "flush threshold must be positive");
+        self.inner.progress_flush.store(updates, Ordering::Relaxed);
+    }
+}
 
 /// Configuration for [`execute`](crate::runtime::execute::execute).
 ///
@@ -85,6 +154,10 @@ pub struct Config {
     /// graph whose state cannot be re-partitioned is denied at build time
     /// instead of aborting mid-rescale.
     pub certify_rescale: bool,
+    /// Dynamically adjustable knobs shared with the [`crate::introspect`]
+    /// autotuner. `None` (the default) pins every knob to its static
+    /// config value with zero added cost on the data plane.
+    pub tuning: Option<TuningKnobs>,
 }
 
 impl Config {
@@ -120,7 +193,16 @@ impl Config {
             stall_timeout: Some(Duration::from_secs(30)),
             membership_generation: 0,
             certify_rescale: false,
+            tuning: None,
         }
+    }
+
+    /// Installs shared tuning knobs, seeded from the static
+    /// [`Config::batch_size`]; the [`crate::introspect`] autotuner
+    /// adjusts them online.
+    pub fn tuning(mut self, knobs: TuningKnobs) -> Self {
+        self.tuning = Some(knobs);
+        self
     }
 
     /// Sets the cluster-membership generation (normally managed by the
@@ -331,6 +413,20 @@ mod tests {
         let c = c.stall_timeout(Duration::from_secs(2));
         assert_eq!(c.stall_timeout, Some(Duration::from_secs(2)));
         assert_eq!(c.no_stall_timeout().stall_timeout, None);
+    }
+
+    #[test]
+    fn tuning_knobs_are_shared_and_dynamic() {
+        let c = Config::default();
+        assert!(c.tuning.is_none(), "knobs default off");
+        let knobs = TuningKnobs::with_batch_size(64);
+        let c = Config::single_process(2).tuning(knobs.clone());
+        assert_eq!(c.tuning.as_ref().unwrap().batch_size(), 64);
+        knobs.set_batch_size(128);
+        knobs.set_progress_flush(4);
+        // The config's clone observes writes through the shared handle.
+        assert_eq!(c.tuning.as_ref().unwrap().batch_size(), 128);
+        assert_eq!(c.tuning.as_ref().unwrap().progress_flush(), 4);
     }
 
     #[test]

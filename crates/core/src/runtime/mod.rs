@@ -14,7 +14,7 @@ pub(crate) mod sync;
 mod worker;
 
 pub use channels::{Message, Pact};
-pub use config::Config;
+pub use config::{Config, TuningKnobs};
 pub use durability::{open_blob, seal_blob, Checkpoint, KeyedCheckpoint, KeyedState, RestoreError};
 pub use execute::{execute, execute_with_metrics, execute_with_telemetry, ExecuteError};
 pub use recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
@@ -23,4 +23,5 @@ pub use rescale::{
     RescaleError, RescaleOutcome, RescaleStep,
 };
 pub use retry::FaultKind;
+pub(crate) use worker::StepHook;
 pub use worker::Worker;

@@ -44,7 +44,24 @@ struct DataflowRuntime {
     /// Last frontier-probe sample `(active, input_epoch)`, so probes are
     /// recorded only when the sampled values change.
     last_probe: Option<(u32, Option<u64>)>,
+    /// An introspection dataflow ([`crate::introspect`]): excluded from
+    /// [`Worker::step`] liveness so its open input never blocks
+    /// `step_until_done`, and excluded from the recorder tap so the
+    /// observer cannot feed back into itself.
+    observer: bool,
+    /// Last non-`None` tracker min-epoch, used to attribute scheduling
+    /// slices once every pointstamp has drained.
+    last_epoch: u64,
+    /// Consecutive steps a small journal flush has been deferred
+    /// (bounded; see [`Worker::flush_progress`]).
+    defer_count: u32,
 }
+
+/// A per-step callback installed by the introspection harness: runs at
+/// the top of every [`Worker::step`] with the minimum open epoch across
+/// non-observer dataflows (`None` when they have all drained). The
+/// closure lives on the worker's thread (`Rc`, not `Arc`).
+pub(crate) type StepHook = Rc<RefCell<dyn FnMut(Option<u64>)>>;
 
 /// A worker: owns one vertex per stage of each dataflow it participates in
 /// and exchanges messages and progress updates with its peers (§3.2).
@@ -93,6 +110,12 @@ pub struct Worker {
     /// are single branches) unless `Config::telemetry` or `NAIAD_DEBUG`
     /// asks for it.
     recorder: Recorder,
+    /// Monotone per-worker scheduling-slice sequence, shared by the
+    /// Start/Stop pair of each slice.
+    schedule_seq: u64,
+    /// Introspection step hooks ([`crate::introspect`]); empty unless a
+    /// harness installed one.
+    hooks: Vec<StepHook>,
 }
 
 impl Worker {
@@ -119,6 +142,7 @@ impl Worker {
         } else {
             Recorder::disabled()
         };
+        recorder.set_worker(index);
         Worker {
             index,
             peers,
@@ -141,7 +165,50 @@ impl Worker {
             steps: 0,
             policy,
             recorder,
+            schedule_seq: 0,
+            hooks: Vec::new(),
         }
+    }
+
+    /// A clone of this worker's recorder (for the introspection harness
+    /// and the autotuner, which record events of their own).
+    pub(crate) fn recorder(&self) -> Recorder {
+        self.recorder.clone()
+    }
+
+    /// Marks a dataflow as an *observer*: it no longer counts toward
+    /// [`Worker::step`] liveness (its open input must not block the user
+    /// closure's `step_until_done`) and its events are excluded from any
+    /// recorder tap.
+    pub(crate) fn mark_observer(&mut self, id: usize) {
+        if let Some(df) = self.dataflows.iter_mut().find(|d| d.id == id) {
+            df.observer = true;
+        }
+    }
+
+    /// Installs a per-step introspection hook.
+    pub(crate) fn add_step_hook(&mut self, hook: StepHook) {
+        self.hooks.push(hook);
+    }
+
+    /// Whether every observer dataflow has completed (trivially `true`
+    /// when none is installed).
+    pub(crate) fn observers_complete(&self) -> bool {
+        self.dataflows
+            .iter()
+            .filter(|df| df.observer)
+            .all(|df| df.complete)
+    }
+
+    /// The minimum open epoch across non-observer dataflows: the oldest
+    /// work the *user's* computation can still perform. `None` once all
+    /// their pointstamps have drained.
+    fn min_open_epoch(&self) -> Option<u64> {
+        self.dataflows
+            .iter()
+            .filter(|df| !df.observer)
+            .filter_map(|df| df.tracker.borrow().as_ref().and_then(PointstampTable::min_epoch))
+            .min()
     }
 
     /// Drains this worker's telemetry into a harvest for the registry
@@ -239,6 +306,7 @@ impl Worker {
             workers_per_process: self.config.workers_per_process,
             process: self.process,
             batch_size: self.config.batch_size,
+            tuning: self.config.tuning.clone(),
             registry: self.registry.clone(),
             net: Some(self.net.clone()),
             escalation: self.escalation.clone(),
@@ -277,6 +345,9 @@ impl Worker {
             states,
             complete: false,
             last_probe: None,
+            observer: false,
+            last_epoch: 0,
+            defer_count: 0,
         };
         // Replay any progress batches that raced ahead of construction.
         for batch in self.stashed.remove(&id).unwrap_or_default() {
@@ -584,6 +655,17 @@ impl Worker {
         self.drain_liveness_transitions();
         self.last_step_worked = false;
         self.drain_progress();
+        if !self.hooks.is_empty() {
+            // The hook arg is the min open epoch over *user* dataflows:
+            // monotone per worker (§3.3), so the observer can advance its
+            // input and cut activity windows per closed epoch. Hooks are
+            // `Rc`s; the clone is a pointer copy per hook.
+            let min = self.min_open_epoch();
+            let hooks = self.hooks.clone();
+            for hook in &hooks {
+                (hook.borrow_mut())(min);
+            }
+        }
         for df in 0..self.dataflows.len() {
             self.step_dataflow(df);
         }
@@ -591,7 +673,9 @@ impl Worker {
         if self.recorder.enabled() {
             self.probe_frontiers();
         }
-        self.dataflows.iter().any(|df| !df.complete)
+        // Observer dataflows keep an input open for the lifetime of the
+        // run; they must not hold the user's `step_until_done` hostage.
+        self.dataflows.iter().any(|df| !df.complete && !df.observer)
     }
 
     /// Surfaces failure-detector state changes (raised by this process's
@@ -722,7 +806,7 @@ impl Worker {
     /// Blocks briefly on the progress inbox so idle workers do not spin.
     /// Consecutive fruitless waits while pointstamps are outstanding feed
     /// the stall watchdog.
-    fn idle_wait(&mut self) {
+    pub(crate) fn idle_wait(&mut self) {
         if self.last_step_worked {
             self.stall_since = None;
             return;
@@ -791,13 +875,38 @@ impl Worker {
         // progress traffic).
         let telemetry = self.recorder.enabled();
         let dataflow = self.dataflows[df].id as u32;
+        // Attribute this round's slices to the oldest open epoch in the
+        // dataflow's tracker (monotone per worker, §3.3); once every
+        // pointstamp has drained, fall back to the last seen epoch.
+        let epoch = if telemetry {
+            let min = self.dataflows[df]
+                .tracker
+                .borrow()
+                .as_ref()
+                .and_then(PointstampTable::min_epoch);
+            match min {
+                Some(e) => {
+                    self.dataflows[df].last_epoch = e;
+                    e
+                }
+                None => self.dataflows[df].last_epoch,
+            }
+        } else {
+            0
+        };
         for _round in 0..8 {
             let mut worked = false;
             for op in &self.dataflows[df].ops {
                 if telemetry {
                     let stage = op.borrow().stage().0 as u32;
-                    self.recorder
-                        .record(TelemetryEvent::ScheduleStart { dataflow, stage });
+                    let seq = self.schedule_seq;
+                    self.schedule_seq += 1;
+                    self.recorder.record(TelemetryEvent::ScheduleStart {
+                        dataflow,
+                        stage,
+                        epoch,
+                        seq,
+                    });
                     let start = Instant::now();
                     let w = op.borrow_mut().pump();
                     self.recorder.record(TelemetryEvent::ScheduleStop {
@@ -805,6 +914,8 @@ impl Worker {
                         stage,
                         nanos: start.elapsed().as_nanos() as u64,
                         worked: w,
+                        epoch,
+                        seq,
                     });
                     worked |= w;
                 } else {
@@ -854,6 +965,25 @@ impl Worker {
     /// (§3.3). All paths ultimately traverse the fabric, including to this
     /// worker itself: local views are fed exclusively by the protocol.
     fn flush_progress(&mut self, df: usize) {
+        // Progress-accumulation knob ([`crate::introspect`]): when a
+        // tuner raised the flush threshold, a journal smaller than it may
+        // wait — but only for a bounded number of steps, so liveness is
+        // preserved (idle waits time out back into `step`, which reaches
+        // here again). Threshold 1 (the default) flushes every step,
+        // byte-identical to the untuned runtime.
+        let threshold = self
+            .config
+            .tuning
+            .as_ref()
+            .map_or(1, super::config::TuningKnobs::progress_flush);
+        if threshold > 1 {
+            let len = self.dataflows[df].journal.borrow().len();
+            if len > 0 && len < threshold && self.dataflows[df].defer_count < 8 {
+                self.dataflows[df].defer_count += 1;
+                return;
+            }
+        }
+        self.dataflows[df].defer_count = 0;
         let updates: Vec<ProgressUpdate> =
             std::mem::take(&mut *self.dataflows[df].journal.borrow_mut());
         if updates.is_empty() {

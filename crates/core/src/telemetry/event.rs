@@ -14,6 +14,12 @@ pub enum TelemetryEvent {
         dataflow: u32,
         /// Stage id of the scheduled operator.
         stage: u32,
+        /// Minimum open epoch in the dataflow's tracker when the slice
+        /// began (the epoch of the work item being processed).
+        epoch: u64,
+        /// Per-worker monotone slice sequence number; the matching
+        /// [`TelemetryEvent::ScheduleStop`] carries the same value.
+        seq: u64,
     },
     /// The matching end of a [`TelemetryEvent::ScheduleStart`].
     ScheduleStop {
@@ -25,6 +31,12 @@ pub enum TelemetryEvent {
         nanos: u64,
         /// Whether the operator processed any batch.
         worked: bool,
+        /// Minimum open epoch in the dataflow's tracker when the slice
+        /// began (the epoch of the work item being processed).
+        epoch: u64,
+        /// Per-worker monotone slice sequence number shared with the
+        /// matching [`TelemetryEvent::ScheduleStart`].
+        seq: u64,
     },
     /// A data batch was emitted on a connector.
     MessageSent {
@@ -179,6 +191,18 @@ pub enum TelemetryEvent {
         /// Wall-clock milliseconds the computation was fenced.
         stalled_ms: u64,
     },
+    /// The autotuner ([`crate::introspect`]) adjusted a runtime knob in
+    /// response to a critical-path summary.
+    TuningDecision {
+        /// Source epoch whose summary triggered the adjustment.
+        epoch: u64,
+        /// Which knob was adjusted.
+        knob: TuningKnob,
+        /// Knob value before the adjustment.
+        from: u64,
+        /// Knob value after the adjustment.
+        to: u64,
+    },
     /// The static analyzer ([`crate::analysis`]) ran over a freshly built
     /// dataflow graph; counts summarize its findings by severity.
     AnalysisReport {
@@ -192,6 +216,26 @@ pub enum TelemetryEvent {
         /// Info-severity diagnostics.
         infos: u32,
     },
+}
+
+/// A runtime knob the [`crate::introspect`] autotuner may adjust online.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TuningKnob {
+    /// Exchange-channel batch size (records per emitted batch).
+    BatchSize,
+    /// Progress-accumulation flush threshold (journal entries below
+    /// which a flush may be deferred for a bounded number of steps).
+    ProgressFlush,
+}
+
+impl TuningKnob {
+    /// Short machine-readable knob name (the JSON `"knob"` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            TuningKnob::BatchSize => "batch_size",
+            TuningKnob::ProgressFlush => "progress_flush",
+        }
+    }
 }
 
 impl TelemetryEvent {
@@ -217,7 +261,27 @@ impl TelemetryEvent {
             TelemetryEvent::RescaleStarted { .. } => "rescale_started",
             TelemetryEvent::PartitionMigrated { .. } => "partition_migrated",
             TelemetryEvent::RescaleCompleted { .. } => "rescale_completed",
+            TelemetryEvent::TuningDecision { .. } => "tuning",
             TelemetryEvent::AnalysisReport { .. } => "analysis",
+        }
+    }
+
+    /// The dataflow the event belongs to, when it carries one. Cluster-
+    /// level events (faults, peers, checkpoints, rescales, tuning) have
+    /// no dataflow and return `None`.
+    pub fn dataflow_id(&self) -> Option<u32> {
+        match *self {
+            TelemetryEvent::ScheduleStart { dataflow, .. }
+            | TelemetryEvent::ScheduleStop { dataflow, .. }
+            | TelemetryEvent::MessageSent { dataflow, .. }
+            | TelemetryEvent::MessageReceived { dataflow, .. }
+            | TelemetryEvent::ProgressBatchSent { dataflow, .. }
+            | TelemetryEvent::ProgressDeposited { dataflow, .. }
+            | TelemetryEvent::ProgressApplied { dataflow, .. }
+            | TelemetryEvent::NotificationDelivered { dataflow, .. }
+            | TelemetryEvent::FrontierProbe { dataflow, .. }
+            | TelemetryEvent::AnalysisReport { dataflow, .. } => Some(dataflow),
+            _ => None,
         }
     }
 }
@@ -245,18 +309,28 @@ impl EventRecord {
             self.event.name()
         );
         match self.event {
-            TelemetryEvent::ScheduleStart { dataflow, stage } => {
-                let _ = write!(s, ",\"df\":{dataflow},\"stage\":{stage}");
+            TelemetryEvent::ScheduleStart {
+                dataflow,
+                stage,
+                epoch,
+                seq,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"stage\":{stage},\"epoch\":{epoch},\"seq\":{seq}"
+                );
             }
             TelemetryEvent::ScheduleStop {
                 dataflow,
                 stage,
                 nanos,
                 worked,
+                epoch,
+                seq,
             } => {
                 let _ = write!(
                     s,
-                    ",\"df\":{dataflow},\"stage\":{stage},\"nanos\":{nanos},\"worked\":{worked}"
+                    ",\"df\":{dataflow},\"stage\":{stage},\"nanos\":{nanos},\"worked\":{worked},\"epoch\":{epoch},\"seq\":{seq}"
                 );
             }
             TelemetryEvent::MessageSent {
@@ -388,6 +462,18 @@ impl EventRecord {
                     ",\"epoch\":{epoch},\"workers\":{workers},\"stalled_ms\":{stalled_ms}"
                 );
             }
+            TelemetryEvent::TuningDecision {
+                epoch,
+                knob,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"epoch\":{epoch},\"knob\":\"{}\",\"from\":{from},\"to\":{to}",
+                    knob.name()
+                );
+            }
         }
         s.push('}');
         s
@@ -406,6 +492,8 @@ mod tests {
                 event: TelemetryEvent::ScheduleStart {
                     dataflow: 0,
                     stage: 3,
+                    epoch: 2,
+                    seq: 40,
                 },
             },
             EventRecord {
@@ -415,6 +503,17 @@ mod tests {
                     stage: 3,
                     nanos: 4,
                     worked: true,
+                    epoch: 2,
+                    seq: 40,
+                },
+            },
+            EventRecord {
+                nanos: 10,
+                event: TelemetryEvent::TuningDecision {
+                    epoch: 2,
+                    knob: TuningKnob::BatchSize,
+                    from: 1024,
+                    to: 2048,
                 },
             },
             EventRecord {
@@ -496,5 +595,43 @@ mod tests {
             },
         };
         assert!(r.to_json(0).contains("\"input_epoch\":null"));
+    }
+
+    #[test]
+    fn schedule_events_carry_epoch_and_seq() {
+        let r = EventRecord {
+            nanos: 1,
+            event: TelemetryEvent::ScheduleStop {
+                dataflow: 1,
+                stage: 2,
+                nanos: 7,
+                worked: false,
+                epoch: 5,
+                seq: 99,
+            },
+        };
+        let json = r.to_json(0);
+        assert!(json.contains("\"epoch\":5"), "{json}");
+        assert!(json.contains("\"seq\":99"), "{json}");
+    }
+
+    #[test]
+    fn dataflow_id_distinguishes_dataflow_events_from_cluster_events() {
+        let ev = TelemetryEvent::ScheduleStart {
+            dataflow: 3,
+            stage: 0,
+            epoch: 0,
+            seq: 0,
+        };
+        assert_eq!(ev.dataflow_id(), Some(3));
+        let ev = TelemetryEvent::TuningDecision {
+            epoch: 1,
+            knob: TuningKnob::ProgressFlush,
+            from: 1,
+            to: 2,
+        };
+        assert_eq!(ev.dataflow_id(), None);
+        let ev = TelemetryEvent::CheckpointTaken { bytes: 10 };
+        assert_eq!(ev.dataflow_id(), None);
     }
 }

@@ -11,8 +11,8 @@
 //! on every record call even after the buffer fills, so the registry's
 //! totals stay exact no matter how long the run.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -72,6 +72,8 @@ pub struct WorkerCounters {
     pub partitions_migrated: u64,
     /// Bytes of keyed state absorbed across those shards.
     pub migrated_bytes: u64,
+    /// Autotuner knob adjustments recorded on this worker.
+    pub tuning_decisions: u64,
     /// Static-analyzer reports recorded (one per built dataflow).
     pub analysis_reports: u64,
     /// Warning-severity analyzer diagnostics across those reports.
@@ -141,15 +143,53 @@ pub struct WorkerTelemetry {
     pub directory: Vec<DataflowDirectory>,
 }
 
+/// An in-process bounded tap on a worker's recorder: the introspection
+/// harness drains the queue from a step hook on the same thread (`Rc`,
+/// no locks on the hot path). Events from the excluded dataflow (the
+/// observer's own analysis dataflow) are never tapped, so the layer
+/// cannot feed back into itself.
+#[derive(Clone)]
+pub(crate) struct Tap {
+    /// Pending tapped records, drained by the harness each step.
+    pub(crate) queue: Rc<RefCell<VecDeque<EventRecord>>>,
+    /// Queue bound; records past it are counted, not queued.
+    pub(crate) capacity: usize,
+    /// Records the tap discarded because the queue was full.
+    pub(crate) dropped: Rc<Cell<u64>>,
+    /// Dataflow id whose events are never tapped.
+    pub(crate) exclude_dataflow: u32,
+}
+
+impl Tap {
+    /// Whether this event kind contributes to the program-activity
+    /// graph. Start markers and probe samples are skipped at the tap so
+    /// the observer only pays for attributable activity.
+    fn wants(event: &TelemetryEvent) -> bool {
+        matches!(
+            event,
+            TelemetryEvent::ScheduleStop { .. }
+                | TelemetryEvent::MessageSent { .. }
+                | TelemetryEvent::MessageReceived { .. }
+                | TelemetryEvent::ProgressBatchSent { .. }
+                | TelemetryEvent::ProgressDeposited { .. }
+                | TelemetryEvent::ProgressApplied { .. }
+                | TelemetryEvent::NotificationDelivered { .. }
+        )
+    }
+}
+
 struct EventLog {
     base: Instant,
     events: Vec<EventRecord>,
     capacity: usize,
     dropped: u64,
+    warned: bool,
+    worker: usize,
     counters: WorkerCounters,
     ops: HashMap<(u32, u32), OpCounters>,
     connectors: HashMap<(u32, u32), ConnectorCounters>,
     directory: Vec<DataflowDirectory>,
+    tap: Option<Tap>,
 }
 
 impl EventLog {
@@ -159,22 +199,42 @@ impl EventLog {
             events: Vec::with_capacity(capacity),
             capacity,
             dropped: 0,
+            warned: false,
+            worker: usize::MAX,
             counters: WorkerCounters::default(),
             ops: HashMap::new(),
             connectors: HashMap::new(),
             directory: Vec::new(),
+            tap: None,
         }
     }
 
     fn record(&mut self, event: TelemetryEvent) {
         self.count(&event);
+        let nanos = self.base.elapsed().as_nanos() as u64;
+        if let Some(tap) = &self.tap {
+            if Tap::wants(&event) && event.dataflow_id() != Some(tap.exclude_dataflow) {
+                let mut queue = tap.queue.borrow_mut();
+                if queue.len() < tap.capacity {
+                    queue.push_back(EventRecord { nanos, event });
+                } else {
+                    tap.dropped.set(tap.dropped.get() + 1);
+                }
+            }
+        }
         if self.events.len() < self.capacity {
-            self.events.push(EventRecord {
-                nanos: self.base.elapsed().as_nanos() as u64,
-                event,
-            });
+            self.events.push(EventRecord { nanos, event });
         } else {
             self.dropped += 1;
+            if !self.warned {
+                self.warned = true;
+                let worker = self.worker;
+                let capacity = self.capacity;
+                eprintln!(
+                    "naiad: telemetry buffer full (worker {worker}, capacity {capacity}); \
+                     further events are counted but not recorded"
+                );
+            }
         }
     }
 
@@ -187,6 +247,7 @@ impl EventLog {
                 stage,
                 nanos,
                 worked,
+                ..
             } => {
                 c.schedules += 1;
                 c.busy_nanos += nanos;
@@ -253,6 +314,7 @@ impl EventLog {
                 c.migrated_bytes += bytes;
             }
             TelemetryEvent::RescaleCompleted { .. } => {}
+            TelemetryEvent::TuningDecision { .. } => c.tuning_decisions += 1,
             TelemetryEvent::AnalysisReport { warnings, .. } => {
                 c.analysis_reports += 1;
                 c.analysis_warnings += u64::from(warnings);
@@ -300,6 +362,29 @@ impl Recorder {
     pub fn record(&self, event: TelemetryEvent) {
         if let Some(log) = &self.inner {
             log.borrow_mut().record(event);
+        }
+    }
+
+    /// Labels the recorder with its worker's global index (used by the
+    /// warn-once drop message).
+    pub(crate) fn set_worker(&self, worker: usize) {
+        if let Some(log) = &self.inner {
+            log.borrow_mut().worker = worker;
+        }
+    }
+
+    /// Installs an introspection tap. At most one tap is active; a second
+    /// install replaces the first.
+    pub(crate) fn install_tap(&self, tap: Tap) {
+        if let Some(log) = &self.inner {
+            log.borrow_mut().tap = Some(tap);
+        }
+    }
+
+    /// Removes the introspection tap, if any.
+    pub(crate) fn remove_tap(&self) {
+        if let Some(log) = &self.inner {
+            log.borrow_mut().tap = None;
         }
     }
 
@@ -378,6 +463,8 @@ mod tests {
         r.record(TelemetryEvent::ScheduleStart {
             dataflow: 0,
             stage: 0,
+            epoch: 0,
+            seq: 0,
         });
         r.record_step();
         assert!(r.recent(10).is_empty());
@@ -393,6 +480,8 @@ mod tests {
                 stage: 1,
                 nanos: i,
                 worked: i % 2 == 0,
+                epoch: 0,
+                seq: i,
             });
         }
         let t = r.harvest(3).unwrap();
@@ -460,5 +549,52 @@ mod tests {
         assert_eq!(t.events.len(), 6);
         assert_eq!(t.counters.progress_batches_sent, 6);
         assert!(r.recent(4).is_empty(), "harvest drains the buffer");
+    }
+
+    #[test]
+    fn tap_captures_attributable_events_and_excludes_the_observer() {
+        let r = Recorder::with_capacity(64);
+        let queue = Rc::new(RefCell::new(VecDeque::new()));
+        let dropped = Rc::new(Cell::new(0u64));
+        r.install_tap(Tap {
+            queue: Rc::clone(&queue),
+            capacity: 2,
+            dropped: Rc::clone(&dropped),
+            exclude_dataflow: 0,
+        });
+        // Start markers and the observer's own dataflow are filtered.
+        r.record(TelemetryEvent::ScheduleStart {
+            dataflow: 1,
+            stage: 0,
+            epoch: 0,
+            seq: 0,
+        });
+        r.record(TelemetryEvent::ScheduleStop {
+            dataflow: 0,
+            stage: 0,
+            nanos: 1,
+            worked: true,
+            epoch: 0,
+            seq: 1,
+        });
+        assert!(queue.borrow().is_empty());
+        // Attributable events from other dataflows land in the queue,
+        // bounded by the tap capacity with a separate drop counter.
+        for seq in 0..4u64 {
+            r.record(TelemetryEvent::ScheduleStop {
+                dataflow: 1,
+                stage: 0,
+                nanos: 1,
+                worked: true,
+                epoch: 0,
+                seq,
+            });
+        }
+        assert_eq!(queue.borrow().len(), 2);
+        assert_eq!(dropped.get(), 2);
+        // The worker's own buffer saw everything regardless of the tap.
+        let t = r.harvest(0).unwrap();
+        assert_eq!(t.events.len(), 6);
+        assert_eq!(t.dropped, 0);
     }
 }

@@ -135,6 +135,11 @@ pub struct TelemetrySnapshot {
     /// The raw per-worker harvests (event logs included), sorted by
     /// worker index.
     pub logs: Vec<WorkerTelemetry>,
+    /// Per-epoch critical-path summaries from the self-hosted analysis
+    /// dataflow ([`crate::introspect`]), sorted by epoch. Empty unless
+    /// the run executed under
+    /// [`execute_with_introspection`](crate::introspect::execute_with_introspection).
+    pub critical_paths: Vec<crate::introspect::CriticalPathSummary>,
 }
 
 fn directory_for(logs: &[WorkerTelemetry], dataflow: u32) -> Option<&DataflowDirectory> {
@@ -245,6 +250,7 @@ impl TelemetrySnapshot {
             traffic,
             hub: HubCounters::default(),
             logs,
+            critical_paths: Vec::new(),
         }
     }
 
@@ -278,16 +284,49 @@ impl TelemetrySnapshot {
         self.workers.iter().map(|w| w.counters.notifications).sum()
     }
 
+    /// Total events discarded across workers because their buffers
+    /// filled. Aggregate counters stayed exact regardless.
+    pub fn total_events_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.events_dropped).sum()
+    }
+
     /// Every retained event as JSON lines (one object per line,
     /// SnailTrail-style), workers in index order, each worker's events
-    /// in recording order.
+    /// in recording order. The first line is a schema header carrying
+    /// the encoding version, so downstream consumers can detect field
+    /// changes (version 2 added `epoch`/`seq` to schedule events).
     pub fn events_json_lines(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"naiad-telemetry\",\"version\":2,\"workers\":{},\"dropped\":{}}}",
+            self.workers.len(),
+            self.total_events_dropped()
+        );
         for log in &self.logs {
             for record in &log.events {
                 out.push_str(&record.to_json(log.worker));
                 out.push('\n');
             }
+        }
+        out
+    }
+
+    /// Per-epoch critical-path summaries as JSON lines, prefixed by a
+    /// schema header. Empty (header only) unless the run executed under
+    /// [`execute_with_introspection`](crate::introspect::execute_with_introspection).
+    pub fn critical_path_json_lines(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"naiad-critical-path\",\"version\":1,\"epochs\":{}}}",
+            self.critical_paths.len()
+        );
+        for summary in &self.critical_paths {
+            out.push_str(&summary.to_json());
+            out.push('\n');
         }
         out
     }
@@ -457,6 +496,8 @@ mod tests {
             stage: 1,
             nanos: 500,
             worked: true,
+            epoch: 0,
+            seq: 0,
         });
         r.record(TelemetryEvent::MessageSent {
             dataflow: 0,
@@ -561,9 +602,21 @@ mod tests {
 
         let jsonl = snap.events_json_lines();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 8, "4 events per worker");
-        assert!(lines[0].starts_with("{\"w\":0,"), "worker 0 first");
+        assert_eq!(lines.len(), 9, "schema header + 4 events per worker");
+        assert!(
+            lines[0].starts_with("{\"schema\":\"naiad-telemetry\",\"version\":2"),
+            "versioned header first: {}",
+            lines[0]
+        );
+        assert!(lines[1].starts_with("{\"w\":0,"), "worker 0 first");
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+
+        let cp = snap.critical_path_json_lines();
+        assert!(
+            cp.starts_with("{\"schema\":\"naiad-critical-path\",\"version\":1"),
+            "{cp}"
+        );
+        assert_eq!(cp.lines().count(), 1, "header only without introspection");
 
         let table = snap.summary_table();
         assert!(table.contains("== workers =="));

@@ -115,7 +115,7 @@ fn event_log_invariants_hold_on_a_four_worker_run() {
             );
             last_nanos = record.nanos;
             match record.event {
-                TelemetryEvent::ScheduleStart { dataflow, stage } => {
+                TelemetryEvent::ScheduleStart { dataflow, stage, .. } => {
                     assert_eq!(
                         open, None,
                         "worker {}: nested ScheduleStart at ({dataflow},{stage})",
@@ -261,7 +261,9 @@ fn event_log_invariants_hold_on_a_four_worker_run() {
     // --- Exporters ----------------------------------------------------
     let jsonl = snap.events_json_lines();
     let total_events: usize = snap.workers.iter().map(|w| w.events_recorded).sum();
-    assert_eq!(jsonl.lines().count(), total_events);
+    // One schema-version header line, then one line per event.
+    assert_eq!(jsonl.lines().count(), total_events + 1);
+    assert!(jsonl.lines().next().unwrap().contains("\"schema\":\"naiad-telemetry\""));
     assert!(jsonl
         .lines()
         .all(|l| l.starts_with('{') && l.ends_with('}')));

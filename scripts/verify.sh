@@ -48,6 +48,12 @@ echo "== static dataflow analyzer (naiad-lint over the in-repo catalog) =="
 # diagnostic (NA0001–NA0006; DESIGN.md §12).
 cargo run -q --release --example naiad_lint
 
+echo "== self-hosted critical-path report (introspection gate) =="
+# Runs the workload catalog under execute_with_introspection; the example
+# asserts one summary per closed epoch, >=95% wall-clock accounting, no
+# tap overflow, and bounded tuning decisions (DESIGN.md §14).
+cargo run -q --release --example critical_path_report >/dev/null
+
 # Extended chaos soak: CHAOS_SOAK_SEEDS=n runs n extra seeded composite
 # fault schedules past the 32 the workspace tests always cover. The CI
 # chaos-soak job sets it; local runs may too (e.g. CHAOS_SOAK_SEEDS=96).
@@ -65,6 +71,17 @@ if [[ "${RESCALE_SOAK_SEEDS:-0}" != "0" ]]; then
   echo "== rescale soak (+${RESCALE_SOAK_SEEDS} seeds) =="
   timeout "${RESCALE_SOAK_DEADLINE:-1800}" \
     cargo test -q --test chaos_soak -- extended_rescale_soak_honours_env
+fi
+
+# Extended introspection soak: INTROSPECT_SOAK_SEEDS=n runs n extra
+# seeded lossy fault schedules with the self-hosted observer installed,
+# asserting per-epoch output stays bit-identical to the fault-free
+# reference and every epoch gets a critical-path summary. The CI
+# chaos-soak job sets it.
+if [[ "${INTROSPECT_SOAK_SEEDS:-0}" != "0" ]]; then
+  echo "== introspection soak (+${INTROSPECT_SOAK_SEEDS} seeds) =="
+  timeout "${INTROSPECT_SOAK_DEADLINE:-1800}" \
+    cargo test -q --test chaos_soak -- extended_introspect_soak_honours_env
 fi
 
 # Bounded model-check smoke: one pass over the protocol model-checker's

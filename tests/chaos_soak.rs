@@ -598,6 +598,114 @@ fn extended_rescale_soak_honours_env() {
     });
 }
 
+// --- Introspection soak ---------------------------------------------
+//
+// The self-hosted critical-path observer must be observation only: a
+// lossy run with introspection enabled (autotuning off) produces output
+// bit-identical to the fault-free, uninstrumented baseline.
+
+/// A lossy-but-crashless plan for the introspection soak: drops and
+/// duplicates ride the retry layer, while a crash would need the
+/// recovery coordinator, which wraps `execute` rather than
+/// `execute_with_introspection`.
+fn introspect_plan_for_seed(seed: u64) -> FaultPlan {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1D7A_0B5E;
+    FaultPlan::seeded(seed.max(1))
+        .drop_probability(0.01 + 0.03 * unit(splitmix(&mut s)))
+        .duplicate_probability(0.03 * unit(splitmix(&mut s)))
+}
+
+/// One lossy run with the observer installed; returns the per-epoch
+/// sorted output plus the introspection report.
+fn introspect_run(seed: u64) -> (Vec<Vec<(u64, u64)>>, naiad::IntrospectReport) {
+    let all = Arc::new(inputs());
+    let config = Config::processes_and_workers(PROCESSES, 1)
+        .batch_size(8)
+        .faults(introspect_plan_for_seed(seed))
+        .send_retries(16);
+    let (results, report) = naiad::execute_with_introspection(
+        config,
+        naiad::IntrospectOptions::default(),
+        move |worker| {
+            let (mut input, probe, captured) = worker.dataflow(build);
+            for epoch in 0..EPOCHS {
+                for r in my_share(&all[epoch as usize], worker.index(), worker.peers()) {
+                    input.send(r);
+                }
+                input.advance_to(epoch + 1);
+                worker.step_while(|| !probe.done_through(epoch));
+            }
+            input.close();
+            worker.step_until_done();
+            let result = captured.borrow().clone();
+            result
+        },
+    )
+    .expect("introspected lossy run");
+    let merged: Out = results.into_iter().flatten().collect();
+    let per_epoch = (0..EPOCHS)
+        .map(|e| {
+            let mut v: Vec<(u64, u64)> = merged
+                .iter()
+                .filter(|(epoch, _)| *epoch == e)
+                .flat_map(|(_, d)| d.iter().copied())
+                .collect();
+            v.sort();
+            v
+        })
+        .collect();
+    (per_epoch, report)
+}
+
+fn introspect_soak(seeds: std::ops::Range<u64>, reference: &[Vec<(u64, u64)>]) {
+    for seed in seeds {
+        let (per_epoch, report) = introspect_run(seed);
+        assert_eq!(
+            per_epoch, reference,
+            "seed {seed}: introspected output diverges from the baseline"
+        );
+        // Every closed source epoch yielded a summary.
+        let epochs: Vec<u64> = report.summaries.iter().map(|s| s.epoch).collect();
+        for e in 0..EPOCHS {
+            assert!(
+                epochs.contains(&e),
+                "seed {seed}: epoch {e} has no critical-path summary"
+            );
+        }
+        assert!(
+            report.decisions.is_empty(),
+            "seed {seed}: autotuning is off yet decisions were made"
+        );
+    }
+}
+
+/// Introspection on vs off, under seeded lossy fabrics: bit-identical
+/// output, and a critical-path summary for every epoch.
+#[test]
+fn introspection_soak_is_bit_identical() {
+    with_deadline(300, || {
+        let reference = baseline();
+        introspect_soak(0..4, &reference);
+    });
+}
+
+/// CI's extended introspection soak: `INTROSPECT_SOAK_SEEDS=n` runs `n`
+/// extra seeds past the base 4. A no-op when the variable is unset.
+#[test]
+fn extended_introspect_soak_honours_env() {
+    let extra: u64 = std::env::var("INTROSPECT_SOAK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if extra == 0 {
+        return;
+    }
+    with_deadline(120 + 40 * extra, move || {
+        let reference = baseline();
+        introspect_soak(4..4 + extra, &reference);
+    });
+}
+
 /// CI's extended soak: `CHAOS_SOAK_SEEDS=n` runs `n` extra seeds past
 /// the base 32. A no-op when the variable is unset, so the default test
 /// run stays fast.
