@@ -18,7 +18,7 @@ use crate::runtime::channels::{journal_update, Journal};
 use crate::time::Timestamp;
 
 use super::ports::Tee;
-use super::{Scope, Stream};
+use super::{Scope, Stream, TrackerCell};
 
 impl Scope {
     /// Adds an input stage, returning the producer handle and the stream
@@ -40,7 +40,19 @@ impl Scope {
             1,
         );
         let stream: Stream<D> = Stream::new(stage, 0, ContextId::ROOT, self.clone_ref());
-        let journal = self.inner.borrow().journal.clone();
+        let inner = self.inner.borrow();
+        let journal = inner.journal.clone();
+        let tracker = inner.tracker.clone();
+        // Ingress admission control: when the run is configured with
+        // credit-based flow control, the handle starts with the flow
+        // config's open-epoch window so a producer using
+        // `try_advance_to` cannot race ahead of the frontier.
+        let window = inner
+            .routing
+            .flow
+            .as_ref()
+            .and_then(|f| f.config().max_open_epochs);
+        drop(inner);
         let handle = InputHandle {
             shared: Rc::new(RefCell::new(InputShared {
                 stage,
@@ -48,6 +60,8 @@ impl Scope {
                 closed: false,
                 tee: stream.tee.clone(),
                 journal,
+                tracker,
+                window,
             })),
         };
         (handle, stream)
@@ -60,6 +74,25 @@ struct InputShared<D> {
     closed: bool,
     tee: Tee<D>,
     journal: Journal,
+    /// The dataflow's progress view, for the admission window.
+    tracker: TrackerCell,
+    /// Maximum epochs the producer may hold open beyond the frontier
+    /// (`None` = unbounded, the classical §4.1 producer).
+    window: Option<u64>,
+}
+
+impl<D> InputShared<D> {
+    /// The oldest epoch the dataflow can still work on, from this
+    /// worker's tracker. Falls back to the producer's own epoch while
+    /// the graph is under construction or once everything has drained —
+    /// both cases admit.
+    fn frontier_epoch(&self) -> u64 {
+        self.tracker
+            .borrow()
+            .as_ref()
+            .and_then(crate::progress::PointstampTable::min_epoch)
+            .unwrap_or(self.epoch)
+    }
 }
 
 impl<D: ExchangeData> InputShared<D> {
@@ -141,6 +174,70 @@ impl<D: ExchangeData> InputHandle<D> {
             -1,
         );
         shared.epoch = epoch;
+    }
+
+    /// Like [`advance_to`](Self::advance_to), but subject to the
+    /// admission window: returns `false` without advancing when opening
+    /// `epoch` would leave the producer more than the window's epochs
+    /// ahead of the frontier. The blessed pattern is
+    /// `while !input.try_advance_to(e) { worker.step(); }` — stepping
+    /// drains older epochs, moving the frontier until the epoch admits.
+    ///
+    /// With no window configured this always advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is not beyond the current epoch, or the input
+    /// is closed — the same contract as [`advance_to`](Self::advance_to).
+    pub fn try_advance_to(&mut self, epoch: u64) -> bool {
+        {
+            let shared = self.shared.borrow();
+            assert!(!shared.closed, "try_advance_to on a closed input");
+            assert!(
+                epoch > shared.epoch,
+                "try_advance_to({epoch}) does not advance past epoch {}",
+                shared.epoch
+            );
+            if let Some(window) = shared.window {
+                if epoch.saturating_sub(shared.frontier_epoch()) > window {
+                    return false;
+                }
+            }
+        }
+        self.advance_to(epoch);
+        true
+    }
+
+    /// Epochs the producer currently holds open beyond the frontier:
+    /// `epoch() − min_epoch` over the dataflow's active pointstamps.
+    /// Zero while the graph is under construction or after everything
+    /// older has drained.
+    pub fn open_epochs(&self) -> u64 {
+        let shared = self.shared.borrow();
+        shared.epoch.saturating_sub(shared.frontier_epoch())
+    }
+
+    /// Sets (or clears) the admission window consulted by
+    /// [`try_advance_to`](Self::try_advance_to): at most `window` epochs
+    /// open beyond the frontier. Inputs of a flow-controlled run start
+    /// with the [`FlowConfig`](crate::runtime::FlowConfig)'s
+    /// `max_open_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)`: the producer always holds its own current
+    /// epoch open, so a zero window could never admit an advance.
+    pub fn set_admission_window(&mut self, window: Option<u64>) {
+        assert!(
+            window != Some(0),
+            "admission window of 0 can never admit an advance"
+        );
+        self.shared.borrow_mut().window = window;
+    }
+
+    /// The admission window, if any.
+    pub fn admission_window(&self) -> Option<u64> {
+        self.shared.borrow().window
     }
 
     /// Closes the input: no more records from any epoch (§2.1).

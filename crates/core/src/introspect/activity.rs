@@ -35,6 +35,8 @@ pub enum ActivityKind {
     Progress,
     /// A notification delivered to an operator.
     Notify,
+    /// A sender parked waiting for data-plane credit (backpressure).
+    CreditWait,
 }
 
 impl ActivityKind {
@@ -45,6 +47,7 @@ impl ActivityKind {
             ActivityKind::TransitIn => 2,
             ActivityKind::Progress => 3,
             ActivityKind::Notify => 4,
+            ActivityKind::CreditWait => 5,
         }
     }
 }
@@ -62,6 +65,7 @@ impl Wire for ActivityKind {
             2 => Ok(ActivityKind::TransitIn),
             3 => Ok(ActivityKind::Progress),
             4 => Ok(ActivityKind::Notify),
+            5 => Ok(ActivityKind::CreditWait),
             other => Err(WireError::InvalidTag(other)),
         }
     }
@@ -262,6 +266,22 @@ impl AttributionState {
                 stage,
                 seq: 0,
             }),
+            TelemetryEvent::CreditWait {
+                connector,
+                waited_ns,
+                bytes,
+                ..
+            } => Some(ActivitySample {
+                worker,
+                epoch: self.last_epoch,
+                kind: ActivityKind::CreditWait,
+                start_ns: record.nanos.saturating_sub(waited_ns),
+                duration_ns: waited_ns,
+                records: 0,
+                bytes,
+                stage: connector,
+                seq: 0,
+            }),
             _ => None,
         }
     }
@@ -311,6 +331,8 @@ pub struct EpochAccumulator {
     progress_batches: u64,
     progress_updates: u64,
     notifications: u64,
+    credit_waits: u64,
+    credit_wait_ns: u64,
     samples: u64,
 }
 
@@ -336,6 +358,10 @@ impl EpochAccumulator {
                 self.progress_updates += u64::from(sample.records);
             }
             ActivityKind::Notify => self.notifications += 1,
+            ActivityKind::CreditWait => {
+                self.credit_waits += 1;
+                self.credit_wait_ns += sample.duration_ns;
+            }
         }
     }
 
@@ -396,6 +422,8 @@ impl EpochAccumulator {
             progress_batches: self.progress_batches,
             progress_updates: self.progress_updates,
             notifications: self.notifications,
+            credit_waits: self.credit_waits,
+            credit_wait_ns: self.credit_wait_ns,
             samples: self.samples,
         }
     }
@@ -445,6 +473,11 @@ pub struct CriticalPathSummary {
     pub progress_updates: u64,
     /// Notifications delivered.
     pub notifications: u64,
+    /// Times a sender parked waiting for data-plane credit.
+    pub credit_waits: u64,
+    /// Cumulative nanoseconds senders spent parked — the backpressure
+    /// share of the epoch, what the autotuner's credit rule reads.
+    pub credit_wait_ns: u64,
     /// Total samples folded in.
     pub samples: u64,
 }
@@ -461,7 +494,8 @@ impl CriticalPathSummary {
              \"critical_path_ns\":{},\"busy_total_ns\":{},\"busy_max_ns\":{},\
              \"busy_min_ns\":{},\"idle_ns\":{},\"skew_milli\":{},\"transit_msgs\":{},\
              \"transit_records\":{},\"transit_bytes\":{},\"progress_batches\":{},\
-             \"progress_updates\":{},\"notifications\":{},\"samples\":{}}}",
+             \"progress_updates\":{},\"notifications\":{},\"credit_waits\":{},\
+             \"credit_wait_ns\":{},\"samples\":{}}}",
             self.epoch,
             self.workers,
             self.span_ns,
@@ -478,6 +512,8 @@ impl CriticalPathSummary {
             self.progress_batches,
             self.progress_updates,
             self.notifications,
+            self.credit_waits,
+            self.credit_wait_ns,
             self.samples,
         );
         s
@@ -502,6 +538,8 @@ impl Wire for CriticalPathSummary {
         self.progress_batches.encode(buf);
         self.progress_updates.encode(buf);
         self.notifications.encode(buf);
+        self.credit_waits.encode(buf);
+        self.credit_wait_ns.encode(buf);
         self.samples.encode(buf);
     }
 
@@ -523,6 +561,8 @@ impl Wire for CriticalPathSummary {
             progress_batches: u64::decode(input)?,
             progress_updates: u64::decode(input)?,
             notifications: u64::decode(input)?,
+            credit_waits: u64::decode(input)?,
+            credit_wait_ns: u64::decode(input)?,
             samples: u64::decode(input)?,
         })
     }
@@ -669,6 +709,49 @@ mod tests {
                 },
             ))
             .is_none());
+    }
+
+    #[test]
+    fn credit_waits_attribute_to_the_running_epoch() {
+        let mut state = AttributionState::new(2);
+        state.push(&record(
+            100,
+            TelemetryEvent::ScheduleStop {
+                dataflow: 1,
+                stage: 0,
+                nanos: 10,
+                worked: false,
+                epoch: 4,
+                seq: 0,
+            },
+        ));
+        let s = state
+            .push(&record(
+                500,
+                TelemetryEvent::CreditWait {
+                    dataflow: 1,
+                    connector: 3,
+                    waited_ns: 200,
+                    bytes: 1024,
+                },
+            ))
+            .unwrap();
+        assert_eq!(s.kind, ActivityKind::CreditWait);
+        assert_eq!(s.epoch, 4, "inherits the running epoch");
+        assert_eq!((s.start_ns, s.duration_ns), (300, 200));
+        assert_eq!(s.bytes, 1024);
+
+        let mut acc = EpochAccumulator::default();
+        acc.push(&s);
+        let summary = acc.finish(4);
+        assert_eq!(summary.credit_waits, 1);
+        assert_eq!(summary.credit_wait_ns, 200);
+        let json = summary.to_json();
+        assert!(json.contains("\"credit_wait_ns\":200"), "{json}");
+
+        let bytes = encode_to_vec(&summary);
+        let back: CriticalPathSummary = decode_from_slice(&bytes).unwrap();
+        assert_eq!(summary, back);
     }
 
     #[test]

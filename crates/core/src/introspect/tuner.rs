@@ -76,10 +76,13 @@ pub struct Autotuner {
     min_batch: usize,
     max_batch: usize,
     max_flush: usize,
+    min_credit: usize,
+    max_credit: usize,
     // Measurement window.
     seen: u32,
     span_acc: u64,
     progress_acc: u64,
+    wait_acc: u64,
     // Batch-size climb state.
     last_cost: Option<u64>,
     direction: Direction,
@@ -99,9 +102,12 @@ impl Autotuner {
             min_batch: 1,
             max_batch: 65_536,
             max_flush: 64,
+            min_credit: 64 << 10,
+            max_credit: 1 << 30,
             seen: 0,
             span_acc: 0,
             progress_acc: 0,
+            wait_acc: 0,
             last_cost: None,
             direction: Direction::Up,
             flipped: false,
@@ -121,19 +127,23 @@ impl Autotuner {
     pub fn observe(&mut self, summary: &CriticalPathSummary) -> Vec<TuningDecision> {
         self.span_acc += summary.span_ns;
         self.progress_acc += summary.progress_updates;
+        self.wait_acc += summary.credit_wait_ns;
         self.seen += 1;
         if self.seen < self.window {
             return Vec::new();
         }
         let cost = self.span_acc / u64::from(self.window);
         let progress = self.progress_acc / u64::from(self.window);
+        let wait = self.wait_acc / u64::from(self.window);
         self.seen = 0;
         self.span_acc = 0;
         self.progress_acc = 0;
+        self.wait_acc = 0;
 
         let mut decisions = Vec::new();
         self.tune_batch(summary.epoch, cost, &mut decisions);
         self.tune_progress_flush(summary.epoch, progress, &mut decisions);
+        self.tune_credit(summary.epoch, cost, wait, &mut decisions);
         decisions
     }
 
@@ -190,6 +200,30 @@ impl Autotuner {
             decisions.push(TuningDecision {
                 epoch,
                 knob: TuningKnob::ProgressFlush,
+                from: current as u64,
+                to: target as u64,
+            });
+        }
+    }
+
+    /// Grows the data-plane credit budget when backpressure dominates
+    /// the epoch: a windowed credit-wait share of 10% or more of the
+    /// epoch span doubles the budget, clamped to `[64 KiB, 1 GiB]`.
+    /// Growth-only — shrinking on a quiet window would oscillate against
+    /// the very waits the larger budget just eliminated.
+    fn tune_credit(&mut self, epoch: u64, cost: u64, wait: u64, decisions: &mut Vec<TuningDecision>) {
+        if wait.saturating_mul(10) < cost.max(1) {
+            return;
+        }
+        let current = self.knobs.credit_budget();
+        let target = current
+            .saturating_mul(2)
+            .clamp(self.min_credit, self.max_credit);
+        if target != current {
+            self.knobs.set_credit_budget(target);
+            decisions.push(TuningDecision {
+                epoch,
+                knob: TuningKnob::CreditBudget,
                 from: current as u64,
                 to: target as u64,
             });
@@ -256,6 +290,8 @@ mod tests {
             progress_batches: 0,
             progress_updates,
             notifications: 0,
+            credit_waits: 0,
+            credit_wait_ns: 0,
             samples: 1,
         }
     }
@@ -345,6 +381,40 @@ mod tests {
             tuner.observe(&summary(epoch, 1_000_000, 768));
         }
         assert_eq!(knobs.progress_flush(), 10);
+    }
+
+    #[test]
+    fn credit_budget_grows_under_sustained_backpressure_and_stays_clamped() {
+        let knobs = TuningKnobs::with_batch_size(512);
+        knobs.set_credit_budget(1 << 20);
+        let mut tuner = Autotuner::new(knobs.clone());
+        // 40% of the epoch spent waiting for credit: budget doubles once
+        // per window until the 1 GiB clamp.
+        let mut grew = Vec::new();
+        for epoch in 0..64 {
+            let mut s = summary(epoch, 1_000_000, 1);
+            s.credit_waits = 5;
+            s.credit_wait_ns = 400_000;
+            grew.extend(
+                tuner
+                    .observe(&s)
+                    .into_iter()
+                    .filter(|d| d.knob == TuningKnob::CreditBudget),
+            );
+        }
+        assert!(!grew.is_empty());
+        assert!(grew.iter().all(|d| d.to == (d.from * 2).min(1 << 30)));
+        assert_eq!(knobs.credit_budget(), 1 << 30, "pinned at the clamp");
+        // A calm stream (no waits) never shrinks the budget.
+        for epoch in 64..72 {
+            let calm: Vec<_> = tuner
+                .observe(&summary(epoch, 1_000_000, 1))
+                .into_iter()
+                .filter(|d| d.knob == TuningKnob::CreditBudget)
+                .collect();
+            assert!(calm.is_empty());
+        }
+        assert_eq!(knobs.credit_budget(), 1 << 30);
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub use runtime::rescale::{
     execute_elastic, ElasticOptions, ElasticPlan, ElasticReport, ElasticSession, PhaseReport,
     RescaleError, RescaleOutcome, RescaleStep,
 };
-pub use runtime::{Config, Pact, Worker};
+pub use runtime::{Config, FlowConfig, OverloadState, Pact, ShedPolicy, Worker};
 pub use time::Timestamp;
 
 /// Re-export of the wire codec used for exchanged records.

@@ -360,6 +360,53 @@ mod tests {
     }
 
     #[test]
+    fn starved_credits_leave_every_oracle_silent() {
+        // Progress traffic is exempt from credit-based flow control
+        // (bounding it would deadlock §3.3), so a fully starved data
+        // plane must be invisible to the protocol: every schedule stays
+        // violation-free and bit-identical to the same schedule without
+        // chaos.
+        for topology in Topology::ALL {
+            for mode in [ProgressMode::Broadcast, ProgressMode::LocalGlobal] {
+                let clean = McConfig::new(topology, mode);
+                let starved = McConfig {
+                    chaos: Chaos::StarveCredits,
+                    ..clean.clone()
+                };
+                let report = explore(&starved, 13, 10);
+                assert!(
+                    report.failures.is_empty(),
+                    "starved credits must be invisible:\n{}",
+                    report.failures[0]
+                );
+                let a = run_schedule(&clean, 13, 4);
+                let b = run_schedule(&starved, 13, 4);
+                assert_eq!(a.trace, b.trace);
+                assert_eq!(a.applied, b.applied);
+                assert_eq!(a.journals, b.journals);
+            }
+        }
+    }
+
+    #[test]
+    fn starved_credits_are_tallied_but_never_block_delivery() {
+        let cfg = McConfig {
+            chaos: Chaos::StarveCredits,
+            ..McConfig::new(Topology::Chain, ProgressMode::Broadcast)
+        };
+        let mut cluster = Cluster::new(&cfg, 7);
+        while let Some(&event) = cluster.eligible().first() {
+            assert!(
+                cluster.execute(event).is_none(),
+                "oracle fired under starved credits"
+            );
+            assert!(cluster.steps() <= MAX_STEPS);
+        }
+        assert!(cluster.starved() > 0, "chaos must observe link traffic");
+        assert!(cluster.check_quiescent().is_none());
+    }
+
+    #[test]
     fn drop_chaos_trips_the_liveness_oracle() {
         let cfg = McConfig {
             chaos: Chaos::DropBatch(300),

@@ -136,6 +136,17 @@ pub enum Chaos {
     /// the batch identity against the given per-mille rate). Counts never
     /// net out → the liveness (or safety) oracle must fire.
     DropBatch(u32),
+    /// The data plane's credit returns are withheld entirely: every batch
+    /// crossing a link is tallied as one that a credit-bound plane would
+    /// have parked forever. Unlike the other knobs this one must be
+    /// *invisible*: Progress traffic is exempt from credit-based flow
+    /// control (bounding it would deadlock §3.3 — credit returns ride the
+    /// control plane, which may itself be waiting on progress), so
+    /// delivery proceeds untouched and **every oracle must stay silent**.
+    /// The knob exists to lock that plane-exemption invariant: no code
+    /// path from [`Cluster::enqueue`] to apply may consult a credit
+    /// ledger.
+    StarveCredits,
 }
 
 /// A model-checking configuration: one point of the
@@ -430,6 +441,10 @@ pub struct Cluster {
     step: usize,
     /// Batches dropped by [`Chaos::DropBatch`].
     dropped: usize,
+    /// Batches that crossed a link while [`Chaos::StarveCredits`] held
+    /// the data plane's credits at zero — delivered anyway, because
+    /// progress traffic never consults the credit ledger.
+    starved: usize,
 }
 
 impl Cluster {
@@ -477,6 +492,7 @@ impl Cluster {
             seed,
             step: 0,
             dropped: 0,
+            starved: 0,
         }
     }
 
@@ -523,6 +539,11 @@ impl Cluster {
     }
 
     fn enqueue(&mut self, src: EpId, dst: EpId, batch: ProgressBatch) {
+        if self.cfg.chaos == Chaos::StarveCredits {
+            // Tally, never block: progress batches cross links regardless
+            // of data-plane credit — the exemption under test.
+            self.starved += 1;
+        }
         if let Chaos::DropBatch(per_mille) = self.cfg.chaos {
             // Replay-stable: the decision depends only on the batch's
             // identity and the seed, never on the schedule.
@@ -759,6 +780,12 @@ impl Cluster {
     /// Events executed so far.
     pub fn steps(&self) -> usize {
         self.step
+    }
+
+    /// Batches that crossed a link while [`Chaos::StarveCredits`] was
+    /// withholding every data-plane credit (all were delivered anyway).
+    pub fn starved(&self) -> usize {
+        self.starved
     }
 
     /// Each worker's cumulative net applied deltas (zero entries elided):

@@ -28,6 +28,7 @@ use naiad_wire::{encode_to_vec, Bytes, ExchangeData, Wire, WireError};
 use super::sync::Mutex;
 
 use super::config::TuningKnobs;
+use super::flow::{Acquire, CreditCell, FlowKey, FlowRegistry, OverloadFlag, OverloadState, ShedPolicy};
 use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 use crate::graph::{ConnectorId, LogicalGraph};
 use crate::progress::{Pointstamp, ProgressUpdate};
@@ -44,6 +45,9 @@ pub(crate) const HEARTBEAT_TAG: u32 = 0xFFFF_FFFD;
 /// Channel tag carrying cluster-membership announcements (elastic
 /// rescaling) on the control plane.
 pub(crate) const MEMBERSHIP_TAG: u32 = 0xFFFF_FFFC;
+/// Channel tag carrying credit returns for remote data batches on the
+/// control plane (DESIGN.md §15): `(data tag: u32, bytes: u64)`.
+pub(crate) const CREDIT_TAG: u32 = 0xFFFF_FFFB;
 
 const DATAFLOW_BITS: u32 = 10;
 const CHANNEL_BITS: u32 = 14;
@@ -99,6 +103,22 @@ impl<D: Wire> Wire for Message<D> {
     }
 }
 
+impl<D> Message<D> {
+    /// The batch's cost against a credit budget (DESIGN.md §15): its
+    /// in-memory footprint, `O(1)` to compute. The wire length would be
+    /// the exact network cost, but pricing it means an `O(records)`
+    /// varint pass on every spend *and* every release — measured at
+    /// ~25% of fig6a's per-record budget. What credits actually bound
+    /// is queue memory, and sender and receiver computing this from the
+    /// same typed batch is what keeps the ledger in balance (heap
+    /// payloads behind pointers are not counted — the bound is a
+    /// floor, not an exact heap measure).
+    pub(crate) fn credit_cost(&self) -> u64 {
+        let record = std::mem::size_of::<D>().max(1);
+        (std::mem::size_of::<Timestamp>() + self.data.len() * record) as u64
+    }
+}
+
 /// Identifies a queue endpoint within a process.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub(crate) enum ChannelKey {
@@ -129,6 +149,9 @@ impl ProcessRegistry {
     fn with_chan<T: Send + 'static, R>(&self, key: ChannelKey, f: impl FnOnce(&Chan<T>) -> R) -> R {
         let mut map = self.map.lock();
         let entry = map.entry(key).or_insert_with(|| {
+            // flow-exempt: Data/RemoteData queues are credit-bounded at the
+            // Pusher/Puller layer (runtime::flow); Progress inboxes carry the
+            // §3.3 protocol and must never block (DESIGN.md §15).
             let (tx, rx) = channel::<T>();
             Box::new(Chan {
                 tx,
@@ -246,6 +269,14 @@ pub(crate) struct Pusher<D> {
     policy: RetryPolicy,
     dataflow: u32,
     recorder: Recorder,
+    /// Credit-based flow control (DESIGN.md §15); `None` leaves the
+    /// data plane unbounded, bit for bit today's behavior.
+    flow: Option<Arc<FlowRegistry>>,
+    /// This worker's overload state, consulted on the shed path.
+    overload: Option<Arc<OverloadFlag>>,
+    /// One credit cell per destination route (present iff flow control
+    /// is on).
+    credits: Vec<Option<Arc<CreditCell>>>,
     /// Batches emitted since creation (test and diagnostics surface).
     #[cfg_attr(not(test), allow(dead_code))]
     emitted: u64,
@@ -265,6 +296,8 @@ pub(crate) struct RoutingContext {
     pub escalation: Arc<EscalationCell>,
     pub policy: RetryPolicy,
     pub recorder: Recorder,
+    pub flow: Option<Arc<FlowRegistry>>,
+    pub overload: Option<Arc<OverloadFlag>>,
 }
 
 impl RoutingContext {
@@ -294,7 +327,24 @@ impl<D: ExchangeData> Pusher<D> {
         pact: Pact<D>,
         journal: Journal,
     ) -> Self {
-        let routes = (0..ctx.peers).map(|dst| ctx.route(channel, dst)).collect();
+        let routes: Vec<Route<D>> = (0..ctx.peers).map(|dst| ctx.route(channel, dst)).collect();
+        let credits = routes
+            .iter()
+            .enumerate()
+            .map(|(dst, route)| {
+                let flow = ctx.flow.as_ref()?;
+                let key = match route {
+                    Route::Local(_) => FlowKey::Local(
+                        ctx.process,
+                        ctx.dataflow,
+                        channel,
+                        dst % ctx.workers_per_process,
+                    ),
+                    Route::Remote { process, tag } => FlowKey::Remote(ctx.process, *process, *tag),
+                };
+                Some(flow.cell(key))
+            })
+            .collect();
         Pusher {
             connector,
             pact,
@@ -310,6 +360,9 @@ impl<D: ExchangeData> Pusher<D> {
             policy: ctx.policy,
             dataflow: ctx.dataflow as u32,
             recorder: ctx.recorder.clone(),
+            flow: ctx.flow.clone(),
+            overload: ctx.overload.clone(),
+            credits,
             emitted: 0,
         }
     }
@@ -374,6 +427,72 @@ impl<D: ExchangeData> Pusher<D> {
         let data = std::mem::take(&mut self.buffers[dst]);
         debug_assert!(!data.is_empty());
         let records = data.len() as u32;
+        let message = Message { time, data };
+        // Credits are spent before the SendBy journal entry so a shed
+        // batch can leave the occurrence counts net-unchanged.
+        if let (Some(flow), Some(cell)) = (&self.flow, &self.credits[dst]) {
+            let cost = message.credit_cost();
+            if dst == self.my_index {
+                // Self-routes never park: a worker waiting on the queue
+                // only it drains would deadlock itself. Spend without
+                // waiting so the accounting stays exact (the puller
+                // returns these credits like any others).
+                flow.force(cell, cost);
+            } else {
+                match flow.acquire(cell, cost) {
+                    Acquire::Granted { waited_ns } => {
+                        if waited_ns > 0 {
+                            self.recorder.record(TelemetryEvent::CreditWait {
+                                dataflow: self.dataflow,
+                                connector: self.connector.0 as u32,
+                                waited_ns,
+                                bytes: cost as u32,
+                            });
+                        }
+                    }
+                    Acquire::TimedOut { waited_ns } => {
+                        self.recorder.record(TelemetryEvent::CreditWait {
+                            dataflow: self.dataflow,
+                            connector: self.connector.0 as u32,
+                            waited_ns,
+                            bytes: cost as u32,
+                        });
+                        let shedding = flow.config().policy == ShedPolicy::Shed
+                            && self
+                                .overload
+                                .as_ref()
+                                .is_some_and(|o| o.get() == OverloadState::Shedding);
+                        if shedding {
+                            // Drop with exact counts. The +1/−1 pair keeps
+                            // the §2.3 occurrence counts sound: the batch
+                            // is sent and retired within one journal flush.
+                            journal_update(
+                                &self.journal,
+                                Pointstamp::on_edge(time, self.connector),
+                                1,
+                            );
+                            journal_update(
+                                &self.journal,
+                                Pointstamp::on_edge(time, self.connector),
+                                -1,
+                            );
+                            flow.note_shed(u64::from(records), cost);
+                            self.recorder.record(TelemetryEvent::MessagesShed {
+                                dataflow: self.dataflow,
+                                connector: self.connector.0 as u32,
+                                records,
+                                bytes: cost as u32,
+                            });
+                            return;
+                        }
+                        // Block policy: pierce the budget after a full
+                        // wait rather than deadlock; counted as an
+                        // overdraft for the oracle.
+                        flow.overdraft(cell, cost);
+                    }
+                }
+            }
+        }
         // §2.3: the occurrence count increments at the start of SendBy.
         journal_update(&self.journal, Pointstamp::on_edge(time, self.connector), 1);
         self.emitted += 1;
@@ -381,10 +500,10 @@ impl<D: ExchangeData> Pusher<D> {
         let mut remote = false;
         match &self.routes[dst] {
             Route::Local(tx) => {
-                let _ = tx.send(Message { time, data });
+                let _ = tx.send(message);
             }
             Route::Remote { process, tag } => {
-                let bytes: Bytes = encode_to_vec(&Message { time, data }).into();
+                let bytes: Bytes = encode_to_vec(&message).into();
                 payload_bytes = bytes.len() as u32;
                 remote = true;
                 let net = self.net.as_ref().expect("remote route requires a fabric");
@@ -422,11 +541,32 @@ impl<D: ExchangeData> Pusher<D> {
 pub(crate) struct Puller<D> {
     connector: ConnectorId,
     local: Receiver<Message<D>>,
-    remote: Receiver<Bytes>,
+    remote: Receiver<(u32, Bytes)>,
     journal: Journal,
     unsettled: Option<Timestamp>,
     dataflow: u32,
     recorder: Recorder,
+    /// Credit-return state (DESIGN.md §15); `None` when flow control is
+    /// off.
+    flow: Option<PullerFlow>,
+    /// Credits owed for the unsettled batch, returned on settle.
+    owed: Option<OwedCredit>,
+}
+
+/// The receiving half of the credit protocol for one puller.
+struct PullerFlow {
+    registry: Arc<FlowRegistry>,
+    /// The cell same-process senders spend on for this endpoint.
+    local_cell: Arc<CreditCell>,
+    /// Fabric sender for control-plane credit returns to remote senders.
+    net: Option<Arc<Mutex<NetSender>>>,
+    /// This endpoint's data tag, echoed in remote credit returns.
+    tag: u32,
+}
+
+enum OwedCredit {
+    Local(u64),
+    Remote { src: usize, bytes: u64 },
 }
 
 impl<D: ExchangeData> Puller<D> {
@@ -436,16 +576,15 @@ impl<D: ExchangeData> Puller<D> {
         connector: ConnectorId,
         journal: Journal,
     ) -> Self {
-        let local_key = ChannelKey::Data(
-            ctx.dataflow,
-            channel,
-            ctx.my_index % ctx.workers_per_process,
-        );
-        let remote_key = ChannelKey::RemoteData(
-            ctx.dataflow,
-            channel,
-            ctx.my_index % ctx.workers_per_process,
-        );
+        let my_local = ctx.my_index % ctx.workers_per_process;
+        let local_key = ChannelKey::Data(ctx.dataflow, channel, my_local);
+        let remote_key = ChannelKey::RemoteData(ctx.dataflow, channel, my_local);
+        let flow = ctx.flow.as_ref().map(|registry| PullerFlow {
+            registry: registry.clone(),
+            local_cell: registry.cell(FlowKey::Local(ctx.process, ctx.dataflow, channel, my_local)),
+            net: ctx.net.clone(),
+            tag: data_tag(ctx.dataflow, channel, my_local),
+        });
         Puller {
             connector,
             local: ctx.registry.receiver(local_key),
@@ -454,15 +593,17 @@ impl<D: ExchangeData> Puller<D> {
             unsettled: None,
             dataflow: ctx.dataflow as u32,
             recorder: ctx.recorder.clone(),
+            flow,
+            owed: None,
         }
     }
 
     /// Retires the previously pulled batch, then pulls the next one.
     pub(crate) fn pull(&mut self) -> Option<Message<D>> {
         self.settle();
-        let (message, remote) = if let Ok(m) = self.local.try_recv() {
-            (Some(m), false)
-        } else if let Ok(bytes) = self.remote.try_recv() {
+        let (message, remote_src) = if let Ok(m) = self.local.try_recv() {
+            (Some(m), None)
+        } else if let Ok((src, bytes)) = self.remote.try_recv() {
             let m = naiad_wire::decode_from_slice::<Message<D>>(&bytes).unwrap_or_else(|e| {
                 panic!(
                     "dataflow {} connector {}: undecodable data batch ({} bytes) — \
@@ -472,17 +613,29 @@ impl<D: ExchangeData> Puller<D> {
                     bytes.len()
                 )
             });
-            (Some(m), true)
+            (Some(m), Some(src as usize))
         } else {
-            (None, false)
+            (None, None)
         };
         if let Some(m) = &message {
             self.unsettled = Some(m.time);
+            if self.flow.is_some() {
+                // Both variants price the batch with `credit_cost`, the
+                // same formula the sender spent with — the ledger only
+                // balances if the two sides agree on the number.
+                self.owed = Some(match remote_src {
+                    Some(src) => OwedCredit::Remote {
+                        src,
+                        bytes: m.credit_cost(),
+                    },
+                    None => OwedCredit::Local(m.credit_cost()),
+                });
+            }
             self.recorder.record(TelemetryEvent::MessageReceived {
                 dataflow: self.dataflow,
                 connector: self.connector.0 as u32,
                 records: m.data.len() as u32,
-                remote,
+                remote: remote_src.is_some(),
             });
         }
         message
@@ -494,6 +647,28 @@ impl<D: ExchangeData> Puller<D> {
     pub(crate) fn settle(&mut self) {
         if let Some(time) = self.unsettled.take() {
             journal_update(&self.journal, Pointstamp::on_edge(time, self.connector), -1);
+        }
+        // Credits return only after OnRecv completes, mirroring the §2.3
+        // retirement: the batch's memory is genuinely free by now.
+        if let Some(owed) = self.owed.take() {
+            if let Some(flow) = &self.flow {
+                match owed {
+                    OwedCredit::Local(bytes) => flow.registry.release(&flow.local_cell, bytes),
+                    OwedCredit::Remote { src, bytes } => {
+                        // The return rides the control plane like a
+                        // heartbeat: exempt from latency and loss
+                        // injection, lost only to a crash or partition —
+                        // in which case the parked sender escapes through
+                        // its bounded wait.
+                        if let Some(net) = &flow.net {
+                            let mut payload = Vec::new();
+                            flow.tag.encode(&mut payload);
+                            bytes.encode(&mut payload);
+                            let _ = net.lock().send_control(src, CREDIT_TAG, payload.into());
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -520,6 +695,8 @@ mod tests {
                 backoff: std::time::Duration::ZERO,
             },
             recorder: Recorder::disabled(),
+            flow: None,
+            overload: None,
         }
     }
 
@@ -533,6 +710,7 @@ mod tests {
             assert_eq!(parse_data_tag(data_tag(d, c, w)), (d, c, w));
         }
         assert!(data_tag(1023, 16383, 127) < CENTRAL_TAG);
+        assert!(data_tag(1023, 16383, 127) < CREDIT_TAG);
     }
 
     #[test]
@@ -679,6 +857,136 @@ mod tests {
         let ((df, conn), c) = t.connectors[0];
         assert_eq!((df, conn), (0, 4));
         assert_eq!(c.bytes_out, 0, "local batches never serialize");
+    }
+
+    fn flow_ctx(registry: Arc<ProcessRegistry>, budget: usize) -> RoutingContext {
+        use super::super::flow::FlowConfig;
+        let mut rc = ctx(registry);
+        let config = FlowConfig::default()
+            .budget(budget)
+            .credit_wait(std::time::Duration::from_millis(5));
+        rc.flow = Some(Arc::new(FlowRegistry::new(config, None)));
+        rc.overload = Some(Arc::new(OverloadFlag::default()));
+        rc
+    }
+
+    #[test]
+    fn local_credits_spend_on_emit_and_return_on_settle() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let mut rc = flow_ctx(reg, 1 << 20);
+        // Route to worker 1 (cross-worker, credited); we are worker 0.
+        rc.my_index = 0;
+        let flow = rc.flow.clone().unwrap();
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(1), Pact::exchange(|_: &u64| 1), j.clone());
+        pusher.give(Timestamp::new(0), 7u64);
+        pusher.flush();
+        assert!(flow.in_flight_bytes() > 0, "emit spends credits");
+        let spent = flow.in_flight_bytes();
+        assert_eq!(flow.peak_in_flight_bytes(), spent);
+        // The receiving worker (global index 1) pulls and settles.
+        let mut rx_ctx = flow_ctx_for_receiver(&rc, 1);
+        rx_ctx.flow = Some(flow.clone());
+        let mut puller = Puller::<u64>::new(&rx_ctx, 0, ConnectorId(1), j);
+        assert!(puller.pull().is_some());
+        assert_eq!(flow.in_flight_bytes(), spent, "credits return on settle, not pull");
+        puller.settle();
+        assert_eq!(flow.in_flight_bytes(), 0);
+        assert_eq!(flow.returns(), 1);
+    }
+
+    fn flow_ctx_for_receiver(rc: &RoutingContext, my_index: usize) -> RoutingContext {
+        RoutingContext {
+            dataflow: rc.dataflow,
+            my_index,
+            peers: rc.peers,
+            workers_per_process: rc.workers_per_process,
+            process: rc.process,
+            batch_size: rc.batch_size,
+            tuning: rc.tuning.clone(),
+            registry: rc.registry.clone(),
+            net: rc.net.clone(),
+            escalation: rc.escalation.clone(),
+            policy: rc.policy,
+            recorder: rc.recorder.clone(),
+            flow: rc.flow.clone(),
+            overload: rc.overload.clone(),
+        }
+    }
+
+    #[test]
+    fn exhausted_credits_overdraft_after_bounded_wait() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let rc = flow_ctx(reg.clone(), 1); // 1-byte budget: second batch cannot fit
+        let flow = rc.flow.clone().unwrap();
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(1), Pact::exchange(|_: &u64| 1), j);
+        pusher.give(Timestamp::new(0), 7u64);
+        pusher.flush(); // admitted: empty queue always admits
+        assert_eq!(flow.overdrafts(), 0);
+        pusher.give(Timestamp::new(0), 8u64);
+        pusher.flush(); // parks for the full wait, then overdrafts
+        assert_eq!(flow.overdrafts(), 1, "Block policy pierces the budget");
+        assert!(flow.credit_waits() >= 1);
+        assert!(flow.credit_wait_ns() > 0);
+        // Both batches were nonetheless delivered — Block is lossless.
+        let rx = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 0, 1));
+        assert!(rx.try_recv().is_ok());
+        assert!(rx.try_recv().is_ok());
+    }
+
+    #[test]
+    fn self_routes_never_park() {
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let rc = flow_ctx(reg, 1); // tiny budget
+        let flow = rc.flow.clone().unwrap();
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(0), Pact::Pipeline, j);
+        let started = std::time::Instant::now();
+        for i in 0..8u64 {
+            pusher.give(Timestamp::new(0), i);
+            pusher.flush();
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(5),
+            "self-routed batches must not wait for credits"
+        );
+        assert_eq!(flow.overdrafts(), 0, "forced spends are not overdrafts");
+        assert!(flow.in_flight_bytes() > 0, "accounting still exact");
+    }
+
+    #[test]
+    fn shed_policy_drops_with_exact_counts_when_shedding() {
+        use super::super::flow::FlowConfig;
+        let reg = Arc::new(ProcessRegistry::default());
+        let j = journal();
+        let mut rc = ctx(reg.clone());
+        let config = FlowConfig::default()
+            .budget(1)
+            .credit_wait(std::time::Duration::from_millis(2))
+            .policy(ShedPolicy::Shed);
+        let flow = Arc::new(FlowRegistry::new(config, None));
+        let overload = Arc::new(OverloadFlag::default());
+        overload.set(OverloadState::Shedding);
+        rc.flow = Some(flow.clone());
+        rc.overload = Some(overload);
+        let mut pusher = Pusher::new(&rc, 0, ConnectorId(1), Pact::exchange(|_: &u64| 1), j.clone());
+        pusher.give(Timestamp::new(0), 7u64);
+        pusher.flush(); // admitted
+        pusher.give(Timestamp::new(0), 8u64);
+        pusher.flush(); // shed
+        assert_eq!(flow.shed_batches(), 1);
+        assert_eq!(flow.shed_records(), 1);
+        assert!(flow.shed_bytes() > 0);
+        assert_eq!(flow.overdrafts(), 0);
+        // The shed batch journaled +1 then −1: occurrence counts net zero.
+        let entries = j.borrow();
+        let sum: i64 = entries.iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, 1, "one delivered (+1, unsettled) batch; shed nets zero");
+        // Only one batch actually reached the queue.
+        let rx = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 0, 1));
+        assert!(rx.try_recv().is_ok());
+        assert!(rx.try_recv().is_err());
     }
 
     #[test]

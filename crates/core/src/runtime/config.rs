@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use naiad_netsim::{FaultPlan, LatencyModel};
 
+use super::flow::FlowConfig;
 use crate::progress::ProgressMode;
 
 /// Shared, dynamically adjustable runtime knobs, read by the data plane
@@ -22,6 +23,7 @@ pub struct TuningKnobs {
 struct KnobsInner {
     batch_size: AtomicUsize,
     progress_flush: AtomicUsize,
+    credit_budget: AtomicUsize,
 }
 
 impl Default for KnobsInner {
@@ -29,6 +31,7 @@ impl Default for KnobsInner {
         KnobsInner {
             batch_size: AtomicUsize::new(1024),
             progress_flush: AtomicUsize::new(1),
+            credit_budget: AtomicUsize::new(1 << 20),
         }
     }
 }
@@ -72,6 +75,22 @@ impl TuningKnobs {
     pub fn set_progress_flush(&self, updates: usize) {
         assert!(updates > 0, "flush threshold must be positive");
         self.inner.progress_flush.store(updates, Ordering::Relaxed);
+    }
+
+    /// Current per-queue credit budget in bytes (read by the flow
+    /// registry on every acquisition when flow control is enabled).
+    pub fn credit_budget(&self) -> usize {
+        self.inner.credit_budget.load(Ordering::Relaxed)
+    }
+
+    /// Sets the per-queue credit budget in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn set_credit_budget(&self, bytes: usize) {
+        assert!(bytes > 0, "credit budget must be positive");
+        self.inner.credit_budget.store(bytes, Ordering::Relaxed);
     }
 }
 
@@ -158,6 +177,10 @@ pub struct Config {
     /// autotuner. `None` (the default) pins every knob to its static
     /// config value with zero added cost on the data plane.
     pub tuning: Option<TuningKnobs>,
+    /// Credit-based data-plane flow control ([`crate::runtime::flow`],
+    /// DESIGN.md §15). `None` (the default) leaves every data queue
+    /// unbounded — today's behavior, bit for bit.
+    pub flow: Option<FlowConfig>,
 }
 
 impl Config {
@@ -194,6 +217,7 @@ impl Config {
             membership_generation: 0,
             certify_rescale: false,
             tuning: None,
+            flow: None,
         }
     }
 
@@ -202,6 +226,13 @@ impl Config {
     /// adjusts them online.
     pub fn tuning(mut self, knobs: TuningKnobs) -> Self {
         self.tuning = Some(knobs);
+        self
+    }
+
+    /// Enables credit-based data-plane flow control with the given
+    /// budget, wait bound, thresholds, and shedding policy.
+    pub fn flow(mut self, flow: FlowConfig) -> Self {
+        self.flow = Some(flow);
         self
     }
 
@@ -427,6 +458,32 @@ mod tests {
         // The config's clone observes writes through the shared handle.
         assert_eq!(c.tuning.as_ref().unwrap().batch_size(), 128);
         assert_eq!(c.tuning.as_ref().unwrap().progress_flush(), 4);
+    }
+
+    #[test]
+    fn flow_defaults_off_and_builders_compose() {
+        use super::super::flow::ShedPolicy;
+        let c = Config::default();
+        assert!(c.flow.is_none(), "flow control defaults off");
+        let c = Config::single_process(2).flow(
+            FlowConfig::default()
+                .budget(4096)
+                .policy(ShedPolicy::Shed)
+                .max_open_epochs(3),
+        );
+        let flow = c.flow.as_ref().unwrap();
+        assert_eq!(flow.budget, 4096);
+        assert_eq!(flow.policy, ShedPolicy::Shed);
+        assert_eq!(flow.max_open_epochs, Some(3));
+    }
+
+    #[test]
+    fn credit_budget_knob_is_shared_and_dynamic() {
+        let knobs = TuningKnobs::default();
+        assert_eq!(knobs.credit_budget(), 1 << 20);
+        let clone = knobs.clone();
+        knobs.set_credit_budget(4096);
+        assert_eq!(clone.credit_budget(), 4096);
     }
 
     #[test]

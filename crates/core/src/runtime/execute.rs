@@ -20,6 +20,7 @@ use naiad_netsim::{Fabric, FabricMetrics};
 
 use super::channels::ProcessRegistry;
 use super::config::Config;
+use super::flow::FlowRegistry;
 use super::liveness::Liveness;
 use super::progress_hub::{run_central_accumulator, run_router, HubStats, ProcessAccumulator};
 use super::retry::{EscalationCell, FaultKind, FaultPanic, RetryPolicy};
@@ -265,6 +266,14 @@ where
     let shutdown = Arc::new(AtomicBool::new(false));
     let escalation = Arc::new(EscalationCell::default());
     let hub_stats = Arc::new(HubStats::default());
+    // Cluster-global credit registry (DESIGN.md §15), shared by every
+    // process's workers and routers like the escalation cell; remote
+    // credit returns still traverse the control plane so crash and
+    // partition semantics stay honest.
+    let flow = config
+        .flow
+        .as_ref()
+        .map(|fc| Arc::new(FlowRegistry::new(fc.clone(), config.tuning.clone())));
     // One liveness detector per process (when heartbeats are on), driven by
     // that process's router thread; kept here so the snapshot can sum the
     // per-process counters after the join.
@@ -345,6 +354,7 @@ where
                 process,
                 processes,
             };
+            let flow = flow.clone();
             router_handles.push(
                 thread::Builder::new()
                     .name(format!("naiad-router-{process}"))
@@ -360,6 +370,7 @@ where
                             &escalation,
                             &stats,
                             membership,
+                            flow.as_deref(),
                         )
                     })
                     .expect("spawn router thread"),
@@ -378,6 +389,7 @@ where
             let worker_fn = worker_fn.clone();
             let hub = hub.clone();
             let liveness = liveness.clone();
+            let flow = flow.clone();
             worker_handles.push(
                 thread::Builder::new()
                     .name(format!("naiad-worker-{index}"))
@@ -392,6 +404,7 @@ where
                             directory,
                             escalation,
                             liveness,
+                            flow,
                         );
                         let result = worker_fn(&mut worker);
                         if let Some(hub) = &hub {
@@ -479,6 +492,20 @@ where
                     suspicions: liveness_handles.iter().map(|l| l.suspicions()).sum(),
                     peer_failures: liveness_handles.iter().map(|l| l.failures()).sum(),
                 };
+                if let Some(flow) = &flow {
+                    snap.flow = crate::telemetry::FlowGauges {
+                        enabled: true,
+                        in_flight_bytes: flow.in_flight_bytes(),
+                        peak_in_flight_bytes: flow.peak_in_flight_bytes(),
+                        credit_waits: flow.credit_waits(),
+                        credit_wait_ns: flow.credit_wait_ns(),
+                        credit_returns: flow.returns(),
+                        overdrafts: flow.overdrafts(),
+                        shed_batches: flow.shed_batches(),
+                        shed_records: flow.shed_records(),
+                        shed_bytes: flow.shed_bytes(),
+                    };
+                }
                 snap
             });
             Ok((results, metrics, snapshot))

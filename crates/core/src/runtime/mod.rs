@@ -5,6 +5,7 @@ pub mod channels;
 pub mod config;
 pub mod durability;
 pub mod execute;
+pub mod flow;
 mod liveness;
 mod progress_hub;
 pub mod recovery;
@@ -17,6 +18,7 @@ pub use channels::{Message, Pact};
 pub use config::{Config, TuningKnobs};
 pub use durability::{open_blob, seal_blob, Checkpoint, KeyedCheckpoint, KeyedState, RestoreError};
 pub use execute::{execute, execute_with_metrics, execute_with_telemetry, ExecuteError};
+pub use flow::{FlowConfig, OverloadState, ShedPolicy};
 pub use recovery::{execute_resilient, Recovery, RecoveryOptions, ResilientReport};
 pub use rescale::{
     execute_elastic, ElasticOptions, ElasticPlan, ElasticReport, ElasticSession, PhaseReport,

@@ -30,9 +30,10 @@ use super::sync::Mutex;
 use crate::progress::{GroupCore, ProgressBatch, ProgressMode, ProgressUpdate};
 
 use super::channels::{
-    parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, HEARTBEAT_TAG, MEMBERSHIP_TAG,
-    PROGRESS_TAG,
+    parse_data_tag, ChannelKey, ProcessRegistry, CENTRAL_TAG, CREDIT_TAG, HEARTBEAT_TAG,
+    MEMBERSHIP_TAG, PROGRESS_TAG,
 };
+use super::flow::{FlowKey, FlowRegistry};
 use super::liveness::Liveness;
 use super::retry::{escalate, send_with_retry, EscalationCell, FaultKind, RetryPolicy};
 
@@ -253,6 +254,7 @@ pub(crate) fn run_router(
     escalation: &EscalationCell,
     stats: &HubStats,
     membership: MembershipMsg,
+    flow: Option<&FlowRegistry>,
 ) {
     // Lazily resolved progress-inbox senders, one per local worker.
     let progress_txs: Vec<_> = (0..workers_per_process)
@@ -358,11 +360,44 @@ pub(crate) fn run_router(
                     CENTRAL_TAG => {
                         unreachable!("central traffic is addressed to the central endpoint")
                     }
+                    CREDIT_TAG => {
+                        // Credit return from a remote receiver (DESIGN.md
+                        // §15): `(data tag, bytes)` for a batch one of our
+                        // workers sent to process `env.src` and that has now
+                        // been consumed there. Stray returns after a local
+                        // reconfiguration are ignored — the flow registry is
+                        // per-run.
+                        if let Some(flow) = flow {
+                            let mut input = &env.payload[..];
+                            let decoded = naiad_wire::Wire::decode(&mut input)
+                                .and_then(|tag: u32| {
+                                    naiad_wire::Wire::decode(&mut input)
+                                        .map(|bytes: u64| (tag, bytes))
+                                });
+                            match decoded {
+                                Ok((tag, bytes)) => {
+                                    let key =
+                                        FlowKey::Remote(membership.process, env.src, tag);
+                                    flow.release_key(key, bytes);
+                                }
+                                Err(e) => panic!(
+                                    "router: undecodable credit return from endpoint {} \
+                                     ({} bytes): {e:?}",
+                                    env.src,
+                                    env.payload.len()
+                                ),
+                            }
+                        }
+                    }
                     tag => {
                         let (dataflow, channel, dst_local) = parse_data_tag(tag);
-                        let tx = registry
-                            .sender::<Bytes>(ChannelKey::RemoteData(dataflow, channel, dst_local));
-                        let _ = tx.send(env.payload);
+                        // The remote-arrival queue carries the source process
+                        // alongside the payload so the consuming puller can
+                        // route its credit return (DESIGN.md §15).
+                        let tx = registry.sender::<(u32, Bytes)>(ChannelKey::RemoteData(
+                            dataflow, channel, dst_local,
+                        ));
+                        let _ = tx.send((env.src as u32, env.payload));
                     }
                 }
             }

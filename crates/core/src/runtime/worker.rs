@@ -26,6 +26,7 @@ use super::channels::{
 };
 use super::config::Config;
 use super::durability::{open_blob, seal_blob, RestoreError};
+use super::flow::{FlowRegistry, OverloadFlag, OverloadMonitor};
 use super::rescale::RescaleError;
 use super::liveness::{Liveness, LivenessTransition};
 use super::progress_hub::ProcessAccumulator;
@@ -116,6 +117,18 @@ pub struct Worker {
     /// Introspection step hooks ([`crate::introspect`]); empty unless a
     /// harness installed one.
     hooks: Vec<StepHook>,
+    /// Cluster-global credit registry ([`crate::runtime::flow`]); `None`
+    /// when flow control is off.
+    flow: Option<Arc<FlowRegistry>>,
+    /// This worker's overload state, shared with its pushers (shed path).
+    overload: Option<Arc<OverloadFlag>>,
+    /// The overload detector driving [`Worker::overload`].
+    monitor: Option<OverloadMonitor>,
+    /// Credit returns seen at the last watchdog check, to distinguish
+    /// `Backpressured` (credits still moving) from a real stall.
+    last_flow_returns: u64,
+    /// Credit waits seen at the last overload poll.
+    last_flow_waits: u64,
 }
 
 impl Worker {
@@ -130,6 +143,7 @@ impl Worker {
         directory: Arc<ProcessRegistry>,
         escalation: Arc<EscalationCell>,
         liveness: Option<Arc<Liveness>>,
+        flow: Option<Arc<FlowRegistry>>,
     ) -> Self {
         let local_index = index % config.workers_per_process;
         let process = index / config.workers_per_process;
@@ -143,6 +157,8 @@ impl Worker {
             Recorder::disabled()
         };
         recorder.set_worker(index);
+        let overload = flow.as_ref().map(|_| Arc::new(OverloadFlag::default()));
+        let monitor = flow.as_ref().map(|f| OverloadMonitor::new(f.config()));
         Worker {
             index,
             peers,
@@ -167,6 +183,11 @@ impl Worker {
             recorder,
             schedule_seq: 0,
             hooks: Vec::new(),
+            flow,
+            overload,
+            monitor,
+            last_flow_returns: 0,
+            last_flow_waits: 0,
         }
     }
 
@@ -312,6 +333,8 @@ impl Worker {
             escalation: self.escalation.clone(),
             policy: self.policy,
             recorder: self.recorder.clone(),
+            flow: self.flow.clone(),
+            overload: self.overload.clone(),
         };
         let mut scope = Scope::new(routing, journal.clone(), tracker.clone());
         let result = construct(&mut scope);
@@ -653,6 +676,7 @@ impl Worker {
         self.recorder.record_step();
         self.steps += 1;
         self.drain_liveness_transitions();
+        self.poll_overload();
         self.last_step_worked = false;
         self.drain_progress();
         if !self.hooks.is_empty() {
@@ -676,6 +700,28 @@ impl Worker {
         // Observer dataflows keep an input open for the lifetime of the
         // run; they must not hold the user's `step_until_done` hostage.
         self.dataflows.iter().any(|df| !df.complete && !df.observer)
+    }
+
+    /// Feeds the overload detector one observation per step (two atomic
+    /// loads when flow control is on, nothing otherwise) and publishes
+    /// transitions to this worker's pushers and telemetry.
+    fn poll_overload(&mut self) {
+        let (Some(flow), Some(monitor), Some(flag)) =
+            (&self.flow, &mut self.monitor, &self.overload)
+        else {
+            return;
+        };
+        let ratio = flow.in_flight_bytes() as f64 / flow.budget() as f64;
+        let waits = flow.credit_waits();
+        let waited = waits != self.last_flow_waits;
+        self.last_flow_waits = waits;
+        if let Some((from, to)) = monitor.observe(ratio, waited) {
+            flag.set(to);
+            self.recorder.record(TelemetryEvent::OverloadTransition {
+                from: from.as_u8(),
+                to: to.as_u8(),
+            });
+        }
     }
 
     /// Surfaces failure-detector state changes (raised by this process's
@@ -789,11 +835,45 @@ impl Worker {
             }
             out.push_str("}\n");
         }
+        if let Some(flow) = &self.flow {
+            let status = if self.backpressured() {
+                "backpressured"
+            } else {
+                "idle"
+            };
+            let overload = self
+                .overload
+                .as_ref()
+                .map_or("normal", |flag| flag.get().name());
+            let _ = write!(
+                out,
+                "{{\"w\":{},\"ev\":\"flow\",\"status\":\"{status}\",\"overload\":\"{overload}\",\
+                 \"in_flight_bytes\":{},\"peak_in_flight_bytes\":{},\"parked\":{},\
+                 \"credit_waits\":{},\"overdrafts\":{},\"shed_records\":{}}}",
+                self.index,
+                flow.in_flight_bytes(),
+                flow.peak_in_flight_bytes(),
+                flow.parked_senders(),
+                flow.credit_waits(),
+                flow.overdrafts(),
+                flow.shed_records(),
+            );
+            out.push('\n');
+        }
         for record in self.recorder.recent(16) {
             out.push_str(&record.to_json(self.index));
             out.push('\n');
         }
         out
+    }
+
+    /// Whether the cluster is visibly backpressured right now: a sender
+    /// is parked on a credit wait, or credits have been returned since
+    /// the last watchdog check.
+    fn backpressured(&self) -> bool {
+        self.flow.as_ref().is_some_and(|flow| {
+            flow.parked_senders() > 0 || flow.returns() != self.last_flow_returns
+        })
     }
 
     /// Steps while `condition` holds and work remains.
@@ -845,6 +925,22 @@ impl Worker {
         }
         let since = *self.stall_since.get_or_insert_with(Instant::now);
         if since.elapsed() < timeout {
+            return;
+        }
+        // Backpressure is not a stall. While credits are being returned
+        // anywhere in the cluster, or a sender is parked on a (bounded)
+        // credit wait, the computation is still moving — the frontier
+        // just cannot show it yet because the parked sender's journal has
+        // not flushed. Extend the clock and report `backpressured` in the
+        // state dump instead of unwinding into `ExecuteError::Stalled`.
+        // A real wedge drains through here: parked waits are bounded by
+        // `FlowConfig::credit_wait`, so a dead cluster stops returning
+        // credits within one wait and the next timeout window fires.
+        if self.backpressured() {
+            if let Some(flow) = &self.flow {
+                self.last_flow_returns = flow.returns();
+            }
+            self.stall_since = Some(Instant::now());
             return;
         }
         let active: u32 = self

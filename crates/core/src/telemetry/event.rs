@@ -203,6 +203,41 @@ pub enum TelemetryEvent {
         /// Knob value after the adjustment.
         to: u64,
     },
+    /// A data-plane sender spent time parked on an exhausted credit cell
+    /// before its batch was admitted (or timed out). Recorded once per
+    /// waiting `emit`, never on the uncontended fast path.
+    CreditWait {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Connector the blocked batch was bound for.
+        connector: u32,
+        /// Wall-clock nanoseconds the sender waited for credit.
+        waited_ns: u64,
+        /// Byte cost of the batch that waited.
+        bytes: u32,
+    },
+    /// The per-worker overload monitor changed state (`from`/`to` are
+    /// [`crate::runtime::OverloadState`] discriminants: 0 = normal,
+    /// 1 = throttled, 2 = shedding).
+    OverloadTransition {
+        /// State before the transition.
+        from: u8,
+        /// State after the transition.
+        to: u8,
+    },
+    /// A data batch was dropped by the graceful-degradation shedding
+    /// policy: the sender's bounded credit wait expired while the worker
+    /// was in the `Shedding` overload state.
+    MessagesShed {
+        /// Dataflow id.
+        dataflow: u32,
+        /// Connector the dropped batch was bound for.
+        connector: u32,
+        /// Records in the dropped batch.
+        records: u32,
+        /// Byte cost of the dropped batch.
+        bytes: u32,
+    },
     /// The static analyzer ([`crate::analysis`]) ran over a freshly built
     /// dataflow graph; counts summarize its findings by severity.
     AnalysisReport {
@@ -226,6 +261,8 @@ pub enum TuningKnob {
     /// Progress-accumulation flush threshold (journal entries below
     /// which a flush may be deferred for a bounded number of steps).
     ProgressFlush,
+    /// Data-plane credit budget (bytes in flight per credited queue).
+    CreditBudget,
 }
 
 impl TuningKnob {
@@ -234,6 +271,7 @@ impl TuningKnob {
         match self {
             TuningKnob::BatchSize => "batch_size",
             TuningKnob::ProgressFlush => "progress_flush",
+            TuningKnob::CreditBudget => "credit_budget",
         }
     }
 }
@@ -262,6 +300,9 @@ impl TelemetryEvent {
             TelemetryEvent::PartitionMigrated { .. } => "partition_migrated",
             TelemetryEvent::RescaleCompleted { .. } => "rescale_completed",
             TelemetryEvent::TuningDecision { .. } => "tuning",
+            TelemetryEvent::CreditWait { .. } => "credit_wait",
+            TelemetryEvent::OverloadTransition { .. } => "overload",
+            TelemetryEvent::MessagesShed { .. } => "shed",
             TelemetryEvent::AnalysisReport { .. } => "analysis",
         }
     }
@@ -280,6 +321,8 @@ impl TelemetryEvent {
             | TelemetryEvent::ProgressApplied { dataflow, .. }
             | TelemetryEvent::NotificationDelivered { dataflow, .. }
             | TelemetryEvent::FrontierProbe { dataflow, .. }
+            | TelemetryEvent::CreditWait { dataflow, .. }
+            | TelemetryEvent::MessagesShed { dataflow, .. }
             | TelemetryEvent::AnalysisReport { dataflow, .. } => Some(dataflow),
             _ => None,
         }
@@ -474,6 +517,31 @@ impl EventRecord {
                     knob.name()
                 );
             }
+            TelemetryEvent::CreditWait {
+                dataflow,
+                connector,
+                waited_ns,
+                bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"conn\":{connector},\"waited_ns\":{waited_ns},\"bytes\":{bytes}"
+                );
+            }
+            TelemetryEvent::OverloadTransition { from, to } => {
+                let _ = write!(s, ",\"from\":{from},\"to\":{to}");
+            }
+            TelemetryEvent::MessagesShed {
+                dataflow,
+                connector,
+                records,
+                bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"df\":{dataflow},\"conn\":{connector},\"records\":{records},\"bytes\":{bytes}"
+                );
+            }
         }
         s.push('}');
         s
@@ -561,6 +629,28 @@ mod tests {
                     active: 4,
                 },
             },
+            EventRecord {
+                nanos: 18,
+                event: TelemetryEvent::CreditWait {
+                    dataflow: 0,
+                    connector: 2,
+                    waited_ns: 1_500_000,
+                    bytes: 4096,
+                },
+            },
+            EventRecord {
+                nanos: 19,
+                event: TelemetryEvent::OverloadTransition { from: 0, to: 1 },
+            },
+            EventRecord {
+                nanos: 20,
+                event: TelemetryEvent::MessagesShed {
+                    dataflow: 0,
+                    connector: 2,
+                    records: 64,
+                    bytes: 4096,
+                },
+            },
         ];
         for r in records {
             let json = r.to_json(7);
@@ -633,5 +723,34 @@ mod tests {
         assert_eq!(ev.dataflow_id(), None);
         let ev = TelemetryEvent::CheckpointTaken { bytes: 10 };
         assert_eq!(ev.dataflow_id(), None);
+    }
+
+    #[test]
+    fn flow_events_carry_dataflow_and_cost_fields() {
+        let ev = TelemetryEvent::CreditWait {
+            dataflow: 4,
+            connector: 9,
+            waited_ns: 77,
+            bytes: 128,
+        };
+        assert_eq!(ev.dataflow_id(), Some(4));
+        let json = EventRecord { nanos: 1, event: ev }.to_json(0);
+        assert!(json.contains("\"ev\":\"credit_wait\""), "{json}");
+        assert!(json.contains("\"waited_ns\":77"), "{json}");
+
+        let ev = TelemetryEvent::MessagesShed {
+            dataflow: 4,
+            connector: 9,
+            records: 3,
+            bytes: 128,
+        };
+        assert_eq!(ev.dataflow_id(), Some(4));
+
+        let ev = TelemetryEvent::OverloadTransition { from: 1, to: 2 };
+        assert_eq!(ev.dataflow_id(), None);
+        let json = EventRecord { nanos: 2, event: ev }.to_json(3);
+        assert!(json.contains("\"from\":1,\"to\":2"), "{json}");
+
+        assert_eq!(TuningKnob::CreditBudget.name(), "credit_budget");
     }
 }

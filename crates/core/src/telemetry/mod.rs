@@ -47,5 +47,6 @@ pub use recorder::{
     ConnectorCounters, DataflowDirectory, OpCounters, Recorder, WorkerCounters, WorkerTelemetry,
 };
 pub use snapshot::{
-    FrontierSample, HubCounters, OperatorSummary, TelemetrySnapshot, TrafficSummary, WorkerSummary,
+    FlowGauges, FrontierSample, HubCounters, OperatorSummary, TelemetrySnapshot, TrafficSummary,
+    WorkerSummary,
 };

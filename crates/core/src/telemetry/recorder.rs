@@ -74,6 +74,16 @@ pub struct WorkerCounters {
     pub migrated_bytes: u64,
     /// Autotuner knob adjustments recorded on this worker.
     pub tuning_decisions: u64,
+    /// Times a pusher on this worker parked waiting for credit.
+    pub credit_waits: u64,
+    /// Cumulative nanoseconds those pushers spent parked.
+    pub credit_wait_nanos: u64,
+    /// Overload-state transitions on this worker.
+    pub overload_transitions: u64,
+    /// Data batches dropped by the shedding policy.
+    pub batches_shed: u64,
+    /// Records inside those dropped batches.
+    pub records_shed: u64,
     /// Static-analyzer reports recorded (one per built dataflow).
     pub analysis_reports: u64,
     /// Warning-severity analyzer diagnostics across those reports.
@@ -174,6 +184,7 @@ impl Tap {
                 | TelemetryEvent::ProgressDeposited { .. }
                 | TelemetryEvent::ProgressApplied { .. }
                 | TelemetryEvent::NotificationDelivered { .. }
+                | TelemetryEvent::CreditWait { .. }
         )
     }
 }
@@ -315,6 +326,15 @@ impl EventLog {
             }
             TelemetryEvent::RescaleCompleted { .. } => {}
             TelemetryEvent::TuningDecision { .. } => c.tuning_decisions += 1,
+            TelemetryEvent::CreditWait { waited_ns, .. } => {
+                c.credit_waits += 1;
+                c.credit_wait_nanos += waited_ns;
+            }
+            TelemetryEvent::OverloadTransition { .. } => c.overload_transitions += 1,
+            TelemetryEvent::MessagesShed { records, .. } => {
+                c.batches_shed += 1;
+                c.records_shed += u64::from(records);
+            }
             TelemetryEvent::AnalysisReport { warnings, .. } => {
                 c.analysis_reports += 1;
                 c.analysis_warnings += u64::from(warnings);
@@ -549,6 +569,36 @@ mod tests {
         assert_eq!(t.events.len(), 6);
         assert_eq!(t.counters.progress_batches_sent, 6);
         assert!(r.recent(4).is_empty(), "harvest drains the buffer");
+    }
+
+    #[test]
+    fn flow_counters_accumulate_waits_and_sheds() {
+        let r = Recorder::with_capacity(16);
+        r.record(TelemetryEvent::CreditWait {
+            dataflow: 0,
+            connector: 1,
+            waited_ns: 500,
+            bytes: 64,
+        });
+        r.record(TelemetryEvent::CreditWait {
+            dataflow: 0,
+            connector: 1,
+            waited_ns: 700,
+            bytes: 64,
+        });
+        r.record(TelemetryEvent::OverloadTransition { from: 0, to: 1 });
+        r.record(TelemetryEvent::MessagesShed {
+            dataflow: 0,
+            connector: 1,
+            records: 8,
+            bytes: 64,
+        });
+        let t = r.harvest(0).unwrap();
+        assert_eq!(t.counters.credit_waits, 2);
+        assert_eq!(t.counters.credit_wait_nanos, 1200);
+        assert_eq!(t.counters.overload_transitions, 1);
+        assert_eq!(t.counters.batches_shed, 1);
+        assert_eq!(t.counters.records_shed, 8);
     }
 
     #[test]

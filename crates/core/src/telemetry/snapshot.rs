@@ -116,6 +116,36 @@ pub struct HubCounters {
     pub peer_failures: u64,
 }
 
+/// Cluster-wide credit-flow gauges, read from the
+/// [`FlowRegistry`](crate::runtime::flow) after the run completes.
+/// All-zero (with `enabled: false`) when the run had no
+/// [`FlowConfig`](crate::runtime::FlowConfig).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowGauges {
+    /// Whether credit-based flow control was configured for the run.
+    pub enabled: bool,
+    /// Data-plane bytes still charged against credit cells at snapshot
+    /// time (zero after a clean drain).
+    pub in_flight_bytes: u64,
+    /// High-water mark of in-flight data-plane bytes over the run.
+    pub peak_in_flight_bytes: u64,
+    /// Times a sender parked waiting for credit.
+    pub credit_waits: u64,
+    /// Cumulative nanoseconds senders spent parked.
+    pub credit_wait_ns: u64,
+    /// Credit returns processed (local releases + control-plane returns).
+    pub credit_returns: u64,
+    /// Batches admitted past an exhausted cell after the bounded wait
+    /// expired (`ShedPolicy::Block` escape hatch).
+    pub overdrafts: u64,
+    /// Batches dropped by the shedding policy.
+    pub shed_batches: u64,
+    /// Records inside those dropped batches.
+    pub shed_records: u64,
+    /// Byte cost of those dropped batches.
+    pub shed_bytes: u64,
+}
+
 /// The unified registry: everything the paper's measurement sections
 /// read, in one place.
 #[derive(Debug, Clone)]
@@ -132,6 +162,9 @@ pub struct TelemetrySnapshot {
     /// Liveness-layer counters (router/central idle ticks, heartbeats,
     /// detector transitions). Populated by the runtime after assembly.
     pub hub: HubCounters,
+    /// Credit-flow gauges. Populated by the runtime after assembly when
+    /// the run was configured with flow control; all-zero otherwise.
+    pub flow: FlowGauges,
     /// The raw per-worker harvests (event logs included), sorted by
     /// worker index.
     pub logs: Vec<WorkerTelemetry>,
@@ -249,6 +282,7 @@ impl TelemetrySnapshot {
             frontier,
             traffic,
             hub: HubCounters::default(),
+            flow: FlowGauges::default(),
             logs,
             critical_paths: Vec::new(),
         }
@@ -448,6 +482,24 @@ impl TelemetrySnapshot {
             );
         }
 
+        if self.flow.enabled {
+            let fl = &self.flow;
+            let _ = writeln!(s, "\n== flow ==");
+            let _ = writeln!(
+                s,
+                "peak_in_flight={} in_flight={} waits={} wait_us={} returns={} overdrafts={} shed_batches={} shed_records={} shed_bytes={}",
+                fl.peak_in_flight_bytes,
+                fl.in_flight_bytes,
+                fl.credit_waits,
+                fl.credit_wait_ns / 1_000,
+                fl.credit_returns,
+                fl.overdrafts,
+                fl.shed_batches,
+                fl.shed_records,
+                fl.shed_bytes
+            );
+        }
+
         if !self.frontier.is_empty() {
             let _ = writeln!(s, "\n== frontier ==");
             // Last sample per (worker, dataflow).
@@ -624,5 +676,32 @@ mod tests {
         assert!(table.contains("map"));
         assert!(table.contains("== traffic =="));
         assert!(table.contains("== frontier =="));
+    }
+
+    #[test]
+    fn flow_gauges_default_off_and_render_when_enabled() {
+        let metrics = fabric_metrics_with_traffic();
+        let mut snap = TelemetrySnapshot::assemble(vec![harvest_one(0)], &metrics);
+        assert_eq!(snap.flow, FlowGauges::default());
+        assert!(
+            !snap.summary_table().contains("== flow =="),
+            "no flow section without flow control"
+        );
+        snap.flow = FlowGauges {
+            enabled: true,
+            in_flight_bytes: 0,
+            peak_in_flight_bytes: 4096,
+            credit_waits: 3,
+            credit_wait_ns: 9_000,
+            credit_returns: 12,
+            overdrafts: 1,
+            shed_batches: 0,
+            shed_records: 0,
+            shed_bytes: 0,
+        };
+        let table = snap.summary_table();
+        assert!(table.contains("== flow =="), "{table}");
+        assert!(table.contains("peak_in_flight=4096"), "{table}");
+        assert!(table.contains("wait_us=9"), "{table}");
     }
 }

@@ -24,6 +24,19 @@ for root in src/lib.rs crates/*/src/lib.rs; do
   fi
 done
 
+echo "== flow-exempt gate (runtime channel creations) =="
+# Every unbounded channel created under runtime/ must either sit behind
+# the credit layer (runtime::flow) or carry a `// flow-exempt:` comment
+# within the four preceding lines explaining why bounding it is unsound
+# (Progress/Control traffic must never block — DESIGN.md §15).
+chan_sites="$(grep -rn --include='*.rs' -B4 -E 'mpsc::channel|sync_channel\(|channel::<|= channel\(\)' \
+    crates/core/src/runtime || true)"
+if [[ -n "$chan_sites" ]] && ! printf '%s\n' "$chan_sites" \
+    | awk 'BEGIN{RS="--\n"} !/flow-exempt:/ {print; bad=1} END{exit bad}'; then
+  echo "verify: FAIL — un-annotated channel creation in runtime/ above (credit it via runtime::flow or justify with '// flow-exempt:')"
+  exit 1
+fi
+
 echo "== build (release, workspace) =="
 cargo build --release --workspace
 
@@ -54,6 +67,12 @@ echo "== self-hosted critical-path report (introspection gate) =="
 # tap overflow, and bounded tuning decisions (DESIGN.md §14).
 cargo run -q --release --example critical_path_report >/dev/null
 
+echo "== overload report (flow-control gate) =="
+# Skewed word count at ~2x the consumer's drain rate under a small
+# credit budget; the example asserts exact record accounting, a clean
+# credit drain, and that the overload monitor engaged (DESIGN.md §15).
+cargo run -q --release --example overload_report >/dev/null
+
 # Extended chaos soak: CHAOS_SOAK_SEEDS=n runs n extra seeded composite
 # fault schedules past the 32 the workspace tests always cover. The CI
 # chaos-soak job sets it; local runs may too (e.g. CHAOS_SOAK_SEEDS=96).
@@ -82,6 +101,17 @@ if [[ "${INTROSPECT_SOAK_SEEDS:-0}" != "0" ]]; then
   echo "== introspection soak (+${INTROSPECT_SOAK_SEEDS} seeds) =="
   timeout "${INTROSPECT_SOAK_DEADLINE:-1800}" \
     cargo test -q --test chaos_soak -- extended_introspect_soak_honours_env
+fi
+
+# Extended overload soak: OVERLOAD_SOAK_SEEDS=n runs n extra seeded
+# 2x-offered-load schedules against a dawdling consumer, asserting the
+# peak in-flight data-plane bytes stay within the credit budget and the
+# run is lossless (Block) or exactly accounted (Shed). The CI chaos-soak
+# job sets it.
+if [[ "${OVERLOAD_SOAK_SEEDS:-0}" != "0" ]]; then
+  echo "== overload soak (+${OVERLOAD_SOAK_SEEDS} seeds) =="
+  timeout "${OVERLOAD_SOAK_DEADLINE:-1800}" \
+    cargo test -q --test chaos_soak -- extended_overload_soak_honours_env
 fi
 
 # Bounded model-check smoke: one pass over the protocol model-checker's

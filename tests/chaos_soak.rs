@@ -25,9 +25,9 @@ use std::time::Duration;
 
 use naiad::dataflow::{InputPort, Notify, OutputPort};
 use naiad::{
-    execute, execute_elastic, execute_resilient, Config, ElasticOptions, ElasticPlan,
-    ElasticReport, ExecuteError, Pact, RecoveryOptions, RescaleOutcome, RescaleStep,
-    ResilientReport, Scope, Timestamp,
+    execute, execute_elastic, execute_resilient, execute_with_telemetry, Config, ElasticOptions,
+    ElasticPlan, ElasticReport, ExecuteError, FlowConfig, Pact, RecoveryOptions, RescaleOutcome,
+    RescaleStep, ResilientReport, Scope, ShedPolicy, TelemetrySnapshot, Timestamp,
 };
 use naiad_examples::my_share;
 use naiad_netsim::FaultPlan;
@@ -703,6 +703,161 @@ fn extended_introspect_soak_honours_env() {
     with_deadline(120 + 40 * extra, move || {
         let reference = baseline();
         introspect_soak(4..4 + extra, &reference);
+    });
+}
+
+// --- Overload soak ---------------------------------------------------
+//
+// Credit-based flow control under sustained overload (DESIGN.md §15): a
+// single hot exchange queue is offered load far beyond what its dawdling
+// consumer drains — the producer generates batches unthrottled while the
+// consumer's service rate is capped by a per-delivery sleep, so offered
+// load is at least twice the drain rate on any plausible machine. The
+// contract per seed:
+//
+// * `Block` policy: the run completes **losslessly**, no overdraft ever
+//   fires at a generous credit wait, and peak in-flight data-plane bytes
+//   never exceed the configured budget (the memory oracle);
+// * `Shed` policy: the run completes, and the ledger accounts exactly —
+//   delivered + shed == offered, record for record.
+//
+// The topology is chosen so exactly one credited queue exists (one
+// producer, one pure-sink consumer, no downstream emission): the
+// cluster-wide peak gauge then *is* the per-queue bound the budget
+// promises.
+
+/// Per-queue byte budget for the overload soak; the offered load per
+/// seed is several times larger.
+const OVERLOAD_BUDGET: usize = 16 << 10;
+const OVERLOAD_EPOCHS: u64 = 3;
+
+/// The seed-varied offered load: 3000–5000 records per epoch, far above
+/// the budget in encoded bytes.
+fn overload_records(seed: u64) -> Vec<(u64, u64)> {
+    let mut s = seed ^ 0x000F_10AD;
+    let count = 3_000 + splitmix(&mut s) % 2_000;
+    (0..count).map(|i| (i % 97, i)).collect()
+}
+
+/// One overload run: worker 0 produces, worker 1 is a dawdling pure sink
+/// (2 ms per delivery, no output). Returns the records the sink counted
+/// and the telemetry snapshot with the flow gauges.
+fn overload_run(seed: u64, policy: ShedPolicy) -> (u64, TelemetrySnapshot) {
+    let offered = Arc::new(overload_records(seed));
+    let flow = match policy {
+        // Generous wait: `Block` must bound memory without ever needing
+        // the overdraft escape hatch.
+        ShedPolicy::Block => FlowConfig::default()
+            .budget(OVERLOAD_BUDGET)
+            .credit_wait(Duration::from_secs(2)),
+        // Tight wait and low thresholds so the overload detector reaches
+        // `Shedding` and timed-out batches actually drop.
+        ShedPolicy::Shed => FlowConfig::default()
+            .budget(OVERLOAD_BUDGET)
+            .credit_wait(Duration::from_millis(2))
+            .policy(ShedPolicy::Shed)
+            .thresholds(0.05, 0.1),
+    };
+    let config = Config::processes_and_workers(1, 2).batch_size(64).flow(flow);
+    let (results, snapshot) = execute_with_telemetry(config, move |worker| {
+        let (mut input, probe, counted) = worker.dataflow(|scope: &mut Scope| {
+            let (input, stream) = scope.new_input::<(u64, u64)>();
+            let counted: Rc<RefCell<u64>> = Rc::new(RefCell::new(0));
+            let sink_count = counted.clone();
+            let sink = stream.unary(Pact::exchange(|_: &(u64, u64)| 1), "DawdlingSink", |_info| {
+                move |input: &mut InputPort<(u64, u64)>, _output: &mut OutputPort<(u64, u64)>| {
+                    input.for_each(|_time, data| {
+                        thread::sleep(Duration::from_millis(2));
+                        *sink_count.borrow_mut() += data.len() as u64;
+                    });
+                }
+            });
+            (input, sink.probe(), counted)
+        });
+        if worker.index() == 0 {
+            for epoch in 0..OVERLOAD_EPOCHS {
+                for chunk in offered.chunks(256) {
+                    for r in chunk {
+                        input.send(*r);
+                    }
+                    // Stepping between chunks lets the producer's overload
+                    // detector observe the climbing gauges (the shed path
+                    // reads the *sender's* state).
+                    worker.step();
+                }
+                input.advance_to(epoch + 1);
+            }
+        }
+        input.close();
+        worker.step_while(|| !probe.done_through(OVERLOAD_EPOCHS - 1));
+        worker.step_until_done();
+        let count = *counted.borrow();
+        count
+    })
+    .expect("overloaded run must complete, not wedge");
+    (results.iter().sum(), snapshot)
+}
+
+/// Soaks `seeds` under both policies, asserting the overload contract.
+fn overload_soak(seeds: std::ops::Range<u64>) {
+    for seed in seeds {
+        let offered = OVERLOAD_EPOCHS * overload_records(seed).len() as u64;
+
+        let (delivered, snapshot) = overload_run(seed, ShedPolicy::Block);
+        let flow = snapshot.flow;
+        assert_eq!(delivered, offered, "seed {seed}: Block policy lost records");
+        assert_eq!(flow.shed_records, 0, "seed {seed}: Block policy must not shed");
+        assert_eq!(
+            flow.overdrafts, 0,
+            "seed {seed}: a 2s credit wait against a 2ms dawdle must never time out"
+        );
+        assert!(
+            flow.peak_in_flight_bytes <= OVERLOAD_BUDGET as u64,
+            "seed {seed}: peak in-flight {} exceeds the {} budget",
+            flow.peak_in_flight_bytes,
+            OVERLOAD_BUDGET
+        );
+        assert!(
+            flow.credit_waits > 0,
+            "seed {seed}: the overload must actually park the producer"
+        );
+        assert_eq!(flow.in_flight_bytes, 0, "seed {seed}: credits must drain");
+
+        let (delivered, snapshot) = overload_run(seed, ShedPolicy::Shed);
+        let flow = snapshot.flow;
+        assert_eq!(
+            delivered + flow.shed_records,
+            offered,
+            "seed {seed}: Shed policy must account for every record exactly \
+             (delivered {delivered}, shed {})",
+            flow.shed_records
+        );
+        assert_eq!(flow.in_flight_bytes, 0, "seed {seed}: credits must drain");
+    }
+}
+
+/// The base overload soak: every seed completes under both policies with
+/// the memory bound held and the ledger exact.
+#[test]
+fn overload_soak_base_seeds() {
+    with_deadline(300, || {
+        overload_soak(0..2);
+    });
+}
+
+/// CI's extended overload soak: `OVERLOAD_SOAK_SEEDS=n` runs `n` extra
+/// seeds past the base 2. A no-op when the variable is unset.
+#[test]
+fn extended_overload_soak_honours_env() {
+    let extra: u64 = std::env::var("OVERLOAD_SOAK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if extra == 0 {
+        return;
+    }
+    with_deadline(120 + 60 * extra, move || {
+        overload_soak(2..2 + extra);
     });
 }
 

@@ -23,8 +23,8 @@ use std::time::Duration;
 use naiad::dataflow::{InputPort, OutputPort};
 use naiad::{
     execute, execute_elastic, execute_resilient, execute_with_metrics, execute_with_telemetry,
-    Config, ElasticOptions, ElasticPlan, ElasticReport, ExecuteError, Pact, RecoveryOptions,
-    RescaleOutcome, RescaleStep, ResilientReport, Scope, Worker,
+    Config, ElasticOptions, ElasticPlan, ElasticReport, ExecuteError, FlowConfig, Pact,
+    RecoveryOptions, RescaleOutcome, RescaleStep, ResilientReport, Scope, Worker,
 };
 use naiad_examples::my_share;
 
@@ -525,6 +525,72 @@ fn overrunning_migration_rolls_back_and_completes() {
                 "epoch {epoch} diverged after the rollback"
             );
         }
+    });
+}
+
+/// Regression: a worker parked on a credit wait is *backpressured*, not
+/// stalled. A slow consumer plus a tiny credit budget keeps the cluster's
+/// frontier silent for far longer than the stall timeout — before the
+/// watchdog learned to read the credit gauges, the idle third worker
+/// declared `ExecuteError::Stalled` here. Credits keep moving (returns on
+/// every consumed batch, senders parked on bounded waits), so the run
+/// must complete losslessly instead.
+#[test]
+fn backpressured_worker_is_not_declared_stalled() {
+    with_deadline(120, || {
+        const SLOW_EPOCHS: u64 = 24;
+        const PER_EPOCH: u64 = 48;
+        let config = Config::single_process(3)
+            .batch_size(32)
+            .stall_timeout(Duration::from_millis(300))
+            .flow(
+                FlowConfig::default()
+                    .budget(1024)
+                    .credit_wait(Duration::from_millis(20)),
+            );
+        let (results, snapshot) = execute_with_telemetry(config, |worker| {
+            let (mut input, probe, captured) = worker.dataflow(|scope: &mut Scope| {
+                let (input, stream) = scope.new_input::<(u64, u64)>();
+                // Everything lands at worker 1, whose vertex dawdles: the
+                // backlog parks the sender while epochs stay open.
+                let out = stream.unary(Pact::exchange(|_: &(u64, u64)| 1), "Dawdle", |_info| {
+                    move |input: &mut InputPort<(u64, u64)>,
+                          output: &mut OutputPort<(u64, u64)>| {
+                        input.for_each(|time, data| {
+                            thread::sleep(Duration::from_millis(25));
+                            let mut session = output.session(time);
+                            for r in data {
+                                session.give(r);
+                            }
+                        });
+                    }
+                });
+                (input, out.probe(), out.capture())
+            });
+            if worker.index() == 0 {
+                for epoch in 0..SLOW_EPOCHS {
+                    for i in 0..PER_EPOCH {
+                        input.send((epoch, i));
+                    }
+                    input.advance_to(epoch + 1);
+                }
+            }
+            input.close();
+            worker.step_while(|| !probe.done_through(SLOW_EPOCHS - 1));
+            worker.step_until_done();
+            let count: u64 = captured.borrow().iter().map(|(_, d)| d.len() as u64).sum();
+            count
+        })
+        .expect("backpressure must extend the stall clock, not trip it");
+        assert_eq!(
+            results.iter().sum::<u64>(),
+            SLOW_EPOCHS * PER_EPOCH,
+            "the backpressured run is lossless"
+        );
+        assert!(
+            snapshot.flow.credit_waits > 0,
+            "the scenario must actually park a sender"
+        );
     });
 }
 
