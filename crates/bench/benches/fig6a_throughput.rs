@@ -28,8 +28,8 @@ fn measured_exchange(
             let probe = stream
                 .unary(Pact::exchange(|x: &u64| *x), "Scatter", |_info| {
                     |input: &mut InputPort<u64>, output: &mut OutputPort<u64>| {
-                        input.for_each(|time, data| {
-                            output.session(time).give_vec(data);
+                        input.for_each_batch(|time, data| {
+                            output.session(time).give_container(data);
                         });
                     }
                 })
@@ -38,9 +38,17 @@ fn measured_exchange(
         });
         let base = worker.index() as u64;
         let start = std::time::Instant::now();
+        // Feed through the container path (DESIGN.md §16): the buffer's
+        // storage is swapped into the channel layer and comes back, so
+        // the steady state allocates nothing.
+        let mut buf: Vec<u64> = Vec::with_capacity(1024);
         for i in 0..records_per_worker as u64 {
-            input.send(base.wrapping_mul(1_000_003).wrapping_add(i));
+            buf.push(base.wrapping_mul(1_000_003).wrapping_add(i));
+            if buf.len() == 1024 {
+                input.send_container(&mut buf);
+            }
         }
+        input.send_container(&mut buf);
         input.close();
         worker.step_until_done();
         drop(probe);

@@ -260,8 +260,8 @@ pub(crate) fn new_output_stream<D: ExchangeData>(
 pub fn concatenate<D: ExchangeData>(a: &Stream<D>, b: &Stream<D>) -> Stream<D> {
     a.binary(b, Pact::Pipeline, Pact::Pipeline, "Concat", |_info| {
         |i1: &mut InputPort<D>, i2: &mut InputPort<D>, out: &mut OutputPort<D>| {
-            i1.for_each(|t, data| out.session(t).give_vec(data));
-            i2.for_each(|t, data| out.session(t).give_vec(data));
+            i1.for_each_batch(|t, data| out.session(t).give_container(data));
+            i2.for_each_batch(|t, data| out.session(t).give_container(data));
         }
     })
 }

@@ -68,7 +68,7 @@ impl<D: ExchangeData> Stream<D> {
         self.sink(Pact::Pipeline, "Probe", move |info| {
             *slot.borrow_mut() = Some(info.stage);
             move |input: &mut InputPort<D>| {
-                input.for_each(|_, _| {});
+                input.for_each_batch(|_, _| {});
             }
         });
         handle.stage = stage_slot
@@ -139,11 +139,11 @@ impl<D: ExchangeData> Stream<D> {
     pub fn inspect(&self, mut action: impl FnMut(&Timestamp, &D) + 'static) -> Stream<D> {
         self.unary(Pact::Pipeline, "Inspect", move |_info| {
             move |input: &mut InputPort<D>, output: &mut super::OutputPort<D>| {
-                input.for_each(|time, data| {
-                    for record in &data {
+                input.for_each_batch(|time, data| {
+                    for record in data.iter() {
                         action(&time, record);
                     }
-                    output.session(time).give_vec(data);
+                    output.session(time).give_container(data);
                 });
             }
         })

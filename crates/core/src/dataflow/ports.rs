@@ -59,6 +59,24 @@ impl<D: ExchangeData> InputPort<D> {
         }
     }
 
+    /// Applies `logic` to every queued batch *by reference*, recycling
+    /// each emptied container back to the channel's spare stack
+    /// (DESIGN.md §16).
+    ///
+    /// This is the zero-allocation counterpart of
+    /// [`for_each`](InputPort::for_each): records the logic leaves in the
+    /// container are discarded when it is recycled, so drain it (e.g. via
+    /// `drain(..)`, [`Session::give_container`], or `std::mem::take` of
+    /// individual records). Prefer this form on hot paths.
+    pub fn for_each_batch(&mut self, mut logic: impl FnMut(Timestamp, &mut Vec<D>)) {
+        while let Some(message) = self.puller.pull() {
+            self.worked = true;
+            let crate::runtime::channels::Message { time, mut data } = message;
+            logic(time, &mut data);
+            self.puller.recycle(data);
+        }
+    }
+
     /// Journals the retirement of the last delivered batch.
     pub(crate) fn settle(&mut self) {
         self.puller.settle();
@@ -140,6 +158,28 @@ impl<D: ExchangeData> Session<'_, D> {
     /// Sends a vector of records.
     pub fn give_vec(&mut self, records: Vec<D>) {
         self.give_iterator(records);
+    }
+
+    /// Sends a whole container of records, draining it in place (its
+    /// capacity is retained for the caller to refill).
+    ///
+    /// The final consumer takes the records by move — pipeline channels
+    /// can ship the container itself — and any additional consumers
+    /// receive clones. Pair with
+    /// [`InputPort::for_each_batch`](super::ports::InputPort::for_each_batch)
+    /// for an allocation-free steady state (DESIGN.md §16).
+    pub fn give_container(&mut self, records: &mut Vec<D>) {
+        let mut pushers = self.tee.borrow_mut();
+        let n = pushers.len();
+        if n == 0 {
+            records.clear(); // No consumers: records are dropped, like Naiad.
+            return;
+        }
+        for pusher in pushers.iter_mut().take(n - 1) {
+            let mut copy = records.clone();
+            pusher.give_batch(self.time, &mut copy);
+        }
+        pushers[n - 1].give_batch(self.time, records);
     }
 
     /// The session's timestamp.

@@ -78,11 +78,14 @@ pub struct Autotuner {
     max_flush: usize,
     min_credit: usize,
     max_credit: usize,
+    min_pool: usize,
+    max_pool: usize,
     // Measurement window.
     seen: u32,
     span_acc: u64,
     progress_acc: u64,
     wait_acc: u64,
+    transit_acc: u64,
     // Batch-size climb state.
     last_cost: Option<u64>,
     direction: Direction,
@@ -104,10 +107,13 @@ impl Autotuner {
             max_flush: 64,
             min_credit: 64 << 10,
             max_credit: 1 << 30,
+            min_pool: 4 << 20,
+            max_pool: 1 << 30,
             seen: 0,
             span_acc: 0,
             progress_acc: 0,
             wait_acc: 0,
+            transit_acc: 0,
             last_cost: None,
             direction: Direction::Up,
             flipped: false,
@@ -128,6 +134,7 @@ impl Autotuner {
         self.span_acc += summary.span_ns;
         self.progress_acc += summary.progress_updates;
         self.wait_acc += summary.credit_wait_ns;
+        self.transit_acc += summary.transit_bytes;
         self.seen += 1;
         if self.seen < self.window {
             return Vec::new();
@@ -135,15 +142,18 @@ impl Autotuner {
         let cost = self.span_acc / u64::from(self.window);
         let progress = self.progress_acc / u64::from(self.window);
         let wait = self.wait_acc / u64::from(self.window);
+        let transit = self.transit_acc / u64::from(self.window);
         self.seen = 0;
         self.span_acc = 0;
         self.progress_acc = 0;
         self.wait_acc = 0;
+        self.transit_acc = 0;
 
         let mut decisions = Vec::new();
         self.tune_batch(summary.epoch, cost, &mut decisions);
         self.tune_progress_flush(summary.epoch, progress, &mut decisions);
         self.tune_credit(summary.epoch, cost, wait, &mut decisions);
+        self.tune_pool(summary.epoch, transit, &mut decisions);
         decisions
     }
 
@@ -224,6 +234,30 @@ impl Autotuner {
             decisions.push(TuningDecision {
                 epoch,
                 knob: TuningKnob::CreditBudget,
+                from: current as u64,
+                to: target as u64,
+            });
+        }
+    }
+
+    /// Grows the slab-pool resident cap when an epoch's remote traffic
+    /// overflows it: slabs discarded because the pool is full are
+    /// allocations the next epoch pays again, so the cap doubles until a
+    /// window's transit volume fits, clamped to `[4 MiB, 1 GiB]`.
+    /// Growth-only, for the same reason as the credit budget.
+    fn tune_pool(&mut self, epoch: u64, transit: u64, decisions: &mut Vec<TuningDecision>) {
+        let current = self.knobs.pool_resident_cap();
+        if transit <= current as u64 {
+            return;
+        }
+        let target = current
+            .saturating_mul(2)
+            .clamp(self.min_pool, self.max_pool);
+        if target != current {
+            self.knobs.set_pool_resident_cap(target);
+            decisions.push(TuningDecision {
+                epoch,
+                knob: TuningKnob::PoolResidentCap,
                 from: current as u64,
                 to: target as u64,
             });
@@ -415,6 +449,39 @@ mod tests {
             assert!(calm.is_empty());
         }
         assert_eq!(knobs.credit_budget(), 1 << 30);
+    }
+
+    #[test]
+    fn pool_cap_grows_to_fit_transit_volume_and_stays_clamped() {
+        let knobs = TuningKnobs::with_batch_size(512);
+        assert_eq!(knobs.pool_resident_cap(), 32 << 20);
+        let mut tuner = Autotuner::new(knobs.clone());
+        // 256 MiB of remote traffic per epoch: the 32 MiB default cap
+        // doubles once per window until the traffic fits (256 MiB).
+        let mut grew = Vec::new();
+        for epoch in 0..64 {
+            let mut s = summary(epoch, 1_000_000, 1);
+            s.transit_bytes = 256 << 20;
+            grew.extend(
+                tuner
+                    .observe(&s)
+                    .into_iter()
+                    .filter(|d| d.knob == TuningKnob::PoolResidentCap),
+            );
+        }
+        assert!(!grew.is_empty());
+        assert!(grew.iter().all(|d| d.to == d.from * 2 && d.to <= 1 << 30));
+        assert_eq!(knobs.pool_resident_cap(), 256 << 20);
+        // Calm traffic never shrinks the cap.
+        for epoch in 64..72 {
+            let calm: Vec<_> = tuner
+                .observe(&summary(epoch, 1_000_000, 1))
+                .into_iter()
+                .filter(|d| d.knob == TuningKnob::PoolResidentCap)
+                .collect();
+            assert!(calm.is_empty());
+        }
+        assert_eq!(knobs.pool_resident_cap(), 256 << 20);
     }
 
     #[test]

@@ -20,11 +20,10 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-
 use naiad_netsim::{NetSender, TrafficClass};
-use naiad_wire::{encode_to_vec, Bytes, ExchangeData, Wire, WireError};
+use naiad_wire::{Bytes, ExchangeData, SlabPool, Wire, WireError};
 
+use super::queue::{ring, RingReceiver, RingSender};
 use super::sync::Mutex;
 
 use super::config::TuningKnobs;
@@ -103,16 +102,45 @@ impl<D: Wire> Wire for Message<D> {
     }
 }
 
+impl<D: Wire> Message<D> {
+    /// Decodes a batch into a recycled container: `data`'s storage is
+    /// reused, so a warmed-up remote path decodes with zero container
+    /// allocations (DESIGN.md §16). Requires every input byte consumed,
+    /// like [`naiad_wire::decode_from_slice`].
+    pub(crate) fn decode_into(bytes: &[u8], mut data: Vec<D>) -> Result<Self, WireError> {
+        let mut input = bytes;
+        let time = Timestamp::decode(&mut input)?;
+        let len = usize::decode(&mut input)?;
+        if len > input.len() {
+            // Sound bound: every element encodes to at least one byte.
+            return Err(WireError::LengthOverrun {
+                declared: len,
+                remaining: input.len(),
+            });
+        }
+        data.clear();
+        data.reserve(len);
+        for _ in 0..len {
+            data.push(D::decode(&mut input)?);
+        }
+        if !input.is_empty() {
+            return Err(WireError::TrailingBytes(input.len()));
+        }
+        Ok(Message { time, data })
+    }
+}
+
 impl<D> Message<D> {
-    /// The batch's cost against a credit budget (DESIGN.md §15): its
-    /// in-memory footprint, `O(1)` to compute. The wire length would be
-    /// the exact network cost, but pricing it means an `O(records)`
-    /// varint pass on every spend *and* every release — measured at
-    /// ~25% of fig6a's per-record budget. What credits actually bound
-    /// is queue memory, and sender and receiver computing this from the
-    /// same typed batch is what keeps the ledger in balance (heap
-    /// payloads behind pointers are not counted — the bound is a
-    /// floor, not an exact heap measure).
+    /// The batch's cost against a credit budget (DESIGN.md §15, §16):
+    /// its in-memory footprint, `O(1)` to compute. This prices *local*
+    /// (typed, same-process) batches only; remote batches are priced by
+    /// the length of their frozen slab — also `O(1)`, because the bytes
+    /// are already materialized for the fabric, and exact because sender
+    /// and receiver read the length of the very same buffer. What
+    /// credits bound is queue memory, and sender and receiver agreeing
+    /// on the number is what keeps the ledger in balance (heap payloads
+    /// behind pointers are not counted — the bound is a floor, not an
+    /// exact heap measure).
     pub(crate) fn credit_cost(&self) -> u64 {
         let record = std::mem::size_of::<D>().max(1);
         (std::mem::size_of::<Timestamp>() + self.data.len() * record) as u64
@@ -128,11 +156,66 @@ pub(crate) enum ChannelKey {
     RemoteData(usize, usize, usize),
     /// A worker's progress inbox.
     Progress(usize),
+    /// The spare-container stack shared by a data endpoint's senders and
+    /// its puller (DESIGN.md §16).
+    Spares(usize, usize, usize),
 }
 
 struct Chan<T> {
-    tx: Sender<T>,
-    rx: Mutex<Option<Receiver<T>>>,
+    tx: RingSender<T>,
+    rx: Mutex<Option<RingReceiver<T>>>,
+}
+
+/// A shared stack of emptied batch containers for one channel endpoint.
+///
+/// Pullers return consumed `Vec<D>`s here; senders (and the remote-decode
+/// path) draw from it instead of allocating. The stack is bounded so a
+/// burst cannot hoard memory forever.
+pub(crate) struct SparePool<D> {
+    stack: Arc<Mutex<Vec<Vec<D>>>>,
+}
+
+impl<D> Clone for SparePool<D> {
+    fn clone(&self) -> Self {
+        SparePool {
+            stack: self.stack.clone(),
+        }
+    }
+}
+
+impl<D> Default for SparePool<D> {
+    fn default() -> Self {
+        SparePool {
+            // slab-exempt: the spare stack itself, created once per
+            // endpoint; the containers it recycles come in via `put`.
+            stack: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl<D> SparePool<D> {
+    /// Spares retained per endpoint; beyond this, returns are dropped.
+    const MAX_SPARES: usize = 32;
+
+    /// An empty container, recycled if one is available.
+    pub(crate) fn pop(&self) -> Vec<D> {
+        // slab-exempt: the `unwrap_or_default` cold path allocates only
+        // until the endpoint's container population warms up; returns
+        // keep the stack stocked in steady state (tests/alloc_budget.rs).
+        self.stack.lock().pop().unwrap_or_default()
+    }
+
+    /// Returns an emptied container to the stack.
+    pub(crate) fn put(&self, mut container: Vec<D>) {
+        container.clear();
+        if container.capacity() == 0 {
+            return;
+        }
+        let mut stack = self.stack.lock();
+        if stack.len() < Self::MAX_SPARES {
+            stack.push(container);
+        }
+    }
 }
 
 /// Lazily-created queues shared by a process's workers and its router.
@@ -152,7 +235,7 @@ impl ProcessRegistry {
             // flow-exempt: Data/RemoteData queues are credit-bounded at the
             // Pusher/Puller layer (runtime::flow); Progress inboxes carry the
             // §3.3 protocol and must never block (DESIGN.md §15).
-            let (tx, rx) = channel::<T>();
+            let (tx, rx) = ring::<T>();
             Box::new(Chan {
                 tx,
                 rx: Mutex::new(Some(rx)),
@@ -165,7 +248,7 @@ impl ProcessRegistry {
     }
 
     /// A sender for the queue at `key`.
-    pub(crate) fn sender<T: Send + 'static>(&self, key: ChannelKey) -> Sender<T> {
+    pub(crate) fn sender<T: Send + 'static>(&self, key: ChannelKey) -> RingSender<T> {
         self.with_chan(key, |c: &Chan<T>| c.tx.clone())
     }
 
@@ -174,12 +257,32 @@ impl ProcessRegistry {
     /// # Panics
     ///
     /// Panics if the receiver was already taken.
-    pub(crate) fn receiver<T: Send + 'static>(&self, key: ChannelKey) -> Receiver<T> {
+    pub(crate) fn receiver<T: Send + 'static>(&self, key: ChannelKey) -> RingReceiver<T> {
         self.with_chan(key, |c: &Chan<T>| {
             c.rx.lock()
                 .take()
                 .expect("channel receiver taken more than once")
         })
+    }
+
+    /// The spare-container stack for the data endpoint
+    /// `(dataflow, channel, dst_local)`, shared by everyone who routes
+    /// batches to — or drains batches at — that endpoint.
+    pub(crate) fn spares<D: Send + 'static>(
+        &self,
+        dataflow: usize,
+        channel: usize,
+        dst_local: usize,
+    ) -> SparePool<D> {
+        let key = ChannelKey::Spares(dataflow, channel, dst_local);
+        let mut map = self.map.lock();
+        let entry = map
+            .entry(key)
+            .or_insert_with(|| Box::new(SparePool::<D>::default()));
+        entry
+            .downcast_ref::<SparePool<D>>()
+            .expect("spare pool key reused at a different type")
+            .clone()
     }
 
     /// Publishes a dataflow's logical graph so the process router and
@@ -246,7 +349,7 @@ impl<D> Clone for Pact<D> {
 
 /// Where a destination worker's queue lives.
 enum Route<D> {
-    Local(Sender<Message<D>>),
+    Local(RingSender<Message<D>>),
     Remote { process: usize, tag: u32 },
 }
 
@@ -262,7 +365,17 @@ pub(crate) struct Pusher<D> {
     tuning: Option<TuningKnobs>,
     routes: Vec<Route<D>>,
     buffers: Vec<Vec<D>>,
+    /// Spare-container stack of each *local* destination endpoint; the
+    /// buffer handed to a local queue is replaced from here, and remote
+    /// buffers are cleared in place — either way, steady-state emits
+    /// allocate nothing (DESIGN.md §16).
+    spares: Vec<Option<SparePool<D>>>,
     buffer_time: Option<Timestamp>,
+    /// The per-run slab pool backing remote encodes.
+    slabs: Arc<SlabPool>,
+    /// Last remote frame length: the capacity hint for the next slab
+    /// checkout, so growth self-corrects without an `encoded_len` pass.
+    encode_hint: usize,
     net: Option<Arc<Mutex<NetSender>>>,
     journal: Journal,
     escalation: Arc<EscalationCell>,
@@ -291,6 +404,7 @@ pub(crate) struct RoutingContext {
     pub process: usize,
     pub batch_size: usize,
     pub tuning: Option<TuningKnobs>,
+    pub slabs: Arc<SlabPool>,
     pub registry: Arc<ProcessRegistry>,
     pub net: Option<Arc<Mutex<NetSender>>>,
     pub escalation: Arc<EscalationCell>,
@@ -328,6 +442,18 @@ impl<D: ExchangeData> Pusher<D> {
         journal: Journal,
     ) -> Self {
         let routes: Vec<Route<D>> = (0..ctx.peers).map(|dst| ctx.route(channel, dst)).collect();
+        let spares = routes
+            .iter()
+            .enumerate()
+            .map(|(dst, route)| match route {
+                Route::Local(_) => Some(ctx.registry.spares::<D>(
+                    ctx.dataflow,
+                    channel,
+                    dst % ctx.workers_per_process,
+                )),
+                Route::Remote { .. } => None,
+            })
+            .collect();
         let credits = routes
             .iter()
             .enumerate()
@@ -352,8 +478,13 @@ impl<D: ExchangeData> Pusher<D> {
             batch_size: ctx.batch_size,
             tuning: ctx.tuning.clone(),
             routes,
+            // slab-exempt: the per-destination buffers are allocated once
+            // at construction and recycled for the pusher's lifetime.
             buffers: (0..ctx.peers).map(|_| Vec::new()).collect(),
+            spares,
             buffer_time: None,
+            slabs: ctx.slabs.clone(),
+            encode_hint: 0,
             net: ctx.net.clone(),
             journal,
             escalation: ctx.escalation.clone(),
@@ -412,6 +543,67 @@ impl<D: ExchangeData> Pusher<D> {
         }
     }
 
+    /// Queues a whole batch at `time`, draining `batch` in place (its
+    /// capacity is retained for the caller to refill).
+    ///
+    /// This is the container fast path (DESIGN.md §16): Pipeline swaps
+    /// the batch straight into the outgoing buffer when it can, Exchange
+    /// radix-partitions records into the per-destination buffers in one
+    /// pass, and Broadcast clones per destination with the final
+    /// destination taking the records by move.
+    pub(crate) fn give_batch(&mut self, time: Timestamp, batch: &mut Vec<D>) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.buffer_time != Some(time) {
+            self.flush();
+            self.buffer_time = Some(time);
+        }
+        let limit = self.batch_limit();
+        match &self.pact {
+            Pact::Pipeline => {
+                let dst = self.my_index;
+                if self.buffers[dst].is_empty() && batch.len() >= limit {
+                    // Whole-batch fast path: ship the caller's container
+                    // and hand its (empty) buffer back in exchange.
+                    std::mem::swap(&mut self.buffers[dst], batch);
+                    self.emit(dst, time);
+                } else {
+                    self.buffers[dst].append(batch);
+                    if self.buffers[dst].len() >= limit {
+                        self.emit(dst, time);
+                    }
+                }
+            }
+            Pact::Exchange(f) => {
+                let f = f.clone();
+                let n = self.routes.len() as u64;
+                for record in batch.drain(..) {
+                    let dst = (f(&record) % n) as usize;
+                    self.buffers[dst].push(record);
+                    if self.buffers[dst].len() >= limit {
+                        self.emit(dst, time);
+                    }
+                }
+            }
+            Pact::Broadcast => {
+                let last = self.routes.len() - 1;
+                for dst in 0..last {
+                    // slab-exempt: `extend` only grows a buffer up to the
+                    // batch limit once; steady state reuses its capacity.
+                    self.buffers[dst].extend(batch.iter().cloned());
+                    if self.buffers[dst].len() >= limit {
+                        self.emit(dst, time);
+                    }
+                }
+                self.buffers[last].append(batch);
+                if self.buffers[last].len() >= limit {
+                    self.emit(last, time);
+                }
+            }
+        }
+    }
+
     /// Flushes all buffered batches.
     pub(crate) fn flush(&mut self) {
         if let Some(time) = self.buffer_time.take() {
@@ -424,14 +616,39 @@ impl<D: ExchangeData> Pusher<D> {
     }
 
     fn emit(&mut self, dst: usize, time: Timestamp) {
-        let data = std::mem::take(&mut self.buffers[dst]);
-        debug_assert!(!data.is_empty());
-        let records = data.len() as u32;
-        let message = Message { time, data };
+        debug_assert!(!self.buffers[dst].is_empty());
+        let records = self.buffers[dst].len() as u32;
+        // Remote frames are encoded *before* the credit spend so credits
+        // can be priced by the exact slab footprint — the length of the
+        // very buffer the fabric will carry (DESIGN.md §16). A shed after
+        // encode wastes the encode CPU, but the frozen frame just drops
+        // and its slab returns straight to the pool.
+        let encoded: Option<Bytes> = match &self.routes[dst] {
+            Route::Local(_) => None,
+            Route::Remote { .. } => {
+                if let Some(knobs) = &self.tuning {
+                    // The autotuner's pool knob takes effect at the next
+                    // checkout (one atomic store; DESIGN.md §16).
+                    self.slabs.set_resident_cap(knobs.pool_resident_cap());
+                }
+                let mut slab = self.slabs.get(self.encode_hint);
+                time.encode(slab.buffer());
+                self.buffers[dst].encode(slab.buffer());
+                let bytes = slab.freeze();
+                self.encode_hint = bytes.len();
+                Some(bytes)
+            }
+        };
         // Credits are spent before the SendBy journal entry so a shed
         // batch can leave the occurrence counts net-unchanged.
         if let (Some(flow), Some(cell)) = (&self.flow, &self.credits[dst]) {
-            let cost = message.credit_cost();
+            let cost = match &encoded {
+                Some(bytes) => bytes.len() as u64,
+                None => {
+                    let record = std::mem::size_of::<D>().max(1);
+                    (std::mem::size_of::<Timestamp>() + self.buffers[dst].len() * record) as u64
+                }
+            };
             if dst == self.my_index {
                 // Self-routes never park: a worker waiting on the queue
                 // only it drains would deadlock itself. Spend without
@@ -483,6 +700,9 @@ impl<D: ExchangeData> Pusher<D> {
                                 records,
                                 bytes: cost as u32,
                             });
+                            // Dropping `encoded` (if any) returns its slab;
+                            // the typed buffer keeps its capacity.
+                            self.buffers[dst].clear();
                             return;
                         }
                         // Block policy: pierce the budget after a full
@@ -500,10 +720,15 @@ impl<D: ExchangeData> Pusher<D> {
         let mut remote = false;
         match &self.routes[dst] {
             Route::Local(tx) => {
-                let _ = tx.send(message);
+                let refill = self.spares[dst].as_ref().map_or_else(Vec::new, SparePool::pop);
+                let data = std::mem::replace(&mut self.buffers[dst], refill);
+                tx.send(Message { time, data });
             }
             Route::Remote { process, tag } => {
-                let bytes: Bytes = encode_to_vec(&message).into();
+                let bytes = encoded.expect("remote frame encoded above");
+                // The typed buffer never leaves a remote-routed pusher:
+                // clear it in place and keep its capacity.
+                self.buffers[dst].clear();
                 payload_bytes = bytes.len() as u32;
                 remote = true;
                 let net = self.net.as_ref().expect("remote route requires a fabric");
@@ -540,8 +765,11 @@ impl<D: ExchangeData> Pusher<D> {
 /// always shows a message's consequences before its retirement.
 pub(crate) struct Puller<D> {
     connector: ConnectorId,
-    local: Receiver<Message<D>>,
-    remote: Receiver<(u32, Bytes)>,
+    local: RingReceiver<Message<D>>,
+    remote: RingReceiver<(u32, Bytes)>,
+    /// Spare containers for this endpoint, shared with its local senders;
+    /// remote frames decode into recycled containers drawn from here.
+    spares: SparePool<D>,
     journal: Journal,
     unsettled: Option<Timestamp>,
     dataflow: u32,
@@ -589,6 +817,7 @@ impl<D: ExchangeData> Puller<D> {
             connector,
             local: ctx.registry.receiver(local_key),
             remote: ctx.registry.receiver(remote_key),
+            spares: ctx.registry.spares(ctx.dataflow, channel, my_local),
             journal,
             unsettled: None,
             dataflow: ctx.dataflow as u32,
@@ -598,13 +827,22 @@ impl<D: ExchangeData> Puller<D> {
         }
     }
 
+    /// Returns a consumed batch container to the endpoint's spare stack,
+    /// where local senders and the remote-decode path pick it back up.
+    pub(crate) fn recycle(&mut self, container: Vec<D>) {
+        self.spares.put(container);
+    }
+
     /// Retires the previously pulled batch, then pulls the next one.
     pub(crate) fn pull(&mut self) -> Option<Message<D>> {
         self.settle();
-        let (message, remote_src) = if let Ok(m) = self.local.try_recv() {
+        let (message, remote_payload) = if let Some(m) = self.local.try_recv() {
             (Some(m), None)
-        } else if let Ok((src, bytes)) = self.remote.try_recv() {
-            let m = naiad_wire::decode_from_slice::<Message<D>>(&bytes).unwrap_or_else(|e| {
+        } else if let Some((src, bytes)) = self.remote.try_recv() {
+            // Decode into a recycled container: zero container
+            // allocations once the endpoint is warm (DESIGN.md §16).
+            let container = self.spares.pop();
+            let m = Message::<D>::decode_into(&bytes, container).unwrap_or_else(|e| {
                 panic!(
                     "dataflow {} connector {}: undecodable data batch ({} bytes) — \
                      wire corruption or a mismatched channel type: {e:?}",
@@ -613,21 +851,19 @@ impl<D: ExchangeData> Puller<D> {
                     bytes.len()
                 )
             });
-            (Some(m), Some(src as usize))
+            (Some(m), Some((src as usize, bytes.len() as u64)))
         } else {
             (None, None)
         };
         if let Some(m) = &message {
             self.unsettled = Some(m.time);
             if self.flow.is_some() {
-                // Both variants price the batch with `credit_cost`, the
-                // same formula the sender spent with — the ledger only
-                // balances if the two sides agree on the number.
-                self.owed = Some(match remote_src {
-                    Some(src) => OwedCredit::Remote {
-                        src,
-                        bytes: m.credit_cost(),
-                    },
+                // The ledger balances only if both sides agree on the
+                // price: local batches use `credit_cost` (what the sender
+                // spent); remote batches use the frame length — the very
+                // same buffer the sender priced its spend with.
+                self.owed = Some(match remote_payload {
+                    Some((src, bytes)) => OwedCredit::Remote { src, bytes },
                     None => OwedCredit::Local(m.credit_cost()),
                 });
             }
@@ -635,7 +871,7 @@ impl<D: ExchangeData> Puller<D> {
                 dataflow: self.dataflow,
                 connector: self.connector.0 as u32,
                 records: m.data.len() as u32,
-                remote: remote_src.is_some(),
+                remote: remote_payload.is_some(),
             });
         }
         message
@@ -661,6 +897,8 @@ impl<D: ExchangeData> Puller<D> {
                         // in which case the parked sender escapes through
                         // its bounded wait.
                         if let Some(net) = &flow.net {
+                            // slab-exempt: a ~10-byte control-plane credit
+                            // return, not data-plane traffic.
                             let mut payload = Vec::new();
                             flow.tag.encode(&mut payload);
                             bytes.encode(&mut payload);
@@ -676,6 +914,7 @@ impl<D: ExchangeData> Puller<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use naiad_wire::encode_to_vec;
     use std::cell::RefCell;
 
     fn ctx(registry: Arc<ProcessRegistry>) -> RoutingContext {
@@ -687,6 +926,7 @@ mod tests {
             process: 0,
             batch_size: 4,
             tuning: None,
+            slabs: Arc::new(SlabPool::default()),
             registry,
             net: None,
             escalation: Arc::new(EscalationCell::default()),
@@ -723,9 +963,9 @@ mod tests {
     fn registry_creates_lazily_and_takes_once() {
         let reg = ProcessRegistry::default();
         let tx = reg.sender::<u32>(ChannelKey::Data(0, 1, 0));
-        tx.send(7).unwrap();
+        tx.send(7);
         let rx = reg.receiver::<u32>(ChannelKey::Data(0, 1, 0));
-        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv(), 7);
     }
 
     #[test]
@@ -904,6 +1144,7 @@ mod tests {
             process: rc.process,
             batch_size: rc.batch_size,
             tuning: rc.tuning.clone(),
+            slabs: rc.slabs.clone(),
             registry: rc.registry.clone(),
             net: rc.net.clone(),
             escalation: rc.escalation.clone(),
@@ -931,8 +1172,8 @@ mod tests {
         assert!(flow.credit_wait_ns() > 0);
         // Both batches were nonetheless delivered — Block is lossless.
         let rx = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 0, 1));
-        assert!(rx.try_recv().is_ok());
-        assert!(rx.try_recv().is_ok());
+        assert!(rx.try_recv().is_some());
+        assert!(rx.try_recv().is_some());
     }
 
     #[test]
@@ -985,8 +1226,8 @@ mod tests {
         assert_eq!(sum, 1, "one delivered (+1, unsettled) batch; shed nets zero");
         // Only one batch actually reached the queue.
         let rx = reg.receiver::<Message<u64>>(ChannelKey::Data(0, 0, 1));
-        assert!(rx.try_recv().is_ok());
-        assert!(rx.try_recv().is_err());
+        assert!(rx.try_recv().is_some());
+        assert!(rx.try_recv().is_none());
     }
 
     #[test]

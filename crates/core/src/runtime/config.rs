@@ -24,6 +24,7 @@ struct KnobsInner {
     batch_size: AtomicUsize,
     progress_flush: AtomicUsize,
     credit_budget: AtomicUsize,
+    pool_resident_cap: AtomicUsize,
 }
 
 impl Default for KnobsInner {
@@ -32,6 +33,7 @@ impl Default for KnobsInner {
             batch_size: AtomicUsize::new(1024),
             progress_flush: AtomicUsize::new(1),
             credit_budget: AtomicUsize::new(1 << 20),
+            pool_resident_cap: AtomicUsize::new(32 << 20),
         }
     }
 }
@@ -91,6 +93,24 @@ impl TuningKnobs {
     pub fn set_credit_budget(&self, bytes: usize) {
         assert!(bytes > 0, "credit budget must be positive");
         self.inner.credit_budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Current slab-pool resident cap in bytes: the recycled-buffer
+    /// memory the data plane may keep parked between batches
+    /// (DESIGN.md §16). Synced to the per-run
+    /// [`SlabPool`](naiad_wire::SlabPool) on every remote emit.
+    pub fn pool_resident_cap(&self) -> usize {
+        self.inner.pool_resident_cap.load(Ordering::Relaxed)
+    }
+
+    /// Sets the slab-pool resident cap in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn set_pool_resident_cap(&self, bytes: usize) {
+        assert!(bytes > 0, "pool resident cap must be positive");
+        self.inner.pool_resident_cap.store(bytes, Ordering::Relaxed);
     }
 }
 
@@ -484,6 +504,15 @@ mod tests {
         let clone = knobs.clone();
         knobs.set_credit_budget(4096);
         assert_eq!(clone.credit_budget(), 4096);
+    }
+
+    #[test]
+    fn pool_cap_knob_is_shared_and_dynamic() {
+        let knobs = TuningKnobs::default();
+        assert_eq!(knobs.pool_resident_cap(), 32 << 20);
+        let clone = knobs.clone();
+        knobs.set_pool_resident_cap(1 << 20);
+        assert_eq!(clone.pool_resident_cap(), 1 << 20);
     }
 
     #[test]

@@ -274,6 +274,13 @@ where
         .flow
         .as_ref()
         .map(|fc| Arc::new(FlowRegistry::new(fc.clone(), config.tuning.clone())));
+    // The per-run slab pool backing every remote encode (DESIGN.md §16).
+    // One pool per run keeps gauges exact for tests and isolates runs
+    // from each other; the autotuner resizes it through the tuning knobs.
+    let slabs = Arc::new(naiad_wire::SlabPool::default());
+    if let Some(knobs) = &config.tuning {
+        slabs.set_resident_cap(knobs.pool_resident_cap());
+    }
     // One liveness detector per process (when heartbeats are on), driven by
     // that process's router thread; kept here so the snapshot can sum the
     // per-process counters after the join.
@@ -390,6 +397,7 @@ where
             let hub = hub.clone();
             let liveness = liveness.clone();
             let flow = flow.clone();
+            let slabs = slabs.clone();
             worker_handles.push(
                 thread::Builder::new()
                     .name(format!("naiad-worker-{index}"))
@@ -405,6 +413,7 @@ where
                             escalation,
                             liveness,
                             flow,
+                            slabs,
                         );
                         let result = worker_fn(&mut worker);
                         if let Some(hub) = &hub {
@@ -492,6 +501,7 @@ where
                     suspicions: liveness_handles.iter().map(|l| l.suspicions()).sum(),
                     peer_failures: liveness_handles.iter().map(|l| l.failures()).sum(),
                 };
+                snap.slab = slabs.gauges();
                 if let Some(flow) = &flow {
                     snap.flow = crate::telemetry::FlowGauges {
                         enabled: true,

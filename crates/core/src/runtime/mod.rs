@@ -8,6 +8,7 @@ pub mod execute;
 pub mod flow;
 mod liveness;
 mod progress_hub;
+pub(crate) mod queue;
 pub mod recovery;
 pub mod rescale;
 mod retry;

@@ -334,7 +334,7 @@ pub(crate) fn run_router(
                     }
                     PROGRESS_TAG => {
                         for tx in &progress_txs {
-                            let _ = tx.send(env.payload.clone());
+                            tx.send(env.payload.clone());
                         }
                         if let Some(acc) = &accumulator {
                             let batch: ProgressBatch =
@@ -397,7 +397,7 @@ pub(crate) fn run_router(
                         let tx = registry.sender::<(u32, Bytes)>(ChannelKey::RemoteData(
                             dataflow, channel, dst_local,
                         ));
-                        let _ = tx.send((env.src as u32, env.payload));
+                        tx.send((env.src as u32, env.payload));
                     }
                 }
             }

@@ -1,0 +1,158 @@
+//! Intra-process ring queues for the data plane.
+//!
+//! `std::sync::mpsc` allocates a fresh node for every send; on the
+//! exchange hot path that is one heap allocation per batch per hop,
+//! which the allocation-regression harness (`tests/alloc_budget.rs`)
+//! forbids. These queues are a `VecDeque` behind a mutex plus a condvar:
+//! the deque's ring storage is *retained* across pops, so a warmed-up
+//! queue moves batches with zero allocations (DESIGN.md §16).
+//!
+//! The API mirrors the slice of `mpsc` the runtime used — `send`,
+//! `try_recv`, `recv`, `recv_timeout` — with `Option` results instead of
+//! disconnect errors: queue lifetime is governed by the worker shutdown
+//! protocol (liveness watchdog + epoch fences), not by sender drops, so
+//! a disconnect signal would have no consumer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar};
+use std::time::Duration;
+
+use super::sync::Mutex;
+
+struct Ring<T> {
+    deque: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+/// The sending handle of a ring queue; clone freely.
+pub(crate) struct RingSender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> Clone for RingSender<T> {
+    fn clone(&self) -> Self {
+        RingSender {
+            ring: self.ring.clone(),
+        }
+    }
+}
+
+impl<T> RingSender<T> {
+    /// Enqueues `value`. Never blocks and never fails; backpressure is the
+    /// credit layer's job (`runtime::flow`), not the queue's.
+    pub(crate) fn send(&self, value: T) {
+        self.ring.deque.lock().push_back(value);
+        self.ring.ready.notify_one();
+    }
+}
+
+/// The receiving handle of a ring queue.
+pub(crate) struct RingReceiver<T> {
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> RingReceiver<T> {
+    /// Dequeues the next value if one is ready.
+    pub(crate) fn try_recv(&self) -> Option<T> {
+        self.ring.deque.lock().pop_front()
+    }
+
+    /// Blocks until a value arrives.
+    #[cfg(test)]
+    pub(crate) fn recv(&self) -> T {
+        let mut guard = self.ring.deque.lock();
+        loop {
+            if let Some(v) = guard.pop_front() {
+                return v;
+            }
+            guard = match self.ring.ready.wait(guard) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Blocks up to `timeout` for a value.
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.ring.deque.lock();
+        loop {
+            if let Some(v) = guard.pop_front() {
+                return Some(v);
+            }
+            let now = std::time::Instant::now();
+            let remaining = deadline.checked_duration_since(now)?;
+            let (g, result) = match self.ring.ready.wait_timeout(guard, remaining) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard = g;
+            if result.timed_out() && guard.is_empty() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Creates a connected sender/receiver pair.
+pub(crate) fn ring<T>() -> (RingSender<T>, RingReceiver<T>) {
+    let ring = Arc::new(Ring {
+        deque: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    (
+        RingSender { ring: ring.clone() },
+        RingReceiver { ring },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_try_recv() {
+        let (tx, rx) = ring::<u32>();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.recv(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let (_tx, rx) = ring::<u32>();
+        let start = std::time::Instant::now();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), None);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = ring::<u32>();
+        let t = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(5));
+        tx.send(9);
+        assert_eq!(t.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn steady_state_sends_reuse_ring_storage() {
+        let (tx, rx) = ring::<u64>();
+        // Warm up to some capacity, then cycle: the deque never grows.
+        for i in 0..64 {
+            tx.send(i);
+        }
+        for _ in 0..64 {
+            rx.try_recv().unwrap();
+        }
+        let cap_probe = |r: &RingReceiver<u64>| r.ring.deque.lock().capacity();
+        let warmed = cap_probe(&rx);
+        for round in 0..1000u64 {
+            tx.send(round);
+            rx.try_recv().unwrap();
+        }
+        assert_eq!(cap_probe(&rx), warmed, "steady state must not reallocate");
+    }
+}

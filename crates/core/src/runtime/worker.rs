@@ -7,7 +7,6 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use std::sync::mpsc::Receiver;
 
 use naiad_netsim::{FaultController, NetSender, TrafficClass};
 use naiad_wire::{encode_to_vec, Bytes};
@@ -77,7 +76,7 @@ pub struct Worker {
     config: Config,
     registry: Arc<ProcessRegistry>,
     net: Arc<Mutex<NetSender>>,
-    progress_rx: Receiver<Bytes>,
+    progress_rx: super::queue::RingReceiver<Bytes>,
     accumulator: Option<Arc<Mutex<ProcessAccumulator>>>,
     /// Global dataflow directory, shared with the central accumulator.
     directory: Arc<ProcessRegistry>,
@@ -129,6 +128,8 @@ pub struct Worker {
     last_flow_returns: u64,
     /// Credit waits seen at the last overload poll.
     last_flow_waits: u64,
+    /// The per-run slab pool backing remote encodes (DESIGN.md §16).
+    slabs: Arc<naiad_wire::SlabPool>,
 }
 
 impl Worker {
@@ -144,6 +145,7 @@ impl Worker {
         escalation: Arc<EscalationCell>,
         liveness: Option<Arc<Liveness>>,
         flow: Option<Arc<FlowRegistry>>,
+        slabs: Arc<naiad_wire::SlabPool>,
     ) -> Self {
         let local_index = index % config.workers_per_process;
         let process = index / config.workers_per_process;
@@ -186,6 +188,7 @@ impl Worker {
             flow,
             overload,
             monitor,
+            slabs,
             last_flow_returns: 0,
             last_flow_waits: 0,
         }
@@ -328,6 +331,7 @@ impl Worker {
             process: self.process,
             batch_size: self.config.batch_size,
             tuning: self.config.tuning.clone(),
+            slabs: self.slabs.clone(),
             registry: self.registry.clone(),
             net: Some(self.net.clone()),
             escalation: self.escalation.clone(),
@@ -891,12 +895,12 @@ impl Worker {
             self.stall_since = None;
             return;
         }
-        if let Ok(bytes) = self.progress_rx.try_recv() {
+        if let Some(bytes) = self.progress_rx.try_recv() {
             self.apply_progress_bytes(&bytes);
             self.stall_since = None;
             return;
         }
-        if let Ok(bytes) = self.progress_rx.recv_timeout(self.config.idle_wait) {
+        if let Some(bytes) = self.progress_rx.recv_timeout(self.config.idle_wait) {
             self.apply_progress_bytes(&bytes);
             self.stall_since = None;
             return;
@@ -1154,7 +1158,7 @@ impl Worker {
 
     /// Applies all queued progress batches to the relevant trackers.
     fn drain_progress(&mut self) {
-        while let Ok(bytes) = self.progress_rx.try_recv() {
+        while let Some(bytes) = self.progress_rx.try_recv() {
             self.apply_progress_bytes(&bytes);
             self.last_step_worked = true;
         }

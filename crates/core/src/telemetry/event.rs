@@ -263,6 +263,9 @@ pub enum TuningKnob {
     ProgressFlush,
     /// Data-plane credit budget (bytes in flight per credited queue).
     CreditBudget,
+    /// Slab-pool resident cap (recycled encode-buffer bytes retained
+    /// per process, DESIGN.md §16).
+    PoolResidentCap,
 }
 
 impl TuningKnob {
@@ -272,6 +275,7 @@ impl TuningKnob {
             TuningKnob::BatchSize => "batch_size",
             TuningKnob::ProgressFlush => "progress_flush",
             TuningKnob::CreditBudget => "credit_budget",
+            TuningKnob::PoolResidentCap => "pool_resident_cap",
         }
     }
 }

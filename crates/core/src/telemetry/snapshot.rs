@@ -165,6 +165,9 @@ pub struct TelemetrySnapshot {
     /// Credit-flow gauges. Populated by the runtime after assembly when
     /// the run was configured with flow control; all-zero otherwise.
     pub flow: FlowGauges,
+    /// Slab-pool gauges from the run's data-plane byte pool
+    /// (DESIGN.md §16). Populated by the runtime after assembly.
+    pub slab: naiad_wire::SlabGauges,
     /// The raw per-worker harvests (event logs included), sorted by
     /// worker index.
     pub logs: Vec<WorkerTelemetry>,
@@ -283,6 +286,7 @@ impl TelemetrySnapshot {
             traffic,
             hub: HubCounters::default(),
             flow: FlowGauges::default(),
+            slab: naiad_wire::SlabGauges::default(),
             logs,
             critical_paths: Vec::new(),
         }

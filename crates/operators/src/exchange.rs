@@ -28,7 +28,7 @@ impl<D: ExchangeData> ExchangeOps<D> for Stream<D> {
 fn forward<D: ExchangeData>(stream: &Stream<D>, pact: Pact<D>, name: &str) -> Stream<D> {
     stream.unary(pact, name, |_info| {
         |input: &mut InputPort<D>, output: &mut OutputPort<D>| {
-            input.for_each(|time, data| output.session(time).give_vec(data));
+            input.for_each_batch(|time, data| output.session(time).give_container(data));
         }
     })
 }

@@ -34,10 +34,10 @@ impl<D: ExchangeData> MapOps<D> for Stream<D> {
     fn map<D2: ExchangeData>(&self, mut logic: impl FnMut(D) -> D2 + 'static) -> Stream<D2> {
         self.unary(Pact::Pipeline, "Map", move |_info| {
             move |input: &mut InputPort<D>, output: &mut OutputPort<D2>| {
-                input.for_each(|time, data| {
+                input.for_each_batch(|time, data| {
                     output
                         .session(time)
-                        .give_iterator(data.into_iter().map(&mut logic));
+                        .give_iterator(data.drain(..).map(&mut logic));
                 });
             }
         })
@@ -49,9 +49,9 @@ impl<D: ExchangeData> MapOps<D> for Stream<D> {
     ) -> Stream<D2> {
         self.unary(Pact::Pipeline, "FlatMap", move |_info| {
             move |input: &mut InputPort<D>, output: &mut OutputPort<D2>| {
-                input.for_each(|time, data| {
+                input.for_each_batch(|time, data| {
                     let mut session = output.session(time);
-                    for record in data {
+                    for record in data.drain(..) {
                         session.give_iterator(logic(record));
                     }
                 });
@@ -62,10 +62,10 @@ impl<D: ExchangeData> MapOps<D> for Stream<D> {
     fn filter(&self, mut predicate: impl FnMut(&D) -> bool + 'static) -> Stream<D> {
         self.unary(Pact::Pipeline, "Filter", move |_info| {
             move |input: &mut InputPort<D>, output: &mut OutputPort<D>| {
-                input.for_each(|time, mut data| {
+                input.for_each_batch(|time, data| {
                     data.retain(&mut predicate);
                     if !data.is_empty() {
-                        output.session(time).give_vec(data);
+                        output.session(time).give_container(data);
                     }
                 });
             }
@@ -78,10 +78,10 @@ impl<D: ExchangeData> MapOps<D> for Stream<D> {
     ) -> Stream<D2> {
         self.unary(Pact::Pipeline, "FilterMap", move |_info| {
             move |input: &mut InputPort<D>, output: &mut OutputPort<D2>| {
-                input.for_each(|time, data| {
+                input.for_each_batch(|time, data| {
                     output
                         .session(time)
-                        .give_iterator(data.into_iter().filter_map(&mut logic));
+                        .give_iterator(data.drain(..).filter_map(&mut logic));
                 });
             }
         })

@@ -1,41 +1,118 @@
-//! A cheaply cloneable, immutable byte buffer.
+//! A cheaply cloneable, immutable byte buffer with pool recycling.
 //!
 //! The fabric broadcasts the same serialized payload to many endpoints;
 //! reference counting makes that fan-out free. This is a minimal,
 //! dependency-free stand-in for the `bytes` crate's `Bytes`, covering
-//! exactly what the runtime uses: construction from a `Vec<u8>`, cheap
-//! clones, and read-only slice access.
+//! what the runtime uses: construction from a `Vec<u8>` *without a copy*,
+//! cheap clones, cheap sub-slices, and read-only slice access. A `Bytes`
+//! frozen out of a [`BytesSlab`](crate::BytesSlab) additionally returns
+//! its backing buffer to the originating [`SlabPool`](crate::SlabPool)
+//! when the last clone drops (DESIGN.md §16).
 
-use std::ops::Deref;
+use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
+
+use crate::slab::SlabPool;
+
+/// The shared backing store of one or more [`Bytes`] views.
+///
+/// Exactly one `Shared` exists per checked-out slab, and its `Drop` runs
+/// exactly once — that is the whole double-return argument: the buffer
+/// can only re-enter the pool through this path.
+struct Shared {
+    buf: Vec<u8>,
+    pool: Option<Arc<SlabPool>>,
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.buf));
+        }
+    }
+}
 
 /// An immutable, reference-counted byte buffer.
 ///
-/// Cloning is O(1): all clones share one allocation.
+/// Cloning and slicing are O(1): all clones and sub-slices share one
+/// allocation.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    shared: Arc<Shared>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            shared: Arc::new(Shared {
+                buf: Vec::new(),
+                pool: None,
+            }),
+            offset: 0,
+            len: 0,
+        }
     }
 
     /// A buffer copied from a static slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::from(bytes)
+    }
+
+    /// Wraps a pool-owned buffer; the buffer returns to `pool` when the
+    /// last clone drops. Called from
+    /// [`BytesSlab::freeze`](crate::BytesSlab::freeze) only.
+    pub(crate) fn pooled(buf: Vec<u8>, pool: Arc<SlabPool>) -> Self {
+        let len = buf.len();
+        Bytes {
+            shared: Arc::new(Shared {
+                buf,
+                pool: Some(pool),
+            }),
+            offset: 0,
+            len,
+        }
     }
 
     /// Buffer length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// An O(1) sub-slice sharing this buffer's allocation (and its pool
+    /// return, if any).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for {} bytes",
+            self.len
+        );
+        Bytes {
+            shared: self.shared.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
     }
 }
 
@@ -48,37 +125,44 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.shared.buf[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of `v` without copying (unpooled: the allocation
+    /// is freed, not recycled, when the last clone drops).
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            shared: Arc::new(Shared { buf: v, pool: None }),
+            offset: 0,
+            len,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from(v.to_vec())
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Bytes({} bytes)", self.data.len())
+        write!(f, "Bytes({} bytes)", self.len)
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self[..] == other[..]
     }
 }
 
@@ -111,5 +195,48 @@ mod tests {
         assert_eq!(&s[..], &[9, 8]);
         assert!(Bytes::new().is_empty());
         assert!(Bytes::default().is_empty());
+    }
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let v = vec![7u8; 64];
+        let ptr = v.as_ptr();
+        let b: Bytes = v.into();
+        assert!(std::ptr::eq(ptr, b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn slices_share_storage_and_nest() {
+        let b: Bytes = (0u8..32).collect::<Vec<_>>().into();
+        let s = b.slice(4..20);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0], 4);
+        assert!(std::ptr::eq(&b[4], &s[0]));
+        let t = s.slice(..=3);
+        assert_eq!(&t[..], &[4, 5, 6, 7]);
+        let all = b.slice(..);
+        assert_eq!(all, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let b: Bytes = vec![1u8, 2].into();
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn slices_keep_the_slab_alive_and_return_it_last() {
+        let pool = Arc::new(SlabPool::default());
+        let mut slab = pool.get(16);
+        slab.buffer().extend_from_slice(b"0123456789");
+        let bytes = slab.freeze();
+        let tail = bytes.slice(5..);
+        drop(bytes);
+        assert_eq!(pool.gauges().in_use_slabs, 1, "the sub-slice pins the slab");
+        assert_eq!(&tail[..], b"56789");
+        drop(tail);
+        assert_eq!(pool.gauges().in_use_slabs, 0);
+        assert_eq!(pool.gauges().slab_returns, 1, "returned exactly once");
     }
 }

@@ -31,13 +31,19 @@
 
 mod bytes;
 mod collections;
+mod columnar;
+mod decode_ref;
 mod error;
 mod primitives;
+mod slab;
 mod tuples;
 pub mod varint;
 
 pub use bytes::Bytes;
+pub use columnar::{KeyedBatch, KeyedBatchIter, KeyedBatchView};
+pub use decode_ref::{decode_ref_from_slice, SeqView, SeqViewIter, WireRef};
 pub use error::WireError;
+pub use slab::{BytesSlab, SlabGauges, SlabPool};
 
 /// A type with a deterministic binary encoding.
 ///

@@ -6,13 +6,16 @@ use crate::{Wire, WireError};
 macro_rules! wire_unsigned {
     ($($t:ty),*) => {$(
         impl Wire for $t {
+            #[inline]
             fn encode(&self, buf: &mut Vec<u8>) {
                 varint::encode_u64(u64::from(*self), buf);
             }
+            #[inline]
             fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
                 let v = varint::decode_u64(input)?;
                 <$t>::try_from(v).map_err(|_| WireError::VarintOverflow)
             }
+            #[inline]
             fn encoded_len(&self) -> usize {
                 varint::len_u64(u64::from(*self))
             }
@@ -23,13 +26,16 @@ macro_rules! wire_unsigned {
 wire_unsigned!(u8, u16, u32, u64);
 
 impl Wire for usize {
+    #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         varint::encode_u64(*self as u64, buf);
     }
+    #[inline]
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let v = varint::decode_u64(input)?;
         usize::try_from(v).map_err(|_| WireError::VarintOverflow)
     }
+    #[inline]
     fn encoded_len(&self) -> usize {
         varint::len_u64(*self as u64)
     }
@@ -38,13 +44,16 @@ impl Wire for usize {
 macro_rules! wire_signed {
     ($($t:ty),*) => {$(
         impl Wire for $t {
+            #[inline]
             fn encode(&self, buf: &mut Vec<u8>) {
                 varint::encode_u64(varint::zigzag(i64::from(*self)), buf);
             }
+            #[inline]
             fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
                 let v = varint::unzigzag(varint::decode_u64(input)?);
                 <$t>::try_from(v).map_err(|_| WireError::VarintOverflow)
             }
+            #[inline]
             fn encoded_len(&self) -> usize {
                 varint::len_u64(varint::zigzag(i64::from(*self)))
             }
@@ -55,22 +64,27 @@ macro_rules! wire_signed {
 wire_signed!(i8, i16, i32, i64);
 
 impl Wire for isize {
+    #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         varint::encode_u64(varint::zigzag(*self as i64), buf);
     }
+    #[inline]
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let v = varint::unzigzag(varint::decode_u64(input)?);
         isize::try_from(v).map_err(|_| WireError::VarintOverflow)
     }
+    #[inline]
     fn encoded_len(&self) -> usize {
         varint::len_u64(varint::zigzag(*self as i64))
     }
 }
 
 impl Wire for bool {
+    #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.push(u8::from(*self));
     }
+    #[inline]
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let (&byte, rest) = input.split_first().ok_or(WireError::UnexpectedEof)?;
         *input = rest;
@@ -80,15 +94,18 @@ impl Wire for bool {
             other => Err(WireError::InvalidTag(other)),
         }
     }
+    #[inline]
     fn encoded_len(&self) -> usize {
         1
     }
 }
 
 impl Wire for f32 {
+    #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
     }
+    #[inline]
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         if input.len() < 4 {
             return Err(WireError::UnexpectedEof);
@@ -97,15 +114,18 @@ impl Wire for f32 {
         *input = rest;
         Ok(f32::from_le_bytes(head.try_into().expect("split_at(4)")))
     }
+    #[inline]
     fn encoded_len(&self) -> usize {
         4
     }
 }
 
 impl Wire for f64 {
+    #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
     }
+    #[inline]
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         if input.len() < 8 {
             return Err(WireError::UnexpectedEof);
@@ -114,29 +134,36 @@ impl Wire for f64 {
         *input = rest;
         Ok(f64::from_le_bytes(head.try_into().expect("split_at(8)")))
     }
+    #[inline]
     fn encoded_len(&self) -> usize {
         8
     }
 }
 
 impl Wire for char {
+    #[inline]
     fn encode(&self, buf: &mut Vec<u8>) {
         varint::encode_u64(u64::from(u32::from(*self)), buf);
     }
+    #[inline]
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         let v = u32::decode(input)?;
         char::from_u32(v).ok_or(WireError::InvalidValue)
     }
+    #[inline]
     fn encoded_len(&self) -> usize {
         varint::len_u64(u64::from(u32::from(*self)))
     }
 }
 
 impl Wire for () {
+    #[inline]
     fn encode(&self, _buf: &mut Vec<u8>) {}
+    #[inline]
     fn decode(_input: &mut &[u8]) -> Result<Self, WireError> {
         Ok(())
     }
+    #[inline]
     fn encoded_len(&self) -> usize {
         0
     }

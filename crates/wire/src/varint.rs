@@ -7,6 +7,7 @@
 use crate::WireError;
 
 /// Appends `value` to `buf` as an LEB128 varint (1–10 bytes).
+#[inline]
 pub fn encode_u64(mut value: u64, buf: &mut Vec<u8>) {
     loop {
         let byte = (value & 0x7f) as u8;
@@ -20,18 +21,45 @@ pub fn encode_u64(mut value: u64, buf: &mut Vec<u8>) {
 }
 
 /// Decodes an LEB128 varint from the front of `input`.
+#[inline]
 pub fn decode_u64(input: &mut &[u8]) -> Result<u64, WireError> {
-    let mut value = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let (&byte, rest) = input.split_first().ok_or(WireError::UnexpectedEof)?;
+    // Fast path: single-byte varints dominate real frames (lengths,
+    // small keys, ±1 progress deltas).
+    let (&byte, rest) = input.split_first().ok_or(WireError::UnexpectedEof)?;
+    if byte & 0x80 == 0 {
         *input = rest;
+        return Ok(u64::from(byte));
+    }
+    decode_u64_multibyte(byte, rest, input)
+}
+
+/// The multi-byte continuation of [`decode_u64`]: `first` had its
+/// continuation bit set and `rest` holds the bytes after it.
+#[inline]
+fn decode_u64_multibyte<'a>(
+    first: u8,
+    mut rest: &'a [u8],
+    input: &mut &'a [u8],
+) -> Result<u64, WireError> {
+    // Two-byte varints (128..16384) are the next most common case:
+    // record keys, batch lengths, stage counts.
+    let (&b1, tail) = rest.split_first().ok_or(WireError::UnexpectedEof)?;
+    if b1 & 0x80 == 0 {
+        *input = tail;
+        return Ok(u64::from(first & 0x7f) | u64::from(b1) << 7);
+    }
+    let mut value = u64::from(first & 0x7f);
+    let mut shift = 7u32;
+    loop {
+        let (&byte, tail) = rest.split_first().ok_or(WireError::UnexpectedEof)?;
+        rest = tail;
         let low = u64::from(byte & 0x7f);
         if shift == 63 && low > 1 {
             return Err(WireError::VarintOverflow);
         }
         value |= low << shift;
         if byte & 0x80 == 0 {
+            *input = rest;
             return Ok(value);
         }
         shift += 7;
@@ -42,6 +70,7 @@ pub fn decode_u64(input: &mut &[u8]) -> Result<u64, WireError> {
 }
 
 /// The number of bytes [`encode_u64`] writes for `value`.
+#[inline]
 pub fn len_u64(value: u64) -> usize {
     if value == 0 {
         1
@@ -51,11 +80,13 @@ pub fn len_u64(value: u64) -> usize {
 }
 
 /// Maps a signed integer to an unsigned one so small magnitudes stay small.
+#[inline]
 pub fn zigzag(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
+#[inline]
 pub fn unzigzag(value: u64) -> i64 {
     ((value >> 1) as i64) ^ -((value & 1) as i64)
 }

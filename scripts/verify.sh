@@ -37,6 +37,20 @@ if [[ -n "$chan_sites" ]] && ! printf '%s\n' "$chan_sites" \
   exit 1
 fi
 
+echo "== slab-exempt gate (fresh-Vec allocations in runtime::channels) =="
+# The §16 data plane moves containers, it does not allocate them: every
+# fresh-Vec creation in runtime/channels.rs (outside the test module)
+# must be recycled infrastructure carrying a `// slab-exempt:` comment
+# within the four preceding lines explaining why it is not a per-record
+# or per-batch hot-path allocation (DESIGN.md §16).
+slab_sites="$(sed -e '/^mod tests {/,$d' crates/core/src/runtime/channels.rs \
+    | grep -n -B4 -E 'Vec::new\(\)|Vec::with_capacity\(|vec!\[' || true)"
+if [[ -n "$slab_sites" ]] && ! printf '%s\n' "$slab_sites" \
+    | awk 'BEGIN{RS="--\n"} !/slab-exempt:/ {print; bad=1} END{exit bad}'; then
+  echo "verify: FAIL — un-annotated fresh-Vec allocation in runtime/channels.rs above (recycle it via SparePool/SlabPool or justify with '// slab-exempt:')"
+  exit 1
+fi
+
 echo "== build (release, workspace) =="
 cargo build --release --workspace
 
@@ -55,6 +69,12 @@ fi
 
 echo "== tests (workspace) =="
 cargo test -q --workspace
+
+echo "== allocation-budget gate (zero-copy data plane) =="
+# The counting-allocator harness re-runs in release mode: the fig6a
+# exchange at 1x/4x/16x volume must hold steady-state allocations flat
+# (a per-batch constant, never per-record — DESIGN.md §16).
+cargo test -q --release --test alloc_budget
 
 echo "== static dataflow analyzer (naiad-lint over the in-repo catalog) =="
 # Exits non-zero if any in-repo dataflow carries an Error-severity

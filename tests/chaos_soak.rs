@@ -1,7 +1,8 @@
 //! Deterministic chaos soak (§3.4/§3.5 robustness): composite seeded
 //! fault schedules — message drops, duplicate deliveries, partition
 //! windows, and scheduled process crashes — derived from 32 base seeds
-//! (more via `CHAOS_SOAK_SEEDS`).
+//! (more via `CHAOS_SOAK_SEEDS`; `SLAB_SOAK_SEEDS` runs the same plans
+//! with container-fed inputs over the slab-backed remote path).
 //!
 //! The contract under chaos is binary and typed:
 //!
@@ -225,7 +226,13 @@ fn baseline() -> Vec<Vec<(u64, u64)>> {
 /// One chaotic run under coordinated recovery. The driver follows the
 /// standard resilient protocol: restore a snapshot if resuming, replay
 /// logged inputs, checkpoint at every quiescent epoch boundary.
-fn chaos_run(seed: u64) -> Result<ResilientReport<(u64, Out)>, ExecuteError> {
+///
+/// `batched` picks the input feed: per-record `send` (the seed matrix's
+/// historical shape) or whole-container `send_container`, which rides the
+/// slab-backed batch path end to end — radix-grouped containers, pooled
+/// encode slabs, recycled decode containers (DESIGN.md §16). Both feeds
+/// must land bit-identically on the same fault-free reference.
+fn chaos_run(seed: u64, batched: bool) -> Result<ResilientReport<(u64, Out)>, ExecuteError> {
     let all = Arc::new(inputs());
     execute_resilient(
         chaos_config().faults(plan_for_seed(seed)),
@@ -247,8 +254,13 @@ fn chaos_run(seed: u64) -> Result<ResilientReport<(u64, Out)>, ExecuteError> {
                         records
                     }
                 };
-                for r in records {
-                    input.send(r);
+                if batched {
+                    let mut container = records;
+                    input.send_container(&mut container);
+                } else {
+                    for r in records {
+                        input.send(r);
+                    }
                 }
                 input.advance_to(local + 1);
                 worker.step_while(|| !probe.done_through(local));
@@ -268,9 +280,25 @@ fn chaos_run(seed: u64) -> Result<ResilientReport<(u64, Out)>, ExecuteError> {
 /// output on success, a typed error otherwise. Returns how many seeds
 /// recovered from at least one injected fault.
 fn soak(seeds: std::ops::Range<u64>, reference: &[Vec<(u64, u64)>]) -> usize {
+    soak_with_feed(seeds, reference, false)
+}
+
+/// The same fault plans with inputs fed as whole containers, so every
+/// remote hop runs the slab-backed batch path. Output must stay
+/// bit-identical to the *same* per-record reference: the data plane's
+/// representation is not allowed to be observable.
+fn slab_soak(seeds: std::ops::Range<u64>, reference: &[Vec<(u64, u64)>]) -> usize {
+    soak_with_feed(seeds, reference, true)
+}
+
+fn soak_with_feed(
+    seeds: std::ops::Range<u64>,
+    reference: &[Vec<(u64, u64)>],
+    batched: bool,
+) -> usize {
     let mut eventful = 0;
     for seed in seeds {
-        match chaos_run(seed) {
+        match chaos_run(seed, batched) {
             Ok(report) => {
                 if !report.recovered_from.is_empty() {
                     eventful += 1;
@@ -539,6 +567,39 @@ fn chaos_soak_seeds_24_31() {
             eventful > 0,
             "no seed in 24..32 injected a recoverable fault — the soak is not soaking"
         );
+    });
+}
+
+/// Base slab-path batch: the same fault plans as seeds 24..32 (the
+/// eventful batch), fed through whole containers so drops, duplicates,
+/// partitions, and crashes strike slab-encoded frames — and the output
+/// still lands bit-identical on the per-record reference.
+#[test]
+fn slab_soak_base_seeds() {
+    with_deadline(300, || {
+        let reference = baseline();
+        let eventful = slab_soak(24..32, &reference);
+        assert!(
+            eventful > 0,
+            "no slab-path seed injected a recoverable fault — the soak is not soaking"
+        );
+    });
+}
+
+/// CI's extended slab soak: `SLAB_SOAK_SEEDS=n` runs `n` extra seeds of
+/// the container-fed matrix past the base batch. A no-op when unset.
+#[test]
+fn extended_slab_soak_honours_env() {
+    let extra: u64 = std::env::var("SLAB_SOAK_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if extra == 0 {
+        return;
+    }
+    with_deadline(120 + 40 * extra, move || {
+        let reference = baseline();
+        slab_soak(32..32 + extra, &reference);
     });
 }
 
