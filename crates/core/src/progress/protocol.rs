@@ -248,6 +248,8 @@ impl Accumulator {
 
     fn buffer_is_safe(&self) -> bool {
         let summaries = self.graph.summaries();
+        // lint-allow(NS0003): `all` is order-insensitive; no iteration
+        // order escapes this predicate.
         self.buffer.iter().all(|(p, &delta)| {
             // Self-cover: a creation at a pointstamp everyone already
             // counts as active changes no frontier.
@@ -257,6 +259,7 @@ impl Accumulator {
             // Other-cover: a visible-active pointstamp precedes p, so no
             // frontier can reach p until that cover retires — and its
             // retirement will re-test this condition.
+            // lint-allow(NS0003): `any` is order-insensitive.
             self.view.iter().any(|(q, &c)| {
                 c > 0
                     && q != p
@@ -269,6 +272,9 @@ impl Accumulator {
     /// and folds the drained updates into the local view (they are now in
     /// flight).
     pub fn flush(&mut self) -> Vec<ProgressUpdate> {
+        // lint-allow(NS0003): the drain is sorted into the canonical
+        // positive-first order on the very next statement, so hash order
+        // never reaches the wire.
         let mut updates: Vec<ProgressUpdate> = self.buffer.drain().collect();
         updates.sort_by_key(|&(p, delta)| {
             let mut counters = [0u64; crate::time::MAX_LOOP_DEPTH];
@@ -439,8 +445,8 @@ impl GroupCore {
         }
         let mut acc = Accumulator::new(graph, self.total_workers);
         acc.set_fold_on_flush(self.fold_on_flush);
-        if let Some(stashed) = self.stashed.remove(&dataflow) {
-            let flushed = acc.observe(stashed.iter());
+        if let Some(buffered) = self.stashed.remove(&dataflow) {
+            let flushed = acc.observe(buffered.iter());
             debug_assert!(flushed.is_none(), "empty buffer cannot flush");
         }
         self.accs.insert(dataflow, acc);
@@ -488,6 +494,7 @@ impl GroupCore {
     /// Whether any registered dataflow still holds buffered updates
     /// (the liveness oracle's quiescence test).
     pub fn has_buffered(&self) -> bool {
+        // lint-allow(NS0003): `any` is order-insensitive.
         self.accs.values().any(|a| a.has_buffered())
     }
 }

@@ -229,6 +229,9 @@ pub(crate) struct ProcessRegistry {
 }
 
 impl ProcessRegistry {
+    // lint-allow(NS0004): a `ChannelKey` encodes the endpoint type by
+    // construction; a downcast miss is type confusion (a bug), not a
+    // runtime condition to recover from.
     fn with_chan<T: Send + 'static, R>(&self, key: ChannelKey, f: impl FnOnce(&Chan<T>) -> R) -> R {
         let mut map = self.map.lock();
         let entry = map.entry(key).or_insert_with(|| {
@@ -257,6 +260,8 @@ impl ProcessRegistry {
     /// # Panics
     ///
     /// Panics if the receiver was already taken.
+    // lint-allow(NS0004): the double-take panic is documented above —
+    // each queue's consuming side claims its receiver exactly once.
     pub(crate) fn receiver<T: Send + 'static>(&self, key: ChannelKey) -> RingReceiver<T> {
         self.with_chan(key, |c: &Chan<T>| {
             c.rx.lock()
@@ -268,6 +273,7 @@ impl ProcessRegistry {
     /// The spare-container stack for the data endpoint
     /// `(dataflow, channel, dst_local)`, shared by everyone who routes
     /// batches to — or drains batches at — that endpoint.
+    // lint-allow(NS0004): same type-confusion invariant as `with_chan`.
     pub(crate) fn spares<D: Send + 'static>(
         &self,
         dataflow: usize,
@@ -511,6 +517,9 @@ impl<D: ExchangeData> Pusher<D> {
 
     /// Queues `record` at `time`, flushing destination batches as they
     /// fill. Batches never mix timestamps: a time change flushes first.
+    // lint-allow(NS0004): `buffers`, `routes`, `credits`, and `spares`
+    // are parallel arrays sized together at construction; `dst` is either
+    // `my_index` or reduced mod `routes.len()`.
     pub(crate) fn give(&mut self, time: Timestamp, record: D) {
         if self.buffer_time != Some(time) {
             self.flush();
@@ -551,6 +560,7 @@ impl<D: ExchangeData> Pusher<D> {
     /// radix-partitions records into the per-destination buffers in one
     /// pass, and Broadcast clones per destination with the final
     /// destination taking the records by move.
+    // lint-allow(NS0004): same parallel-array invariant as `give`.
     pub(crate) fn give_batch(&mut self, time: Timestamp, batch: &mut Vec<D>) {
         if batch.is_empty() {
             return;
@@ -605,6 +615,7 @@ impl<D: ExchangeData> Pusher<D> {
     }
 
     /// Flushes all buffered batches.
+    // lint-allow(NS0004): same parallel-array invariant as `give`.
     pub(crate) fn flush(&mut self) {
         if let Some(time) = self.buffer_time.take() {
             for dst in 0..self.routes.len() {
@@ -615,6 +626,10 @@ impl<D: ExchangeData> Pusher<D> {
         }
     }
 
+    // lint-allow(NS0004): `dst` is validated by the callers above (the
+    // `give` parallel-array invariant); `encoded` is populated in the
+    // Remote match arm this same function takes, and remote routes carry
+    // a fabric handle by construction.
     fn emit(&mut self, dst: usize, time: Timestamp) {
         debug_assert!(!self.buffers[dst].is_empty());
         let records = self.buffers[dst].len() as u32;
@@ -720,6 +735,9 @@ impl<D: ExchangeData> Pusher<D> {
         let mut remote = false;
         match &self.routes[dst] {
             Route::Local(tx) => {
+                // slab-exempt: the `Vec::new` arm only runs for endpoints
+                // with no spare pool (tests and probes); data routes pop a
+                // recycled container.
                 let refill = self.spares[dst].as_ref().map_or_else(Vec::new, SparePool::pop);
                 let data = std::mem::replace(&mut self.buffers[dst], refill);
                 tx.send(Message { time, data });

@@ -121,6 +121,9 @@ pub fn seal_blob(payload: &[u8]) -> Vec<u8> {
 }
 
 /// Validates a sealed checkpoint blob and returns its payload.
+// lint-allow(NS0004): every index below sits behind an explicit length
+// check that returns a typed `RestoreError` first; the `try_into`s are
+// fixed-width slices of already-validated ranges.
 pub fn open_blob(blob: &[u8]) -> Result<&[u8], RestoreError> {
     if blob.len() < 4 || blob[..4] != BLOB_MAGIC {
         return Err(RestoreError::BadMagic);

@@ -231,6 +231,8 @@ where
     execute_inner(&config, worker_fn).map(|(results, _, snapshot)| {
         (
             results,
+            // lint-allow(NS0004): this wrapper forced telemetry on one
+            // line up, and execute_inner always harvests when it is on.
             snapshot.expect("telemetry enabled yields a snapshot"),
         )
     })
@@ -261,7 +263,10 @@ where
         builder = builder.faults(faults.clone());
     }
     let mut fabric = builder.build();
+    // lint-allow(NS0004): the builder allocates one endpoint per process
+    // (at least one) plus the optional central endpoint.
     let metrics = fabric[0].metrics().clone();
+    // lint-allow(NS0004): same builder guarantee as above.
     let clock = fabric[0].clock().clone();
     let shutdown = Arc::new(AtomicBool::new(false));
     let escalation = Arc::new(EscalationCell::default());
@@ -295,6 +300,8 @@ where
 
     // The central accumulator (if any) owns the extra endpoint.
     let central_handle = if config.progress_mode.global() {
+        // lint-allow(NS0004): global progress modes build the fabric with
+        // the extra central endpoint appended last.
         let (tx, rx) = fabric.pop().expect("central endpoint allocated").split();
         let net = Arc::new(Mutex::new(tx));
         // The central accumulator resolves dataflow graphs through a
@@ -380,6 +387,8 @@ where
                             flow.as_deref(),
                         )
                     })
+                    // lint-allow(NS0004): OS thread-spawn failure is
+                    // resource exhaustion; unwinding tears down the run.
                     .expect("spawn router thread"),
             );
         }
@@ -423,6 +432,8 @@ where
                         }
                         result
                     })
+                    // lint-allow(NS0004): same spawn-failure policy as
+                    // the router thread above.
                     .expect("spawn worker thread"),
             );
         }
@@ -449,6 +460,8 @@ where
                     &stats,
                 )
             })
+            // lint-allow(NS0004): same spawn-failure policy as the
+            // router thread above.
             .expect("spawn central accumulator thread")
     });
 

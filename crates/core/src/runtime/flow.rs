@@ -31,11 +31,15 @@
 //! window and by the credits on every cross-worker edge feeding them.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, PoisonError};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use super::config::TuningKnobs;
+// Loom-schedulable shims: plain std re-exports outside `--cfg loom`, so
+// this module's concurrency is exactly what the interleaving explorer
+// (runtime::interleave) model-checks.
+use super::sync::{AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard};
 
 /// What a sender does when its bounded credit wait expires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -168,22 +172,20 @@ pub(crate) enum Acquire {
 /// Per-queue credit ledger: in-flight bytes guarded by a mutex, with a
 /// condvar the receiver signals on every credit return.
 pub(crate) struct CreditCell {
-    in_flight: StdMutex<u64>,
+    in_flight: Mutex<u64>,
     returned: Condvar,
 }
 
 impl CreditCell {
     fn new() -> Self {
         CreditCell {
-            in_flight: StdMutex::new(0),
+            in_flight: Mutex::new(0),
             returned: Condvar::new(),
         }
     }
 
     fn guard(&self) -> MutexGuard<'_, u64> {
-        self.in_flight
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+        self.in_flight.lock()
     }
 
     /// Whether `cost` fits under `budget` right now. An empty queue
@@ -207,10 +209,7 @@ impl CreditCell {
                     waited_ns: elapsed.as_nanos() as u64,
                 };
             };
-            let (g, _timeout) = self
-                .returned
-                .wait_timeout(guard, remaining)
-                .unwrap_or_else(PoisonError::into_inner);
+            let (g, _timed_out) = self.returned.wait_timeout(guard, remaining);
             guard = g;
             if Self::admits(*guard, cost, budget) {
                 *guard += cost;
@@ -252,7 +251,7 @@ impl CreditCell {
 pub(crate) struct FlowRegistry {
     config: FlowConfig,
     tuning: Option<TuningKnobs>,
-    cells: StdMutex<HashMap<FlowKey, Arc<CreditCell>>>,
+    cells: Mutex<HashMap<FlowKey, Arc<CreditCell>>>,
     /// Credited data-plane bytes in flight, cluster-wide.
     in_flight: AtomicU64,
     /// High-water mark of `in_flight` (the chaos-soak oracle).
@@ -281,7 +280,7 @@ impl FlowRegistry {
         FlowRegistry {
             config,
             tuning,
-            cells: StdMutex::new(HashMap::new()),
+            cells: Mutex::new(HashMap::new()),
             in_flight: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
             parked: AtomicUsize::new(0),
@@ -313,10 +312,33 @@ impl FlowRegistry {
     pub(crate) fn cell(&self, key: FlowKey) -> Arc<CreditCell> {
         self.cells
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
             .entry(key)
             .or_insert_with(|| Arc::new(CreditCell::new()))
             .clone()
+    }
+
+    /// Per-cell credit detail for the stall watchdog's state dump, as a
+    /// JSON array sorted by key. Uses `try_lock` throughout — on the
+    /// registry and on every cell — because the dump runs while senders
+    /// may be parked mid-protocol: a held ledger reports `"held"`
+    /// instead of deadlocking the diagnostic that is trying to explain
+    /// the stall.
+    pub(crate) fn dump_cells(&self) -> String {
+        let Some(cells) = self.cells.try_lock() else {
+            return "[\"cells registry busy\"]".to_string();
+        };
+        let mut parts: Vec<String> = cells
+            .iter()
+            .map(|(key, cell)| {
+                let in_flight = cell
+                    .in_flight
+                    .try_lock()
+                    .map_or_else(|| "\"held\"".to_string(), |g| (*g).to_string());
+                format!("{{\"key\":\"{key:?}\",\"in_flight\":{in_flight}}}")
+            })
+            .collect();
+        parts.sort();
+        format!("[{}]", parts.join(","))
     }
 
     /// Spends `cost` on `cell`, parking up to the configured wait.
@@ -687,5 +709,71 @@ mod tests {
     #[should_panic(expected = "credit budget must be positive")]
     fn zero_budget_rejected() {
         let _ = FlowConfig::default().budget(0);
+    }
+
+    #[test]
+    fn dump_cells_reports_per_cell_detail_without_blocking() {
+        let reg = FlowRegistry::new(FlowConfig::default().budget(256), None);
+        assert_eq!(reg.dump_cells(), "[]");
+        let cell = reg.cell(FlowKey::Local(0, 1, 2, 3));
+        reg.force(&cell, 42);
+        let dump = reg.dump_cells();
+        assert!(
+            dump.contains("\"key\":\"Local(0, 1, 2, 3)\"") && dump.contains("\"in_flight\":42"),
+            "unexpected dump: {dump}"
+        );
+        // A held ledger must degrade to "held", not deadlock the dump.
+        let held = cell.guard();
+        let dump = reg.dump_cells();
+        assert!(dump.contains("\"in_flight\":\"held\""), "unexpected dump: {dump}");
+        drop(held);
+    }
+}
+
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use crate::runtime::interleave::explore;
+    use std::sync::Arc;
+
+    /// Re-finds the PR 8 gauge-ordering race. [`FlowRegistry::release`]
+    /// must drop the aggregate `in_flight` gauge *before* the cell wakes
+    /// parked senders: with the order reversed, a schedule exists where
+    /// the woken sender's `note_spent` reads the stale-high gauge and
+    /// pushes `peak_in_flight` past the budget (here 200 + 200 = 400 >
+    /// 256) — one preemption between `cell.release` and the gauge
+    /// decrement is enough, so the explorer finds it deterministically.
+    /// With the committed order the peak stays under budget in *every*
+    /// schedule.
+    #[test]
+    fn loom_release_order_keeps_peak_under_budget() {
+        explore(|| {
+            let config = FlowConfig::default()
+                .budget(256)
+                .credit_wait(Duration::from_secs(5));
+            let reg = Arc::new(FlowRegistry::new(config, None));
+            let cell = reg.cell(FlowKey::Local(0, 0, 0, 0));
+            // Pre-spawn (sequential): the queue holds 200 of its 256.
+            reg.force(&cell, 200);
+            let releaser_reg = reg.clone();
+            let releaser_cell = cell.clone();
+            vec![
+                Box::new(move || {
+                    releaser_reg.release(&releaser_cell, 200);
+                }) as Box<dyn FnOnce() + Send>,
+                Box::new(move || {
+                    let outcome = reg.acquire(&cell, 200);
+                    assert!(
+                        matches!(outcome, Acquire::Granted { .. }),
+                        "200 fits once the release lands: {outcome:?}"
+                    );
+                    let peak = reg.peak_in_flight_bytes();
+                    assert!(
+                        peak <= 256,
+                        "gauge raced past the budget: peak {peak} > 256"
+                    );
+                }) as Box<dyn FnOnce() + Send>,
+            ]
+        });
     }
 }

@@ -128,11 +128,12 @@ impl Liveness {
     /// (the central accumulator's extra endpoint) are ignored. Clears any
     /// standing suspicion.
     pub(crate) fn note_heard(&self, peer: usize) {
-        let Some(slot) = self.last_heard.get(peer) else {
+        let (Some(slot), Some(sus)) = (self.last_heard.get(peer), self.suspected.get(peer))
+        else {
             return;
         };
         slot.store(self.clock.now_ns(), Ordering::Release);
-        if self.suspected[peer].swap(false, Ordering::AcqRel) {
+        if sus.swap(false, Ordering::AcqRel) {
             self.push_transition(LivenessTransition::Cleared { peer });
         }
     }
@@ -169,10 +170,15 @@ impl Liveness {
                     | Err(SendError::Partitioned { .. })
                     | Err(SendError::Disconnected { .. }) => {}
                     Err(SendError::PeerCrashed { dst }) => {
-                        if !self.failed[dst].swap(true, Ordering::AcqRel) {
+                        let fresh = self
+                            .failed
+                            .get(dst)
+                            .is_some_and(|f| !f.swap(true, Ordering::AcqRel));
+                        if fresh {
                             self.failures.fetch_add(1, Ordering::Relaxed);
-                            let silent_ns =
-                                now.saturating_sub(self.last_heard[dst].load(Ordering::Acquire));
+                            let silent_ns = self.last_heard.get(dst).map_or(0, |h| {
+                                now.saturating_sub(h.load(Ordering::Acquire))
+                            });
                             self.push_transition(LivenessTransition::Failed {
                                 peer: dst,
                                 silent_ns,
@@ -194,19 +200,26 @@ impl Liveness {
     pub(crate) fn scan(&self) -> Option<FaultKind> {
         let now = self.clock.now_ns();
         let mut detected = None;
-        for peer in 0..self.last_heard.len() {
+        for (peer, heard) in self.last_heard.iter().enumerate() {
             if peer == self.process {
                 continue;
             }
-            let silent_ns = now.saturating_sub(self.last_heard[peer].load(Ordering::Acquire));
+            let silent_ns = now.saturating_sub(heard.load(Ordering::Acquire));
             if silent_ns >= self.fail_ns {
-                if !self.failed[peer].swap(true, Ordering::AcqRel) {
+                let fresh = self
+                    .failed
+                    .get(peer)
+                    .is_some_and(|f| !f.swap(true, Ordering::AcqRel));
+                if fresh {
                     self.failures.fetch_add(1, Ordering::Relaxed);
                     self.push_transition(LivenessTransition::Failed { peer, silent_ns });
                 }
                 detected.get_or_insert(FaultKind::ProcessCrashed { process: peer });
             } else if silent_ns >= self.suspect_ns
-                && !self.suspected[peer].swap(true, Ordering::AcqRel)
+                && self
+                    .suspected
+                    .get(peer)
+                    .is_some_and(|s| !s.swap(true, Ordering::AcqRel))
             {
                 self.suspicions.fetch_add(1, Ordering::Relaxed);
                 self.push_transition(LivenessTransition::Suspected { peer, silent_ns });

@@ -6,6 +6,8 @@ pub mod config;
 pub mod durability;
 pub mod execute;
 pub mod flow;
+#[cfg(loom)]
+pub(crate) mod interleave;
 mod liveness;
 mod progress_hub;
 pub(crate) mod queue;

@@ -178,6 +178,8 @@ impl Recovery {
     /// Panics if the logged bytes do not decode as `Vec<D>` — the log is
     /// in-memory, so corruption here is a type confusion bug, not bit
     /// rot.
+    // lint-allow(NS0004): the type-confusion panic is documented above —
+    // the log is in-memory, so a decode miss is a bug, not bit rot.
     pub fn logged_input<D: Wire>(&self, epoch: u64, worker: usize, input: usize) -> Option<Vec<D>> {
         self.stores
             .inputs

@@ -370,6 +370,8 @@ impl MigrationSlot {
         sources.sort_unstable();
         let mut bundles = vec![Vec::with_capacity(from_workers); to_workers];
         for source in sources {
+            // lint-allow(NS0004): `sources` is literally `shards.keys()`,
+            // collected two statements up.
             let per_new = &shards[&source];
             debug_assert_eq!(per_new.len(), to_workers);
             for (bundle, shard) in bundles.iter_mut().zip(per_new) {
@@ -495,6 +497,9 @@ impl ElasticSession {
             None => {}
             Some(Deposit::Plain(blob)) => worker.restore(&blob),
             Some(Deposit::Migrated(shards)) => {
+                // lint-allow(NS0004): migrated deposits are written only
+                // by `assemble`, which runs at a fence; post-fence seeders
+                // always carry the incoming-rescale info.
                 let info = self
                     .incoming
                     .expect("migrated deposits only seed post-fence phases");
@@ -530,6 +535,8 @@ impl ElasticSession {
     ///
     /// Panics if the logged bytes do not decode as `Vec<D>` (type
     /// confusion, not bit rot: the log is in-memory).
+    // lint-allow(NS0004): the type-confusion panic is documented above —
+    // the log is in-memory, so a decode miss is a bug, not bit rot.
     pub fn logged_input<D: Wire>(&self, epoch: u64, worker: usize, input: usize) -> Option<Vec<D>> {
         self.inputs.lock().get(&(epoch, worker, input)).map(|bytes| {
             naiad_wire::decode_from_slice(bytes).expect("input log decoded at a different type")
@@ -724,6 +731,8 @@ where
 
         match phase_outcome {
             Err(()) => {
+                // lint-allow(NS0004): Err(()) is only returned after at
+                // least one failed attempt was pushed.
                 let last = recovered_from.last().cloned().expect("budget consumed");
                 let Some(info) = incoming else {
                     // No rescale in flight: plain recovery exhaustion.
@@ -732,6 +741,8 @@ where
                         last: Box::new(last),
                     });
                 };
+                // lint-allow(NS0004): `prev` is stocked at every fence
+                // and only consumed here, on the first post-fence failure.
                 let (old_config, old_stores) =
                     prev.take().expect("a post-fence phase keeps its rollback target");
                 if !options.rollback_on_abort {
@@ -795,6 +806,8 @@ where
                 let fence_started = Instant::now();
                 let from_workers = config.total_workers();
                 let to_workers = step.workers();
+                // lint-allow(NS0004): phases that end at a fence install
+                // their outgoing slot before running (loop invariant).
                 let (_, slot) = outgoing.expect("phase ending at a fence has a slot");
                 match slot.assemble(from_workers, to_workers) {
                     Err(error) => {

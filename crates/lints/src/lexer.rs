@@ -1,0 +1,362 @@
+//! A small Rust lexer: just enough token structure for the source rules.
+//!
+//! The workspace is dependency-free by design (no `syn`), so the linter
+//! carries its own tokenizer. It understands the lexical shapes that
+//! would otherwise corrupt a textual scan — line/block comments (nested),
+//! string/char/byte/raw-string literals, lifetimes vs. char literals —
+//! and flattens everything else into identifier, number, and punctuation
+//! tokens tagged with 1-based line numbers. No parse tree: the rules
+//! layer walks the token stream with explicit brace matching.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `Vec`, ...).
+    Ident(String),
+    /// Integer/float literal (value text dropped; rules never need it).
+    Number,
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Char literal (`'x'`).
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// One punctuation character (`{`, `.`, `<`, ...). Multi-character
+    /// operators arrive as consecutive tokens; the rules only ever match
+    /// single characters.
+    Punct(char),
+    /// A `//` comment, text including the slashes.
+    LineComment(String),
+    /// A `/* ... */` comment (possibly nested), text included.
+    BlockComment(String),
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// Tokenizes `src`. Never fails: malformed trailing input degrades into
+/// punctuation tokens, which at worst makes a rule miss — the compiler,
+/// not the linter, owns syntax errors.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Counts newlines in `bytes[from..to]`.
+    let newlines = |from: usize, to: usize| -> u32 {
+        bytes[from..to].iter().filter(|&&b| b == b'\n').count() as u32
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment(src[start..i].to_string()),
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment(src[start..i].to_string()),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start_line = line;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let start = i;
+                let start_line = line;
+                // Skip `r`/`br`/`b` prefix, count `#`s, then scan to the
+                // matching `"###...` closer.
+                while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < bytes.len() && bytes[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&b'"') {
+                    i += 1;
+                    'scan: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let mut j = 0usize;
+                            while j < hashes && bytes.get(i + 1 + j) == Some(&b'#') {
+                                j += 1;
+                            }
+                            if j == hashes {
+                                i += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        i += 1;
+                    }
+                    line += newlines(start, i);
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        line: start_line,
+                    });
+                } else {
+                    // `b` or `r` that was a plain identifier after all.
+                    i = start;
+                    let (tok, next) = lex_ident(src, bytes, i, line);
+                    toks.push(tok);
+                    i = next;
+                }
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if char_literal_len(bytes, i).is_some() {
+                    let len = char_literal_len(bytes, i).unwrap_or(1);
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        line,
+                    });
+                    i += len;
+                } else {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop a number before `..` (range) or a method call
+                    // on a literal.
+                    if bytes[i] == b'.'
+                        && (bytes.get(i + 1) == Some(&b'.')
+                            || bytes.get(i + 1).is_some_and(u8::is_ascii_alphabetic))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    line,
+                });
+            }
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let (tok, next) = lex_ident(src, bytes, i, line);
+                toks.push(tok);
+                i = next;
+            }
+            other => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(other as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn lex_ident(src: &str, bytes: &[u8], start: usize, line: u32) -> (Tok, usize) {
+    let mut i = start;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Ident(src[start..i].to_string()),
+            line,
+        },
+        i,
+    )
+}
+
+/// Whether position `i` starts a raw/byte string (`r"`, `r#"`, `br#"`,
+/// `b"`), as opposed to an identifier that begins with `r`/`b`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // `b"..."` byte string with no `r`.
+    bytes[i] == b'b' && bytes.get(i + 1) == Some(&b'"')
+}
+
+/// If position `i` (a `'`) starts a char literal, its byte length.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        b'\\' => {
+            // Escape: scan to the closing quote (handles \n \u{..} etc.).
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                j += 1;
+            }
+            (bytes.get(j) == Some(&b'\'')).then_some(j + 1 - i)
+        }
+        _ => {
+            // `'x'` — exactly one char then a quote; otherwise lifetime.
+            let ch_len = utf8_len(bytes[i + 1]);
+            (bytes.get(i + 1 + ch_len) == Some(&b'\'')).then_some(ch_len + 2)
+        }
+    }
+}
+
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b < 0xE0 {
+        2
+    } else if b < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_do_not_leak_tokens() {
+        let src = r##"
+// a fake .lock() in a comment
+fn f<'a>(x: &'a str) {
+    let s = "y.lock()"; let c = 'l'; let r = r#"z.lock()"#;
+    x.len();
+}
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"lock".to_string()), "{ids:?}");
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "/* one\ntwo */\nfn f() {}\n";
+        let toks = lex(src);
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = lex("/* a /* b */ c */ fn");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokKind::BlockComment(_)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_literal_is_not_a_lifetime() {
+        let toks = lex("let c = 'x'; fn g<'a>() {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokKind::Char))
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t.kind, TokKind::Lifetime))
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! `naiad-lint-src` — source-level invariant linter CLI.
+//!
+//! Mirrors `examples/naiad_lint.rs` ergonomics for the source-rule
+//! catalog: structured diagnostics, `--format json`, `--only NSxxxx`,
+//! nonzero exit when errors remain. Run from the workspace root (or
+//! point `--root` at it); `scripts/verify.sh` and the `lint-src` CI job
+//! both call this binary.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use naiad_lints::{lint_tree, Code, LintConfig, Severity, ALL_CODES};
+
+const USAGE: &str = "\
+naiad-lint-src: source-level invariant linter (rules NS0001-NS0006)
+
+USAGE:
+    naiad-lint-src [OPTIONS]
+
+OPTIONS:
+    --root PATH        tree to lint (default: current directory)
+    --format FORMAT    text (default) or json
+    --only CODES       comma-separated rule codes to run (e.g. NS0004,NS0006)
+    --list             print the rule catalog and exit
+    --help             print this help
+
+Suppress a justified finding at its site with `// lint-allow(NSxxxx): why`.
+Exits 1 if any error-severity diagnostics remain, 2 on usage errors.";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = String::from("text");
+    let mut only: Option<Vec<Code>> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                for code in ALL_CODES {
+                    println!("{}  {}", code.as_str(), code.title());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root requires a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                _ => return usage_error("--format must be text or json"),
+            },
+            "--only" => match args.next() {
+                Some(list) => {
+                    let mut codes = only.unwrap_or_default();
+                    for part in list.split(',') {
+                        match Code::parse(part.trim()) {
+                            Some(c) => codes.push(c),
+                            None => {
+                                return usage_error(&format!("unknown rule code `{part}`"));
+                            }
+                        }
+                    }
+                    only = Some(codes);
+                }
+                None => return usage_error("--only requires rule codes"),
+            },
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let diags = match lint_tree(&root, &LintConfig { only }) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("naiad-lint-src: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+
+    if format == "json" {
+        let body: Vec<String> = diags.iter().map(|d| d.render_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for d in &diags {
+            println!("{}", d.render_text());
+        }
+        println!(
+            "naiad-lint-src: {} diagnostic{} ({} error{})",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            errors,
+            if errors == 1 { "" } else { "s" },
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("naiad-lint-src: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,425 @@
+//! Per-file source model: code tokens, comment map, `#[cfg(test)]`
+//! regions, function items, and suppression/exemption comment scopes.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One scanned source file.
+pub struct SourceFile {
+    /// Path relative to the scanned root, `/`-separated.
+    pub rel: String,
+    /// Code tokens (comments removed).
+    pub toks: Vec<Tok>,
+    /// Comment text by starting line.
+    pub comments: Vec<(u32, String)>,
+    /// Line spans (1-based, inclusive) of `#[cfg(test)]`-gated items.
+    pub test_spans: Vec<(u32, u32)>,
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Line spans suppressed per rule code, from `lint-allow(NSxxxx):`
+    /// comments.
+    pub allows: Vec<(String, u32, u32)>,
+    /// Total lines (for rendering).
+    pub line_count: u32,
+}
+
+/// One `fn` item: its name and body token range.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's `{` in `SourceFile::toks`.
+    pub body_open: usize,
+    /// Token index of the body's matching `}`.
+    pub body_close: usize,
+}
+
+impl SourceFile {
+    /// Lexes and indexes `src`.
+    pub fn parse(rel: &str, src: &str) -> SourceFile {
+        let all = lex(src);
+        let mut toks = Vec::with_capacity(all.len());
+        let mut comments = Vec::new();
+        for t in all {
+            match t.kind {
+                TokKind::LineComment(text) | TokKind::BlockComment(text) => {
+                    comments.push((t.line, text));
+                }
+                _ => toks.push(t),
+            }
+        }
+        let line_count = src.lines().count() as u32;
+        let test_spans = find_cfg_spans(&toks, |args| args.iter().any(|a| a == "test"));
+        let fns = find_fns(&toks);
+        let allows = find_allows(&comments, &toks, &fns);
+        SourceFile {
+            rel: rel.to_string(),
+            toks,
+            comments,
+            test_spans,
+            fns,
+            allows,
+            line_count,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether diagnostics with `code` are suppressed at `line`.
+    pub fn allowed(&self, code: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(c, a, b)| c == code && *a <= line && line <= *b)
+    }
+
+    /// Whether an exemption marker (e.g. `flow-exempt:`) is attached to
+    /// `line`: on the same line, or in the contiguous run of comment
+    /// lines immediately above it. Scope-aware replacement for the old
+    /// `grep -B4 | awk` gates — attachment follows comment adjacency, not
+    /// a fixed window.
+    pub fn exempt(&self, marker: &str, line: u32) -> bool {
+        let has = |l: u32| {
+            self.comments
+                .iter()
+                .any(|(cl, text)| *cl == l && text.contains(marker))
+        };
+        if has(line) {
+            return true;
+        }
+        // Walk up through lines that hold only comments (no code token).
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let code_here = self.toks.iter().any(|t| t.line == l);
+            let comment_here = self.comments.iter().any(|(cl, _)| *cl == l);
+            if code_here || !comment_here {
+                return false;
+            }
+            if has(l) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The function item whose body contains token index `ti`, if any
+    /// (innermost wins).
+    pub fn enclosing_fn(&self, ti: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_open <= ti && ti <= f.body_close)
+            .max_by_key(|f| f.body_open)
+    }
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`.
+pub fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Line spans of items behind `#[cfg(...)]` attributes whose argument
+/// list satisfies `pred` (e.g. contains `test`). Handles `cfg(test)`,
+/// `cfg(all(test, loom))`, and attribute-on-`use`/statement forms.
+fn find_cfg_spans(toks: &[Tok], pred: impl Fn(&[String]) -> bool) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 4 < toks.len() {
+        if toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+        {
+            // Collect idents up to the attribute's closing `]`.
+            let mut args = Vec::new();
+            let mut j = i + 4;
+            let mut depth = 1usize; // inside the `(`
+            while j < toks.len() && depth > 0 {
+                match &toks[j].kind {
+                    TokKind::Punct('(') => depth += 1,
+                    TokKind::Punct(')') => depth -= 1,
+                    TokKind::Ident(s) => args.push(s.clone()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Skip to past `]`.
+            while j < toks.len() && !toks[j].is_punct(']') {
+                j += 1;
+            }
+            j += 1;
+            if pred(&args) {
+                let start = toks[i].line;
+                // Span: to the end of the gated item — the matching brace
+                // of its first block, or the first `;` if none comes
+                // first.
+                let mut k = j;
+                let mut end = toks.get(j).map_or(start, |t| t.line);
+                while k < toks.len() {
+                    if toks[k].is_punct('{') {
+                        end = toks[matching_brace(toks, k)].line;
+                        break;
+                    }
+                    if toks[k].is_punct(';') {
+                        end = toks[k].line;
+                        break;
+                    }
+                    k += 1;
+                }
+                spans.push((start, end));
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Extracts every `fn` item with a brace body (trait-method declarations
+/// without bodies are skipped).
+fn find_fns(toks: &[Tok]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some(name) = toks[i + 1].ident() {
+                // Find the body `{`, skipping the signature. Generic
+                // bounds and where-clauses may contain `{}`? No — only
+                // `(`/`<`/`->` forms; the first `{` at signature level
+                // opens the body. A `;` first means no body.
+                let mut j = i + 2;
+                let mut angle = 0i32;
+                let mut paren = 0i32;
+                let mut body = None;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('<') => angle += 1,
+                        TokKind::Punct('>') => angle -= 1,
+                        TokKind::Punct('(') => paren += 1,
+                        TokKind::Punct(')') => paren -= 1,
+                        TokKind::Punct('{') if angle <= 0 && paren == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        TokKind::Punct(';') if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(open) = body {
+                    fns.push(FnItem {
+                        name: name.to_string(),
+                        line: toks[i].line,
+                        body_open: open,
+                        body_close: matching_brace(toks, open),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Builds suppression spans from `lint-allow(NSxxxx):` comments. A
+/// comment directly above an item header (`fn`/`impl`/`mod`/`struct`/
+/// `enum`/`trait`, possibly behind `pub`/attributes) suppresses the whole
+/// item; otherwise it suppresses its own line and the next code line.
+fn find_allows(
+    comments: &[(u32, String)],
+    toks: &[Tok],
+    fns: &[FnItem],
+) -> Vec<(String, u32, u32)> {
+    let mut allows = Vec::new();
+    for (cl, text) in comments {
+        let Some(pos) = text.find("lint-allow(") else {
+            continue;
+        };
+        let rest = &text[pos + "lint-allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let code = rest[..close].trim().to_string();
+        // The next code token at or after this comment's line.
+        let next = toks.iter().enumerate().find(|(_, t)| t.line >= *cl);
+        let Some((ti, t)) = next else {
+            continue;
+        };
+        // Item-level: does an item header start here? Look through
+        // visibility/attribute prefixes on the same statement.
+        let mut j = ti;
+        let mut item_end = None;
+        let mut guard = 0;
+        while j < toks.len() && guard < 16 {
+            match &toks[j].kind {
+                TokKind::Ident(s)
+                    if matches!(
+                        s.as_str(),
+                        "fn" | "impl" | "mod" | "struct" | "enum" | "trait"
+                    ) =>
+                {
+                    // Span to the item's closing brace (or `;`).
+                    let mut k = j;
+                    while k < toks.len() {
+                        if toks[k].is_punct('{') {
+                            item_end = Some(toks[matching_brace(toks, k)].line);
+                            break;
+                        }
+                        if toks[k].is_punct(';') {
+                            item_end = Some(toks[k].line);
+                            break;
+                        }
+                        k += 1;
+                    }
+                    break;
+                }
+                TokKind::Ident(s)
+                    if matches!(s.as_str(), "pub" | "crate" | "unsafe" | "const" | "async") =>
+                {
+                    j += 1;
+                }
+                TokKind::Punct('(') | TokKind::Punct(')') => j += 1, // pub(crate)
+                TokKind::Punct('#') | TokKind::Punct('[') => {
+                    // Attribute between comment and item: skip it.
+                    while j < toks.len() && !toks[j].is_punct(']') {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                _ => break,
+            }
+            guard += 1;
+        }
+        let end = match item_end {
+            Some(e) => e,
+            // Line-level: this line and the next code line (the comment
+            // usually sits just above the flagged statement). Cover the
+            // whole statement the next token starts.
+            None => statement_end_line(toks, ti).max(t.line),
+        };
+        allows.push((code, *cl, end));
+    }
+    // A comment inside a function body that is NOT on an item header
+    // still frequently wants to cover a multi-line statement; the
+    // statement_end_line above handles that. Item-level fn allows also
+    // arrive via `fns` when the comment line is just above the fn line.
+    let _ = fns;
+    allows
+}
+
+/// The line where the statement starting at token `ti` ends (`;` or the
+/// matching brace of a block it opens, whichever comes first at depth 0).
+fn statement_end_line(toks: &[Tok], ti: usize) -> u32 {
+    let mut depth = 0i32;
+    for t in toks.iter().skip(ti) {
+        match t.kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth -= 1;
+                if depth <= 0 && t.is_punct('}') {
+                    return t.line;
+                }
+            }
+            TokKind::Punct(';') if depth <= 0 => return t.line,
+            _ => {}
+        }
+    }
+    toks.last().map_or(1, |t| t.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n",
+        );
+        assert!(!f.in_test(1));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn cfg_all_test_loom_counts_as_test() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[cfg(all(test, loom))]\nmod loom_tests {\n    fn b() {}\n}\n",
+        );
+        assert!(f.in_test(3));
+    }
+
+    #[test]
+    fn exemption_attaches_through_contiguous_comments_only() {
+        let src = "\
+fn f() {
+    // flow-exempt: reason spans
+    // two comment lines
+    let x = 1;
+
+    let y = 2;
+}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.exempt("flow-exempt:", 4));
+        assert!(!f.exempt("flow-exempt:", 6), "blank line breaks attachment");
+    }
+
+    #[test]
+    fn item_level_allow_covers_the_whole_fn() {
+        let src = "\
+// lint-allow(NS0004): indices pinned at construction
+pub(crate) fn hot(&self) {
+    let a = self.buffers[0].len();
+    let b = self.buffers[1].len();
+}
+fn other() { let c = x[0]; }
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allowed("NS0004", 3));
+        assert!(f.allowed("NS0004", 4));
+        assert!(!f.allowed("NS0004", 6));
+    }
+
+    #[test]
+    fn line_level_allow_covers_next_statement_only() {
+        let src = "\
+fn f() {
+    let a = x[0];
+    // lint-allow(NS0004): checked above
+    let b = x[1];
+    let c = x[2];
+}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.allowed("NS0004", 2));
+        assert!(f.allowed("NS0004", 4));
+        assert!(!f.allowed("NS0004", 5));
+    }
+
+    #[test]
+    fn fns_are_extracted_with_bodies() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "impl T { fn a(&self) -> u32 { 1 } }\nfn b<X: Ord>(x: X) { drop(x) }\n",
+        );
+        let names: Vec<_> = f.fns.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,6 @@
+//! NS0003 pass: the deterministic module stamps with logical time only;
+//! no wall clock, no hasher randomness, no hash-ordered iteration.
+
+pub fn stamp_frontier(seq: u64) -> u64 {
+    seq.wrapping_add(1)
+}

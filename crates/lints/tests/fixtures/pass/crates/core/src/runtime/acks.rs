@@ -1,0 +1,10 @@
+//! NS0001 pass: the same channel, excused by a flow-exempt marker on
+//! the creating statement (comment-adjacency attachment).
+
+use std::sync::mpsc;
+
+pub fn ack_channel() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    // flow-exempt: acks are one-per-epoch, bounded by the epoch fence
+    // cadence; crediting them would deadlock the fence itself.
+    mpsc::channel()
+}

@@ -1,0 +1,10 @@
+//! NS0002 pass: the allocation carries a slab-exempt justification, so
+//! the hot-path rule attaches the marker and stays quiet.
+
+pub fn stage_batch(payload: &[u8]) -> Vec<u8> {
+    // slab-exempt: one-time construction of the spare table at startup,
+    // not a per-record or per-batch allocation.
+    let mut staged = Vec::with_capacity(payload.len());
+    staged.extend_from_slice(payload);
+    staged
+}

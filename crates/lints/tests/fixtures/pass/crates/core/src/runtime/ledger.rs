@@ -1,0 +1,23 @@
+//! NS0006 pass: both entry points acquire credits → debits, so the
+//! order graph is acyclic.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Ledger {
+    credits: Mutex<u64>,
+    debits: Mutex<u64>,
+}
+
+impl Ledger {
+    pub fn post(&self) -> u64 {
+        let c = self.credits.lock().unwrap_or_else(PoisonError::into_inner);
+        let d = self.debits.lock().unwrap_or_else(PoisonError::into_inner);
+        *c + *d
+    }
+
+    pub fn audit(&self) -> u64 {
+        let c = self.credits.lock().unwrap_or_else(PoisonError::into_inner);
+        let d = self.debits.lock().unwrap_or_else(PoisonError::into_inner);
+        *c - *d
+    }
+}

@@ -1,0 +1,13 @@
+//! NS0004 pass: panic-free accessors, plus one justified index behind a
+//! lint-allow whose reason the rule records.
+
+pub fn head_and_tail(values: &[u64]) -> (u64, u64) {
+    let head = values.first().copied().unwrap_or_default();
+    let tail = values.last().copied().unwrap_or_default();
+    (head, tail)
+}
+
+pub fn fixed_window(values: &[u64; 4]) -> u64 {
+    // lint-allow(NS0004): the parameter type fixes the length at four.
+    values[3]
+}

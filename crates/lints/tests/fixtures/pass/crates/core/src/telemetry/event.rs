@@ -1,0 +1,7 @@
+//! NS0005 pass: every variant declared here is named by the recorder's
+//! match in recorder.rs.
+
+pub enum TelemetryEvent {
+    BatchSent,
+    BatchDropped,
+}

@@ -1,0 +1,11 @@
+//! Recorder half of the NS0005 pass: the match is exhaustive by name,
+//! so every event reaches the snapshot.
+
+use super::event::TelemetryEvent;
+
+pub fn count(ev: &TelemetryEvent) -> &'static str {
+    match ev {
+        TelemetryEvent::BatchSent => "batch_sent",
+        TelemetryEvent::BatchDropped => "batch_dropped",
+    }
+}

@@ -1,0 +1,6 @@
+//! NS0003 trigger: a wall-clock read inside a deterministic-by-contract
+//! module (the progress protocol must replay bit-identically).
+
+pub fn stamp_frontier(seq: u64) -> (u64, std::time::Instant) {
+    (seq, std::time::Instant::now())
+}

@@ -1,0 +1,8 @@
+//! NS0001 trigger: an unbounded mpsc channel in runtime/ with no
+//! flow-control justification attached to the creating statement.
+
+use std::sync::mpsc;
+
+pub fn ack_channel() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}

@@ -1,0 +1,8 @@
+//! NS0002 trigger: a fresh Vec allocation inside the zero-copy
+//! hot-path module, without a slab-exempt justification.
+
+pub fn stage_batch(payload: &[u8]) -> Vec<u8> {
+    let mut staged = Vec::with_capacity(payload.len());
+    staged.extend_from_slice(payload);
+    staged
+}

@@ -1,0 +1,23 @@
+//! NS0006 trigger: `post` acquires credits → debits while `audit`
+//! acquires debits → credits, a classic two-lock ordering cycle.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct Ledger {
+    credits: Mutex<u64>,
+    debits: Mutex<u64>,
+}
+
+impl Ledger {
+    pub fn post(&self) -> u64 {
+        let c = self.credits.lock().unwrap_or_else(PoisonError::into_inner);
+        let d = self.debits.lock().unwrap_or_else(PoisonError::into_inner);
+        *c + *d
+    }
+
+    pub fn audit(&self) -> u64 {
+        let d = self.debits.lock().unwrap_or_else(PoisonError::into_inner);
+        let c = self.credits.lock().unwrap_or_else(PoisonError::into_inner);
+        *c - *d
+    }
+}

@@ -1,0 +1,7 @@
+//! NS0004 trigger: implicit panic paths (`unwrap` and bare indexing)
+//! in runtime/ outside #[cfg(test)].
+
+pub fn head_and_tail(values: &[u64]) -> (u64, u64) {
+    let head = values[0];
+    (head, *values.last().unwrap())
+}

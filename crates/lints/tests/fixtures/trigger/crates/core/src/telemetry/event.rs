@@ -1,0 +1,7 @@
+//! NS0005 trigger: `BatchDropped` is declared but the recorder's match
+//! (recorder.rs) never names it, so it would vanish from snapshots.
+
+pub enum TelemetryEvent {
+    BatchSent,
+    BatchDropped,
+}

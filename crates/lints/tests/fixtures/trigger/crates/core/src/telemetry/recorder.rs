@@ -1,0 +1,11 @@
+//! Recorder half of the NS0005 trigger: the wildcard arm swallows
+//! `TelemetryEvent::BatchDropped` without ever naming it.
+
+use super::event::TelemetryEvent;
+
+pub fn count(ev: &TelemetryEvent) -> &'static str {
+    match ev {
+        TelemetryEvent::BatchSent => "batch_sent",
+        _ => "uncounted",
+    }
+}

@@ -1,0 +1,28 @@
+//! Regression gate: the workspace's own sources lint clean.
+//!
+//! This is the in-tree twin of the `naiad-lint-src` verify.sh/CI gate —
+//! it fails the ordinary test suite the moment a change reintroduces an
+//! unjustified unbounded channel, hot-path allocation, nondeterminism
+//! source, runtime panic path, telemetry leak, or lock-order cycle.
+
+use std::path::PathBuf;
+
+use naiad_lints::{lint_tree, Diagnostic, LintConfig};
+
+#[test]
+fn workspace_sources_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let found = lint_tree(&root, &LintConfig::default()).expect("workspace scans");
+    assert!(
+        found.is_empty(),
+        "workspace must lint clean, got:\n{}",
+        found
+            .iter()
+            .map(Diagnostic::render_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -24,6 +24,9 @@ impl ClusterClock {
     /// [`FabricBuilder::build`](crate::FabricBuilder::build).
     pub(crate) fn new() -> Self {
         ClusterClock {
+            // lint-allow(NS0003): this is the one sanctioned wall-clock
+            // read — ClusterClock *is* the fabric's time source, and all
+            // other modules are expected to route through it.
             origin: Instant::now(),
         }
     }

@@ -488,6 +488,9 @@ impl NetSender {
     fn schedule(&mut self, dst: usize, payload_len: usize) -> Option<Instant> {
         let samplers = self.samplers.as_mut()?;
         let (delay, occupancy) = samplers[dst].sample(payload_len);
+        // lint-allow(NS0003): netsim models latency in real time by
+        // design — the sampled delay (seeded, deterministic) is imposed
+        // on the wall clock; delivery *order* comes from the sampler.
         let mut at = Instant::now() + delay;
         if let Some(prev) = self.last_delivery[dst] {
             // FIFO per link: never deliver before an earlier message, and
@@ -555,17 +558,21 @@ impl NetReceiver {
                 return Some(env);
             }
         }
+        // lint-allow(NS0003): real-time delivery check; see `schedule`.
         self.pop_ready(Instant::now())
     }
 
     /// Blocks until a message is deliverable, all peers disconnect, or
     /// `timeout` (if given) elapses.
     pub fn recv_deadline(&mut self, timeout: Option<Duration>) -> Result<Envelope, RecvError> {
+        // lint-allow(NS0003): real-time receive deadline; see `schedule`.
         let deadline = timeout.map(|t| Instant::now() + t);
         loop {
             if let Some(env) = self.try_recv() {
                 return Ok(env);
             }
+            // lint-allow(NS0003): real-time wakeup computation; see
+            // `schedule`.
             let now = Instant::now();
             // Wake at the earliest of: next delayed delivery, caller deadline,
             // or a coarse tick to re-check for disconnection.

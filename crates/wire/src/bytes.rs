@@ -48,6 +48,8 @@ impl Bytes {
     pub fn new() -> Self {
         Bytes {
             shared: Arc::new(Shared {
+                // slab-exempt: a zero-capacity Vec never touches the
+                // allocator; empty Bytes are placeholders, not payloads.
                 buf: Vec::new(),
                 pool: None,
             }),
@@ -150,6 +152,9 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
+        // slab-exempt: the borrowed-slice conversion is a convenience
+        // constructor for tests and control frames; the data plane
+        // freezes pooled slabs instead of copying slices.
         Bytes::from(v.to_vec())
     }
 }

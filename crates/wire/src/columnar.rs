@@ -35,7 +35,10 @@ impl<K: Wire> KeyedBatch<K> {
     #[must_use]
     pub fn new() -> Self {
         KeyedBatch {
+            // slab-exempt: zero-capacity columns never touch the
+            // allocator; growth is amortized across reused batches.
             keys: Vec::new(),
+            // slab-exempt: as above.
             ends: Vec::new(),
             text: String::new(),
         }
@@ -114,7 +117,11 @@ impl<K: Wire> Wire for KeyedBatch<K> {
                 remaining: keys_col.len().min(ends_col.len()),
             });
         }
+        // slab-exempt: decode materializes owned columns once per
+        // received batch, sized exactly from the validated header; the
+        // zero-copy path is `KeyedBatchRef`, which borrows instead.
         let mut keys = Vec::with_capacity(len);
+        // slab-exempt: as above.
         let mut ends = Vec::with_capacity(len);
         let mut pos = 0usize;
         for _ in 0..len {

@@ -44,6 +44,8 @@ pub use columnar::{KeyedBatch, KeyedBatchIter, KeyedBatchView};
 pub use decode_ref::{decode_ref_from_slice, SeqView, SeqViewIter, WireRef};
 pub use error::WireError;
 pub use slab::{BytesSlab, SlabGauges, SlabPool};
+#[cfg(loom)]
+pub use slab::slab_loom_hook;
 
 /// A type with a deterministic binary encoding.
 ///

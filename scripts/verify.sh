@@ -9,14 +9,8 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="${RUSTFLAGS:--D warnings}"
 
 echo "== unsafe-free gate =="
-# Every crate carries #![forbid(unsafe_code)]; this grep is the belt to
-# that suspender — it fails if any `unsafe` token appears in source, or if
-# any crate root has dropped the forbid attribute.
-if grep -rn --include='*.rs' -E '\bunsafe\b' src crates examples \
-    | grep -v 'forbid(unsafe_code)'; then
-  echo "verify: FAIL — 'unsafe' found in source (workspace is forbid(unsafe_code))"
-  exit 1
-fi
+# Every crate root must carry #![forbid(unsafe_code)]; the compiler then
+# rejects any `unsafe` token in that crate, so no source grep is needed.
 for root in src/lib.rs crates/*/src/lib.rs; do
   if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
     echo "verify: FAIL — $root is missing #![forbid(unsafe_code)]"
@@ -24,32 +18,14 @@ for root in src/lib.rs crates/*/src/lib.rs; do
   fi
 done
 
-echo "== flow-exempt gate (runtime channel creations) =="
-# Every unbounded channel created under runtime/ must either sit behind
-# the credit layer (runtime::flow) or carry a `// flow-exempt:` comment
-# within the four preceding lines explaining why bounding it is unsound
-# (Progress/Control traffic must never block — DESIGN.md §15).
-chan_sites="$(grep -rn --include='*.rs' -B4 -E 'mpsc::channel|sync_channel\(|channel::<|= channel\(\)' \
-    crates/core/src/runtime || true)"
-if [[ -n "$chan_sites" ]] && ! printf '%s\n' "$chan_sites" \
-    | awk 'BEGIN{RS="--\n"} !/flow-exempt:/ {print; bad=1} END{exit bad}'; then
-  echo "verify: FAIL — un-annotated channel creation in runtime/ above (credit it via runtime::flow or justify with '// flow-exempt:')"
-  exit 1
-fi
-
-echo "== slab-exempt gate (fresh-Vec allocations in runtime::channels) =="
-# The §16 data plane moves containers, it does not allocate them: every
-# fresh-Vec creation in runtime/channels.rs (outside the test module)
-# must be recycled infrastructure carrying a `// slab-exempt:` comment
-# within the four preceding lines explaining why it is not a per-record
-# or per-batch hot-path allocation (DESIGN.md §16).
-slab_sites="$(sed -e '/^mod tests {/,$d' crates/core/src/runtime/channels.rs \
-    | grep -n -B4 -E 'Vec::new\(\)|Vec::with_capacity\(|vec!\[' || true)"
-if [[ -n "$slab_sites" ]] && ! printf '%s\n' "$slab_sites" \
-    | awk 'BEGIN{RS="--\n"} !/slab-exempt:/ {print; bad=1} END{exit bad}'; then
-  echo "verify: FAIL — un-annotated fresh-Vec allocation in runtime/channels.rs above (recycle it via SparePool/SlabPool or justify with '// slab-exempt:')"
-  exit 1
-fi
+echo "== source invariant linter (naiad-lint-src, NS0001-NS0006) =="
+# Token-level replacement for the old flow-exempt/slab-exempt grep|awk
+# gates, plus the rules those gates could not express: unbounded channels
+# (NS0001) and hot-path allocations (NS0002) with scope-aware marker
+# attachment, nondeterminism in deterministic modules (NS0003), panic
+# paths in runtime/ (NS0004), telemetry conservation (NS0005), and
+# lock-order cycles (NS0006). See DESIGN.md §17.
+cargo run -q --release -p naiad-lints --bin naiad-lint-src
 
 echo "== build (release, workspace) =="
 cargo build --release --workspace

@@ -385,6 +385,34 @@ fn silent_partition_without_heartbeats_stalls() {
     });
 }
 
+/// Regression for the watchdog's credit-ledger dump: with flow control
+/// configured, the stall dump carries a `flow_cells` line listing every
+/// credit cell's in-flight gauge. The dump path uses `try_lock` end to
+/// end (`FlowRegistry::dump_cells`) because the watchdog fires while
+/// senders may be parked mid-protocol on those very mutexes — a
+/// diagnostic must never deadlock on the state it is reporting.
+#[test]
+fn stall_dump_reports_flow_cells_without_blocking() {
+    with_deadline(120, || {
+        let config = detect_config(false)
+            .stall_timeout(Duration::from_millis(500))
+            .flow(FlowConfig::default().budget(1 << 20));
+        match silent_failure_error(Silent::Crash, config) {
+            ExecuteError::Stalled { dump, .. } => {
+                assert!(
+                    dump.contains("\"ev\":\"flow_cells\""),
+                    "dump must carry the per-cell credit ledger: {dump}"
+                );
+                assert!(
+                    dump.contains("\"cells\":["),
+                    "the ledger must render as a JSON list, not a placeholder: {dump}"
+                );
+            }
+            other => panic!("expected a stall declaration, got {other:?}"),
+        }
+    });
+}
+
 /// A declared stall is recoverable: rollback gives the computation a
 /// fresh fabric, and the recovered output still matches the reference.
 #[test]
